@@ -1,0 +1,52 @@
+"""Ablation: buffer capacity sweep (generalizes Fig. 2/8's 16-vs-256).
+
+The paper's advice is that "the buffer size should be correctly set
+according to the traffic patterns".  This ablation sweeps capacities at a
+fixed 80 Mbps workload-A rate: undersized buffers degrade to full-frame
+requests (higher control load); once capacity exceeds the in-flight churn
+(~46 units here), growing it further buys nothing.
+"""
+
+from __future__ import annotations
+
+from figutil import plain_run_a
+
+from repro.core import BufferConfig
+
+CAPACITIES = (4, 16, 64, 256)
+RATE = 80
+
+
+def test_buffer_size_ablation(benchmark, emit):
+    rows = {}
+    for capacity in CAPACITIES:
+        config = BufferConfig(mechanism="packet-granularity",
+                              capacity=capacity)
+        rows[capacity] = plain_run_a(config, rate_mbps=RATE)
+
+    lines = [f"ablation: packet-granularity capacity at {RATE} Mbps "
+             f"(workload A)",
+             f"{'capacity':>8} {'load_up(Mbps)':>13} {'peak units':>10}"]
+    for capacity, result in rows.items():
+        lines.append(f"{capacity:>8} {result.control_load_up_mbps:>13.2f} "
+                     f"{result.buffer_peak_units:>10d}")
+    emit("ablation_buffer_size", "\n".join(lines))
+
+    loads = [rows[c].control_load_up_mbps for c in CAPACITIES]
+    # Control load decreases monotonically with capacity...
+    assert all(b <= a * 1.02 for a, b in zip(loads, loads[1:]))
+    # ...massively from undersized to sufficient...
+    assert loads[0] > 2.5 * loads[-1]
+    # ...and saturates once the buffer covers the in-flight churn.
+    assert loads[-2] < 1.1 * loads[-1]
+    # Peak occupancy is pinned at capacity for undersized buffers only.
+    assert rows[4].buffer_peak_units == 4
+    assert rows[16].buffer_peak_units == 16
+    assert rows[256].buffer_peak_units < 256
+
+    # Benchmark the undersized configuration (the expensive case).
+    result = benchmark.pedantic(
+        plain_run_a, args=(BufferConfig(mechanism="packet-granularity",
+                                        capacity=4),),
+        kwargs={"rate_mbps": RATE}, rounds=1, iterations=1)
+    assert result.completed_flows == result.total_flows

@@ -1,0 +1,88 @@
+"""Ablations: the ASIC↔CPU bus hypothesis, and flow-table thrashing.
+
+1. **Bus bandwidth.** DESIGN.md attributes the no-buffer switch-delay
+   blow-up (Fig. 7) to bus saturation.  If that is the mechanism, widening
+   the bus must remove the blow-up with everything else fixed — a direct
+   test of the model's explanatory claim.
+2. **Flow-table capacity.** The paper's root-cause discussion (§II) pins
+   the miss problem on limited flow tables evicting live rules.  With a
+   table smaller than the working set, every recurrence misses
+   (thrashing); at or above the working set, only first packets miss.
+"""
+
+from __future__ import annotations
+
+from figutil import plain_run_a
+
+from repro.controllersim import ControllerConfig
+from repro.core import buffer_256, no_buffer
+from repro.experiments import TestbedCalibration, run_once
+from repro.simkit import RandomStreams, mbps
+from repro.switchsim import SwitchConfig
+from repro.trafficgen import recurring_flows, single_packet_flows
+
+BUS_RATES_MBPS = (130, 145, 400)
+
+
+def _run_with_bus(bus_mbps: float):
+    calibration = TestbedCalibration(
+        switch=SwitchConfig(bus_bandwidth_bps=mbps(bus_mbps)),
+        controller=ControllerConfig())
+    workload = single_packet_flows(mbps(95), n_flows=300,
+                                   rng=RandomStreams(4))
+    return run_once(no_buffer(), workload, calibration=calibration, seed=4)
+
+
+def test_bus_bandwidth_ablation(benchmark, emit):
+    rows = {bus: _run_with_bus(bus) for bus in BUS_RATES_MBPS}
+
+    lines = ["ablation: no-buffer switch delay at 95 Mbps vs bus bandwidth",
+             f"{'bus(Mbps)':>9} {'switch delay(ms)':>16}"]
+    for bus, result in rows.items():
+        lines.append(f"{bus:>9} "
+                     f"{result.switch_delay_summary().mean * 1e3:>16.2f}")
+    emit("ablation_bus_bandwidth", "\n".join(lines))
+
+    delays = [rows[b].switch_delay_summary().mean for b in BUS_RATES_MBPS]
+    # Wider bus, smaller delay — monotone.
+    assert delays[0] > delays[1] > delays[2]
+    # A bus that fits ~2.2x the line rate removes the blow-up entirely.
+    assert delays[0] > 5 * delays[2]
+
+    result = benchmark.pedantic(_run_with_bus, args=(400,),
+                                rounds=1, iterations=1)
+    assert result.switch_delay_summary().mean < 0.002
+
+
+def test_flow_table_thrashing_ablation(benchmark, emit):
+    n_flows, rounds = 20, 5
+
+    def run(table_capacity: int):
+        calibration = TestbedCalibration(
+            switch=SwitchConfig(flow_table_capacity=table_capacity),
+            controller=ControllerConfig())
+        workload = recurring_flows(mbps(10), n_flows=n_flows,
+                                   rounds=rounds)
+        return run_once(buffer_256(), workload, calibration=calibration,
+                        seed=5)
+
+    small = run(table_capacity=10)     # half the working set
+    large = run(table_capacity=64)     # fits the working set
+
+    emit("ablation_table_capacity",
+         "ablation: flow-table capacity vs request count "
+         f"({n_flows} flows x {rounds} rounds)\n"
+         f"{'capacity':>8} {'packet_ins':>10}\n"
+         f"{10:>8} {small.packet_in_count:>10d}\n"
+         f"{64:>8} {large.packet_in_count:>10d}")
+
+    # Fits: one miss per flow.  Thrashes: every round misses (LRU on a
+    # cyclic access pattern evicts exactly what comes back next).
+    assert large.packet_in_count == n_flows
+    assert small.packet_in_count == n_flows * rounds
+    # Forwarding still completes either way - misses cost, not correctness.
+    assert small.completed_flows == n_flows
+    assert large.completed_flows == n_flows
+
+    result = benchmark.pedantic(run, args=(10,), rounds=1, iterations=1)
+    assert result.packet_in_count == n_flows * rounds

@@ -1,0 +1,99 @@
+"""Ablation: egress scheduling disciplines (the paper's future work).
+
+Compares plain FIFO, strict priority and deficit-round-robin egress
+scheduling on an overloaded port: expedited latency, best-effort latency,
+and whether anything starves.  Quantifies the trade the paper's
+conclusion proposes to explore.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim import Link
+from repro.packets import (EthernetHeader, IPv4Header, PROTO_UDP, Packet,
+                           UDPHeader)
+from repro.simkit import Simulator, mbps
+from repro.switchsim import (CLASS_BEST_EFFORT, CLASS_EXPEDITED,
+                             PriorityEgressScheduler)
+from repro.switchsim.qos import DeficitRoundRobinScheduler
+
+N_PER_CLASS = 200
+FRAME_LEN = 1000
+LINE_RATE = mbps(100)
+#: Arrival at 2x line rate: the queue must build.
+ARRIVAL_GAP = FRAME_LEN * 8 / mbps(200)
+
+
+def _packet(dscp, tag):
+    eth = EthernetHeader("00:00:00:00:00:01", "00:00:00:00:00:02")
+    ip = IPv4Header("10.0.0.1", "10.0.0.2", protocol=PROTO_UDP, dscp=dscp)
+    return Packet(eth=eth, ip=ip,
+                  l4=UDPHeader(1000 + tag % 1000, 2000),
+                  payload_len=FRAME_LEN - 42)
+
+
+def _run(discipline: str):
+    sim = Simulator()
+    link = Link(sim, "egress", LINE_RATE, propagation_delay=0.0)
+    latencies = {CLASS_EXPEDITED: [], CLASS_BEST_EFFORT: []}
+
+    def on_delivery(packet):
+        cls = (CLASS_EXPEDITED if packet.ip.dscp >= 40
+               else CLASS_BEST_EFFORT)
+        latencies[cls].append(sim.now - packet.created_at)
+
+    link.connect(on_delivery)
+    if discipline == "strict":
+        scheduler = PriorityEgressScheduler(sim, link)
+        send = scheduler.enqueue
+    elif discipline == "drr":
+        scheduler = DeficitRoundRobinScheduler(
+            sim, link, weights={CLASS_EXPEDITED: 3.0,
+                                CLASS_BEST_EFFORT: 1.0})
+        send = scheduler.enqueue
+    else:
+        send = lambda packet: link.send(packet, packet.wire_len)  # noqa: E731
+
+    for i in range(N_PER_CLASS):
+        for dscp in (46, 0):
+            packet = _packet(dscp, i)
+            packet.created_at = i * ARRIVAL_GAP
+            sim.schedule_at(i * ARRIVAL_GAP, send, packet)
+    sim.run(until=60.0)
+    mean = {cls: sum(vals) / len(vals) if vals else float("inf")
+            for cls, vals in latencies.items()}
+    return mean, {cls: len(vals) for cls, vals in latencies.items()}
+
+
+def test_qos_discipline_ablation(benchmark, emit):
+    results = {name: _run(name) for name in ("fifo", "strict", "drr")}
+
+    lines = ["ablation: egress discipline under 2x overload "
+             f"({N_PER_CLASS} frames/class)",
+             f"{'discipline':>10} {'expedited(ms)':>13} "
+             f"{'best-effort(ms)':>15}"]
+    for name, (mean, _counts) in results.items():
+        lines.append(f"{name:>10} {mean[CLASS_EXPEDITED] * 1e3:>13.2f} "
+                     f"{mean[CLASS_BEST_EFFORT] * 1e3:>15.2f}")
+    emit("ablation_qos", "\n".join(lines))
+
+    fifo, strict, drr = (results[n][0] for n in ("fifo", "strict", "drr"))
+    # FIFO treats both classes identically.
+    assert fifo[CLASS_EXPEDITED] == pytest.approx(
+        fifo[CLASS_BEST_EFFORT], rel=0.10)
+    # Strict priority: expedited far faster, best-effort pays.
+    assert strict[CLASS_EXPEDITED] < 0.5 * fifo[CLASS_EXPEDITED]
+    assert strict[CLASS_BEST_EFFORT] > fifo[CLASS_BEST_EFFORT]
+    # DRR sits between: expedited better than FIFO, best-effort better
+    # than under strict priority.
+    assert drr[CLASS_EXPEDITED] < fifo[CLASS_EXPEDITED]
+    assert drr[CLASS_BEST_EFFORT] < strict[CLASS_BEST_EFFORT]
+    # Everything is delivered under every discipline (no starvation loss).
+    for _mean, counts in results.values():
+        assert counts[CLASS_EXPEDITED] == N_PER_CLASS
+        assert counts[CLASS_BEST_EFFORT] == N_PER_CLASS
+
+    timing = benchmark.pedantic(_run, args=("drr",), rounds=1,
+                                iterations=1)
+    assert timing is not None

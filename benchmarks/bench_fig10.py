@@ -1,0 +1,34 @@
+"""Fig. 10 — controller usage: packet- vs flow-granularity (workload B).
+
+Paper targets: flow-granularity keeps controller usage bounded (below
+~30 %); packet-granularity needs more CPU, worst past 70 Mbps; 35.7 %
+average reduction.
+"""
+
+from __future__ import annotations
+
+from figutil import at_rate, bench_run_b, plain_run_b, regenerate
+
+from repro.core import buffer_256, flow_buffer_256
+
+
+def test_fig10_controller_usage(benchmark, mechanism_data, emit):
+    series = regenerate("fig10", mechanism_data, emit)
+    pkt = series["buffer-256"]
+    flow = series["flow-buffer-256"]
+
+    # Flow granularity never uses more controller CPU.
+    assert all(f <= p * 1.02 for f, p in zip(flow, pkt))
+    # The gap is largest at the top rates.
+    gap_low = at_rate(mechanism_data, pkt, 20) - at_rate(mechanism_data,
+                                                         flow, 20)
+    gap_high = at_rate(mechanism_data, pkt, 95) - at_rate(mechanism_data,
+                                                          flow, 95)
+    assert gap_high > gap_low
+    # Flow granularity's usage stays nearly flat across the sweep.
+    assert max(flow) - min(flow) < 0.3 * max(pkt)
+
+    pkt_result = plain_run_b(buffer_256(), rate_mbps=95)
+    flow_result = bench_run_b(benchmark, flow_buffer_256(), rate_mbps=95)
+    assert (flow_result.controller_usage_percent
+            < pkt_result.controller_usage_percent)

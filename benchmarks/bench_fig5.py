@@ -1,0 +1,43 @@
+"""Fig. 5 — flow setup delay under different sending rates.
+
+Paper targets: similar at low rates; past ~70 Mbps no-buffer becomes
+large and erratic (max ~30 ms) while buffer-256 stays low and stable
+(78 % average reduction).
+"""
+
+from __future__ import annotations
+
+from figutil import at_rate, bench_run_a, regenerate
+
+from repro.core import buffer_256, no_buffer, percent_reduction
+
+
+def test_fig5_flow_setup_delay(benchmark, benefits_data, emit):
+    series = regenerate("fig5", benefits_data, emit)
+    nb = series["no-buffer"]
+    b256 = series["buffer-256"]
+
+    # Low rates: same ballpark (within 2x).
+    assert at_rate(benefits_data, nb, 20) < 2 * at_rate(benefits_data,
+                                                        b256, 20)
+    # High rate: no-buffer blows up, buffer-256 does not.
+    assert at_rate(benefits_data, nb, 95) > 3 * at_rate(benefits_data,
+                                                        nb, 20)
+    assert at_rate(benefits_data, b256, 95) < 1.5 * at_rate(benefits_data,
+                                                            b256, 20)
+    assert percent_reduction(nb, b256) > 20
+
+    result = bench_run_a(benchmark, no_buffer(), rate_mbps=95)
+    assert result.setup_delay_summary().mean > 0
+
+
+def test_fig5_buffer256_stability(benchmark, benefits_data):
+    """The paper highlights buffer-256's small standard deviation."""
+    b256 = benefits_data.sweeps["buffer-256"]
+    nb = benefits_data.sweeps["no-buffer"]
+    b256_std = max(row.setup_delay.std for row in b256.rows)
+    nb_std = max(row.setup_delay.std for row in nb.rows)
+    assert b256_std < nb_std
+
+    result = bench_run_a(benchmark, buffer_256(), rate_mbps=95)
+    assert result.setup_delay_summary().std < 0.002   # < 2 ms spread

@@ -1,0 +1,33 @@
+"""Fig. 6 — controller delay under different sending rates.
+
+Paper targets: no-buffer > buffer-16 > buffer-256 throughout; no-buffer
+rises visibly from ~60 Mbps; buffer-256 flat (58 % average reduction).
+"""
+
+from __future__ import annotations
+
+from figutil import at_rate, bench_run_a, regenerate
+
+from repro.core import buffer_256, no_buffer, percent_reduction
+
+
+def test_fig6_controller_delay(benchmark, benefits_data, emit):
+    series = regenerate("fig6", benefits_data, emit)
+    nb = series["no-buffer"]
+    b16 = series["buffer-16"]
+    b256 = series["buffer-256"]
+
+    # Ordering holds at every rate.
+    for a, b, c in zip(nb, b16, b256):
+        assert a > c
+        assert b >= c * 0.98
+    # No-buffer rises at the high end; buffer-256 stays flat.
+    assert at_rate(benefits_data, nb, 95) > 1.15 * at_rate(benefits_data,
+                                                           nb, 20)
+    assert at_rate(benefits_data, b256, 95) < 1.1 * at_rate(benefits_data,
+                                                            b256, 20)
+    assert percent_reduction(nb, b256) > 15
+
+    result = bench_run_a(benchmark, no_buffer(), rate_mbps=80)
+    assert (result.controller_delay_summary().mean
+            > at_rate(benefits_data, b256, 80) / 1000.0)

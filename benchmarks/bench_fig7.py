@@ -1,0 +1,36 @@
+"""Fig. 7 — switch delay under different sending rates.
+
+Paper targets: no difference below ~75 Mbps; past that, no-buffer's
+switch delay blows up (ASIC↔CPU bus saturation — it reached 25 ms at
+95 Mbps in the paper); buffer-256 stays low and stable (87 % average
+reduction).
+"""
+
+from __future__ import annotations
+
+from figutil import at_rate, bench_run_a, regenerate
+
+from repro.core import no_buffer, percent_reduction
+
+
+def test_fig7_switch_delay(benchmark, benefits_data, emit):
+    series = regenerate("fig7", benefits_data, emit)
+    nb = series["no-buffer"]
+    b256 = series["buffer-256"]
+
+    # Below the bus knee: same ballpark.
+    assert at_rate(benefits_data, nb, 50) < 3 * at_rate(benefits_data,
+                                                        b256, 50)
+    # Past the knee: multi-x blow-up for no-buffer only.
+    assert at_rate(benefits_data, nb, 80) > 3 * at_rate(benefits_data,
+                                                        nb, 50)
+    assert at_rate(benefits_data, nb, 95) > 6 * at_rate(benefits_data,
+                                                        nb, 50)
+    assert at_rate(benefits_data, b256, 95) < 2 * at_rate(benefits_data,
+                                                          b256, 50)
+    assert percent_reduction(nb, b256) > 20
+
+    result = bench_run_a(benchmark, no_buffer(), rate_mbps=95)
+    # The blow-up is the bus: it must be the dominant delay component.
+    assert (result.switch_delay_summary().mean
+            > result.controller_delay_summary().mean)

@@ -1,0 +1,42 @@
+"""Fig. 8 — buffer utilization under different sending rates.
+
+Paper targets: buffer-16 exhausts (pegs at 16 units) once the sending
+rate passes ~30 Mbps; buffer-256's usage grows with rate but stays far
+below 256 — no more than ~80 units even at the top rate, i.e. an 80 KB
+buffer suffices for a 100 Mbps interface.
+"""
+
+from __future__ import annotations
+
+from figutil import at_rate, bench_run_a, increasing, regenerate
+
+from repro.core import buffer_16, buffer_256
+
+
+def test_fig8_buffer_utilization(benchmark, benefits_data, emit):
+    series = regenerate("fig8", benefits_data, emit)
+    b16 = series["buffer-16"]
+    b256 = series["buffer-256"]
+
+    # buffer-16 pegged at its capacity past the knee.
+    assert at_rate(benefits_data, b16, 50) == 16
+    assert at_rate(benefits_data, b16, 95) == 16
+    # buffer-256 grows with rate but never approaches capacity.
+    assert increasing(b256, tolerance=2.0)
+    assert at_rate(benefits_data, b256, 95) > at_rate(benefits_data,
+                                                      b256, 20)
+    assert max(b256) < 128        # far below 256 (paper saw <= ~80)
+
+    result = bench_run_a(benchmark, buffer_16(), rate_mbps=80)
+    assert result.buffer_peak_units == 16
+
+
+def test_fig8_buffer256_never_exhausts(benchmark, benefits_data):
+    sweep = benefits_data.sweeps["buffer-256"]
+    # Exhaustion would show up as degraded (full-frame) packet_ins;
+    # with 256 units the load matches exactly one small request per flow.
+    for row in sweep.rows:
+        assert row.packet_ins_per_flow == 1.0
+
+    result = bench_run_a(benchmark, buffer_256(), rate_mbps=95)
+    assert result.buffer_peak_units < 256

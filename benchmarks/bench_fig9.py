@@ -1,0 +1,44 @@
+"""Fig. 9 — control path load: packet- vs flow-granularity (workload B).
+
+Paper targets: flow-granularity stays low and flat in both directions
+(one request per flow); packet-granularity grows once the sending rate
+passes ~30 Mbps (redundant requests for in-flight flows).  Average
+further reductions: 64 % (to controller) and 80 % (to switch).
+"""
+
+from __future__ import annotations
+
+from figutil import at_rate, bench_run_b, regenerate
+
+from repro.core import buffer_256, flow_buffer_256, percent_reduction
+
+
+def test_fig9a_load_to_controller(benchmark, mechanism_data, emit):
+    series = regenerate("fig9a", mechanism_data, emit)
+    pkt = series["buffer-256"]
+    flow = series["flow-buffer-256"]
+
+    # Flow granularity is never worse and clearly better past the knee.
+    assert all(f <= p * 1.02 for f, p in zip(flow, pkt))
+    assert at_rate(mechanism_data, pkt, 80) > 2 * at_rate(mechanism_data,
+                                                          flow, 80)
+    # Below the knee (~30 Mbps) the mechanisms coincide.
+    assert at_rate(mechanism_data, pkt, 5) == at_rate(mechanism_data,
+                                                      flow, 5)
+    assert percent_reduction(pkt, flow) > 30
+
+    result = bench_run_b(benchmark, flow_buffer_256(), rate_mbps=80)
+    assert result.packet_in_count == result.total_flows
+
+
+def test_fig9b_load_to_switch(benchmark, mechanism_data, emit):
+    series = regenerate("fig9b", mechanism_data, emit)
+    pkt = series["buffer-256"]
+    flow = series["flow-buffer-256"]
+
+    # Fewer requests -> fewer replies in the reverse direction too.
+    assert percent_reduction(pkt, flow) > 30
+
+    result = bench_run_b(benchmark, buffer_256(), rate_mbps=80)
+    # Packet granularity sends redundant requests at this rate.
+    assert result.packet_in_count > result.total_flows

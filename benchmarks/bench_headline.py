@@ -1,0 +1,28 @@
+"""The abstract's headline percentages, paper vs measured.
+
+Regenerates every §IV and §V claim from the shared sweeps and asserts
+each agrees in *direction* with the paper (the magnitudes depend on the
+testbed; DESIGN.md §5 defines direction as the reproduction target).
+"""
+
+from __future__ import annotations
+
+from figutil import bench_run_a
+
+from repro.core import buffer_256
+from repro.experiments import format_headlines, headline_claims
+
+
+def test_headline_claims(benchmark, benefits_data, mechanism_data, emit):
+    claims = headline_claims(benefits_data, mechanism_data)
+    emit("headline", "Headline claims (paper vs measured)\n"
+         + format_headlines(claims))
+
+    assert len(claims) == 12
+    disagreements = [c.name for c in claims if not c.same_direction]
+    assert disagreements == [], (
+        f"claims disagreeing with the paper's direction: {disagreements}")
+
+    # Benchmark the canonical configuration's end-to-end run.
+    result = bench_run_a(benchmark, buffer_256())
+    assert result.completed_flows == result.total_flows

@@ -1,0 +1,60 @@
+"""Quoted-statistics comparison: every number the paper's text states.
+
+Emits the full quoted-vs-measured table from the shared sweeps, and
+asserts the subset of statistics that should be quantitatively close
+even on the reduced bench sweep (means of the stable buffered curves).
+"""
+
+from __future__ import annotations
+
+from figutil import bench_run_a
+
+from repro.core import buffer_256
+from repro.experiments import compare_quoted, format_quoted
+
+
+def test_quoted_statistics(benchmark, benefits_data, mechanism_data, emit):
+    comparisons = compare_quoted(benefits_data, mechanism_data)
+    emit("quoted", "Every statistic the paper's text quotes, vs measured\n"
+         + format_quoted(comparisons))
+
+    by_key = {(c.quoted.figure_id, c.quoted.label, c.quoted.statistic): c
+              for c in comparisons}
+
+    def ratio(figure_id, label, statistic):
+        comparison = by_key[(figure_id, label, statistic)]
+        assert comparison.measured is not None, (figure_id, statistic)
+        return comparison.ratio
+
+    # The stable buffered curves should land in the paper's ballpark
+    # (within 2x) even at bench scale.
+    for figure_id, label, statistic in [
+            ("fig2a", "buffer-256", "mean"),
+            ("fig3", "buffer-256", "mean"),
+            ("fig4", "no-buffer", "mean"),
+            ("fig4", "buffer-16", "mean"),
+            ("fig4", "buffer-256", "mean"),
+            ("fig5", "buffer-256", "mean"),
+            ("fig6", "buffer-256", "mean"),
+            ("fig6", "buffer-16", "mean"),
+            ("fig7", "buffer-256", "mean"),
+            ("fig12a", "buffer-256", "mean"),
+            ("fig12a", "flow-buffer-256", "mean")]:
+        value = ratio(figure_id, label, statistic)
+        assert 0.5 < value < 2.0, (
+            f"{figure_id}/{label}/{statistic}: ratio {value:.2f} "
+            f"outside [0.5, 2.0]")
+
+    # Orderings the quotes imply must hold regardless of magnitude.
+    measured = {key: c.measured for key, c in by_key.items()
+                if c.measured is not None}
+    assert (measured[("fig5", "no-buffer", "mean")]
+            > measured[("fig5", "buffer-16", "mean")]
+            > measured[("fig5", "buffer-256", "mean")])
+    assert (measured[("fig11", "flow-buffer-256", "mean")]
+            < measured[("fig11", "buffer-256", "mean")])
+    assert (measured[("fig13a", "flow-buffer-256", "max")]
+            <= measured[("fig13a", "buffer-256", "at:95")])
+
+    result = bench_run_a(benchmark, buffer_256())
+    assert result.completed_flows == result.total_flows

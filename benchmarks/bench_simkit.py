@@ -1,0 +1,63 @@
+"""Kernel performance benchmarks: what a testbed-second costs.
+
+Not a paper figure — these keep the simulation kernel honest.  Every
+workload-A repetition executes tens of thousands of events; regressions
+here silently multiply every sweep's wall-clock time.
+"""
+
+from __future__ import annotations
+
+from repro.core import buffer_256
+from repro.experiments import run_once
+from repro.simkit import ServiceStation, Simulator, mbps
+from repro.trafficgen import single_packet_flows
+from repro.simkit import RandomStreams
+
+
+def test_event_loop_throughput(benchmark):
+    """Bare scheduling throughput: chains of self-rescheduling events."""
+    def run_chain():
+        sim = Simulator()
+        counter = {"n": 0}
+
+        def tick():
+            counter["n"] += 1
+            if counter["n"] < 20_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return counter["n"]
+
+    executed = benchmark.pedantic(run_chain, rounds=3, iterations=1)
+    assert executed == 20_000
+
+
+def test_station_throughput(benchmark):
+    """Queueing-station hot path: submit/finish cycles."""
+    def run_station():
+        sim = Simulator()
+        station = ServiceStation(sim, "s", servers=4)
+        done = {"n": 0}
+
+        def on_done(payload):
+            done["n"] += 1
+
+        for i in range(10_000):
+            station.submit(i, 0.0001, on_done)
+        sim.run()
+        return done["n"]
+
+    completed = benchmark.pedantic(run_station, rounds=3, iterations=1)
+    assert completed == 10_000
+
+
+def test_full_testbed_event_cost(benchmark):
+    """Events executed per full 500-flow repetition, and its wall cost."""
+    def run_testbed():
+        workload = single_packet_flows(mbps(60), n_flows=500,
+                                       rng=RandomStreams(0))
+        return run_once(buffer_256(), workload)
+
+    result = benchmark.pedantic(run_testbed, rounds=1, iterations=1)
+    assert result.completed_flows == 500

@@ -1,0 +1,61 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Each ``bench_figN.py`` does three things:
+
+1. **regenerates** its paper figure's series from a shared sweep (run
+   once per session, cached here),
+2. **validates** the figure's shape targets (who wins, where knees fall),
+3. **benchmarks** one representative testbed run for that figure's
+   configuration via pytest-benchmark.
+
+The regenerated tables are printed and also written to
+``benchmarks/_output/<figure>.txt`` so artifacts survive pytest's output
+capture.  Benchmark sweeps use reduced settings (7 rates x 2 repetitions,
+300-flow workload A) for wall-clock sanity; the paper-fidelity sweep is
+``repro-sdn-buffer all --full``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import (run_benefits_experiment,
+                               run_mechanism_experiment)
+
+#: Reduced sweep shared by every figure bench.
+BENCH_RATES = (5, 20, 35, 50, 65, 80, 95)
+BENCH_REPETITIONS = 2
+BENCH_WORKLOAD_A_FLOWS = 300
+
+_OUTPUT_DIR = pathlib.Path(__file__).parent / "_output"
+
+
+@pytest.fixture(scope="session")
+def benefits_data():
+    """The §IV sweep (workload A, three buffer settings), run once."""
+    return run_benefits_experiment(rates_mbps=BENCH_RATES,
+                                   repetitions=BENCH_REPETITIONS,
+                                   n_flows=BENCH_WORKLOAD_A_FLOWS,
+                                   base_seed=0)
+
+
+@pytest.fixture(scope="session")
+def mechanism_data():
+    """The §V sweep (workload B, both mechanisms), run once."""
+    return run_mechanism_experiment(rates_mbps=BENCH_RATES,
+                                    repetitions=BENCH_REPETITIONS,
+                                    base_seed=0)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Writer: persist a regenerated table and echo it to stdout."""
+    _OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        (_OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+
+    return _emit

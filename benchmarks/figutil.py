@@ -1,0 +1,72 @@
+"""Shared helpers for the figure benchmarks."""
+
+from __future__ import annotations
+
+from repro.core import BufferConfig
+from repro.experiments import (FIGURES, ExperimentData, figure_series,
+                               format_figure, run_once)
+from repro.experiments.calibration import prototype_calibration
+from repro.metrics import RunMetrics
+from repro.simkit import RandomStreams, mbps
+from repro.trafficgen import (batched_multi_packet_flows,
+                              single_packet_flows)
+
+#: Representative sending rate for single-run benchmarks.
+REPRESENTATIVE_RATE = 50
+
+
+def regenerate(figure_id: str, data: ExperimentData, emit) -> dict:
+    """Emit the figure's table and return its per-label series."""
+    spec = FIGURES[figure_id]
+    emit(figure_id, format_figure(spec, data))
+    return figure_series(spec, data)
+
+
+def bench_run_a(benchmark, config: BufferConfig,
+                rate_mbps: float = REPRESENTATIVE_RATE,
+                n_flows: int = 300) -> RunMetrics:
+    """Benchmark one workload-A testbed run for ``config``."""
+    def run() -> RunMetrics:
+        workload = single_packet_flows(mbps(rate_mbps), n_flows=n_flows,
+                                       rng=RandomStreams(0))
+        return run_once(config, workload)
+    return benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def bench_run_b(benchmark, config: BufferConfig,
+                rate_mbps: float = REPRESENTATIVE_RATE) -> RunMetrics:
+    """Benchmark one workload-B testbed run for ``config``."""
+    def run() -> RunMetrics:
+        workload = batched_multi_packet_flows(mbps(rate_mbps),
+                                              rng=RandomStreams(0))
+        return run_once(config, workload,
+                        calibration=prototype_calibration())
+    return benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def plain_run_a(config: BufferConfig,
+                rate_mbps: float = REPRESENTATIVE_RATE,
+                n_flows: int = 300) -> RunMetrics:
+    """One workload-A run without timing (for comparisons in benches)."""
+    workload = single_packet_flows(mbps(rate_mbps), n_flows=n_flows,
+                                   rng=RandomStreams(0))
+    return run_once(config, workload)
+
+
+def plain_run_b(config: BufferConfig,
+                rate_mbps: float = REPRESENTATIVE_RATE) -> RunMetrics:
+    """One workload-B run without timing (for comparisons in benches)."""
+    workload = batched_multi_packet_flows(mbps(rate_mbps),
+                                          rng=RandomStreams(0))
+    return run_once(config, workload, calibration=prototype_calibration())
+
+
+def increasing(series, tolerance: float = 0.0) -> bool:
+    """Is the series (weakly) increasing, allowing ``tolerance`` slack?"""
+    return all(b >= a - tolerance for a, b in zip(series, series[1:]))
+
+
+def at_rate(data: ExperimentData, series: list, rate: float) -> float:
+    """Series value at an exact sweep rate."""
+    rates = list(data.rates)
+    return series[rates.index(rate)]

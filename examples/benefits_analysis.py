@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's §IV benefits analysis (Figs. 2-8) in miniature.
+
+Runs the workload-A sweep (single-packet flows, forged sources) for
+no-buffer / buffer-16 / buffer-256 at a handful of sending rates and
+prints every figure's series, plus the §IV headline percentages.
+
+Full-fidelity reproduction (the paper's 5-100 Mbps x 20 repetitions):
+    repro-sdn-buffer all --full
+
+Run:  python examples/benefits_analysis.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import (FIGURES, format_figure, format_headlines,
+                               headline_claims, run_benefits_experiment)
+
+RATES = (5, 20, 35, 50, 65, 80, 95)
+REPETITIONS = 2
+N_FLOWS = 400      # paper: 1000; reduced for a faster demo
+
+
+def main() -> None:
+    print(f"Running workload A: {N_FLOWS} single-packet flows per run, "
+          f"rates {RATES} Mbps, {REPETITIONS} repetitions each, for "
+          f"3 buffer settings...")
+    start = time.time()
+    data = run_benefits_experiment(rates_mbps=RATES,
+                                   repetitions=REPETITIONS,
+                                   n_flows=N_FLOWS)
+    print(f"done in {time.time() - start:.1f}s\n")
+
+    for figure_id in ("fig2a", "fig2b", "fig3", "fig4", "fig5", "fig6",
+                      "fig7", "fig8"):
+        print(format_figure(FIGURES[figure_id], data))
+        print()
+
+    print("Headline claims (§IV portion):")
+    print(format_headlines(headline_claims(benefits=data)))
+
+    print("\nWhat to look for:")
+    print(" * fig2a/b: no-buffer ~linear in rate; buffer-16 bends up after")
+    print("   its exhaustion knee (~30-40 Mbps); buffer-256 stays low.")
+    print(" * fig5/fig7: the no-buffer column blows up past ~75 Mbps as")
+    print("   full frames saturate the ASIC<->CPU bus.")
+    print(" * fig8: buffer-16 pegs at 16 units; buffer-256 grows with rate")
+    print("   but stays far below 256 - the paper's '80 KB is enough'.")
+
+
+if __name__ == "__main__":
+    main()

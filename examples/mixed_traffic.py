@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The paper's §VI.A argument: UDP dominates flow counts, so buffering pays.
+
+Real links carry a few long TCP connections (most of the bytes) among a
+crowd of small UDP flows (most of the *flows* — the paper cites CAIDA's
+TCP/UDP ratio study).  TCP flows miss once at connection setup and then
+hit their installed rule; every UDP flow is a fresh miss.  This example
+pushes that mix through the testbed and shows where the requests come
+from and what the buffer saves.
+
+Run:  python examples/mixed_traffic.py
+"""
+
+from __future__ import annotations
+
+from repro import buffer_256, flow_buffer_256, no_buffer, run_once
+from repro.simkit import RandomStreams, mbps
+from repro.trafficgen import mixed_tcp_udp
+
+RATE_MBPS = 60
+N_TCP = 10
+PACKETS_PER_TCP = 20
+N_UDP = 100
+
+
+def main() -> None:
+    total_packets = N_TCP * PACKETS_PER_TCP + N_UDP
+    print(f"Mix at {RATE_MBPS} Mbps: {N_TCP} TCP connections x "
+          f"{PACKETS_PER_TCP} segments (bytes-heavy) + {N_UDP} "
+          f"single-packet UDP flows (flow-count-heavy) = "
+          f"{total_packets} packets, {N_TCP + N_UDP} flows.\n")
+
+    header = (f"{'mechanism':<16} {'packet_ins':>10} {'ctrl up':>9} "
+              f"{'ctrl down':>9} {'controller%':>11}")
+    print(header)
+    print("-" * len(header))
+    for config in (no_buffer(), buffer_256(), flow_buffer_256()):
+        workload = mixed_tcp_udp(mbps(RATE_MBPS), n_tcp_flows=N_TCP,
+                                 packets_per_tcp=PACKETS_PER_TCP,
+                                 n_udp_flows=N_UDP,
+                                 rng=RandomStreams(1))
+        result = run_once(config, workload)
+        print(f"{config.label:<16} {result.packet_in_count:>10d} "
+              f"{result.control_load_up_mbps:>5.2f}Mbps "
+              f"{result.control_load_down_mbps:>5.2f}Mbps "
+              f"{result.controller_usage_percent:>10.1f}%")
+
+    print(f"\nReading the table:")
+    print(f" * {N_UDP} of the ~{N_TCP + N_UDP} requests come from UDP")
+    print(f"   flows even though they carry a tiny share of the bytes -")
+    print(f"   flow COUNT, not byte volume, drives controller load.")
+    print(f" * The buffer turns each of those requests from a full frame")
+    print(f"   into a header fragment; flow granularity also absorbs the")
+    print(f"   TCP connections' pre-rule-install segments.")
+    print(f" * This is §VI.A's point: a mechanism that helps UDP flows")
+    print(f"   helps the realistic mix.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: measure what the SDN switch buffer buys you.
+
+Builds the paper's Fig. 1 testbed (two hosts, an OVS-like switch, a
+Floodlight-like controller), sends 200 brand-new UDP flows at 50 Mbps,
+and compares the three buffer mechanisms on the metrics the paper
+reports.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (buffer_16, buffer_256, flow_buffer_256, no_buffer,
+                   run_once, single_packet_flows)
+from repro.simkit import RandomStreams, mbps, to_msec
+
+SENDING_RATE_MBPS = 50
+N_FLOWS = 200
+
+
+def main() -> None:
+    print(f"Sending {N_FLOWS} single-packet UDP flows at "
+          f"{SENDING_RATE_MBPS} Mbps through the simulated testbed...\n")
+
+    header = (f"{'mechanism':<16} {'ctrl load up':>12} {'ctrl load dn':>12} "
+              f"{'controller%':>11} {'switch%':>8} {'setup delay':>11} "
+              f"{'buffer peak':>11}")
+    print(header)
+    print("-" * len(header))
+
+    for config in (no_buffer(), buffer_16(), buffer_256(),
+                   flow_buffer_256()):
+        workload = single_packet_flows(mbps(SENDING_RATE_MBPS),
+                                       n_flows=N_FLOWS,
+                                       rng=RandomStreams(1))
+        result = run_once(config, workload)
+        setup = result.setup_delay_summary()
+        print(f"{config.label:<16} "
+              f"{result.control_load_up_mbps:>8.2f}Mbps "
+              f"{result.control_load_down_mbps:>8.2f}Mbps "
+              f"{result.controller_usage_percent:>10.1f}% "
+              f"{result.switch_usage_percent:>7.1f}% "
+              f"{to_msec(setup.mean):>9.2f}ms "
+              f"{result.buffer_peak_units:>11d}")
+
+    print("\nReading the table:")
+    print(" * no-buffer sends whole frames to the controller -> the control")
+    print("   path carries roughly the sending rate.")
+    print(" * the buffered mechanisms send ~128-byte header fragments")
+    print("   instead -> control load collapses (the paper's 78.7%).")
+    print(" * flow-granularity additionally sends ONE request per flow;")
+    print("   with single-packet flows it matches packet granularity, but")
+    print("   see flow_granularity_comparison.py for multi-packet flows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""The paper's §VI.B argument: the buffer helps TCP flows too.
+
+A TCP connection opens, transfers some data, goes idle long enough for
+the switch to idle-evict its rule, then resumes with a 50-packet burst.
+The connection is still open, so the burst arrives with NO matching rule
+— the same situation as a brand-new UDP flow.  This script compares how
+the three mechanisms handle the resume burst.
+
+Run:  python examples/tcp_rule_eviction.py
+"""
+
+from __future__ import annotations
+
+from repro import buffer_256, flow_buffer_256, no_buffer
+from repro.controllersim import ControllerConfig
+from repro.experiments import TestbedCalibration, build_testbed
+from repro.simkit import mbps, to_msec
+from repro.switchsim import SwitchConfig
+from repro.trafficgen import tcp_eviction_scenario
+
+#: Rule idle timeout shorter than the connection's idle gap, so the rule
+#: is evicted mid-connection (the §VI.B premise).
+IDLE_TIMEOUT = 0.5
+IDLE_GAP = 1.5
+RATE_MBPS = 80
+
+
+def main() -> None:
+    calibration = TestbedCalibration(
+        switch=SwitchConfig(),
+        controller=ControllerConfig(flow_idle_timeout=IDLE_TIMEOUT))
+
+    print(f"TCP connection at {RATE_MBPS} Mbps: handshake + 10 data "
+          f"segments, {IDLE_GAP}s idle (rule idle-timeout "
+          f"{IDLE_TIMEOUT}s -> evicted), then a 50-segment burst.\n")
+
+    header = (f"{'mechanism':<16} {'packet_ins':>10} {'ctrl KB':>8} "
+              f"{'burst fwd delay':>15} {'delivered':>9}")
+    print(header)
+    print("-" * len(header))
+
+    for config in (no_buffer(), buffer_256(), flow_buffer_256()):
+        workload = tcp_eviction_scenario(mbps(RATE_MBPS),
+                                         idle_gap=IDLE_GAP)
+        testbed = build_testbed(config, workload, calibration=calibration)
+        testbed.controller.start_handshake()
+        settle = 0.02
+        testbed.pktgen.start(at=settle)
+        testbed.sim.run(until=settle + workload.duration + 0.5)
+        ctrl_bytes = testbed.metrics.capture_up.bytes_total
+        packet_ins = testbed.metrics.capture_up.count("packetin")
+        # Burst forwarding delay: first burst segment sent -> last burst
+        # segment delivered to host2.
+        burst_start = settle + workload.burst_start
+        deliveries = [t for t, p in
+                      ((pkt.switch_out_at, pkt)
+                       for pkt in testbed.host2.received)
+                      if t is not None and t >= burst_start]
+        burst_delay = max(deliveries) - burst_start if deliveries else 0.0
+        delivered = len(testbed.host2.received)
+        print(f"{config.label:<16} {packet_ins:>10d} "
+              f"{ctrl_bytes / 1000:>7.1f}K {to_msec(burst_delay):>13.2f}ms "
+              f"{delivered:>4d}/{workload.n_packets}")
+        testbed.shutdown()
+
+    print("\nReading the table:")
+    print(" * Two misses are unavoidable: the SYN (connection open) and")
+    print("   the first burst segment (rule was evicted while idle).")
+    print(" * no-buffer ships every burst miss as a full 1000-byte frame;")
+    print("   flow-granularity buffers the burst and sends ONE request -")
+    print("   2 packet_ins total for the whole connection lifetime.")
+    print(" * This is the paper's §VI.B: buffering benefits TCP whenever")
+    print("   a live connection's rule is evicted from a full table.")
+
+
+if __name__ == "__main__":
+    main()

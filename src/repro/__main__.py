@@ -1,0 +1,6 @@
+"""``python -m repro`` — alias for the ``repro-sdn-buffer`` CLI."""
+
+from .experiments.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,12 @@
+"""Floodlight-like SDN controller model."""
+
+from .apps import Decision, HostLocator, ReactiveForwardingApp
+from .config import ControllerConfig
+from .controller import Controller
+from .proactive import (ProactiveProvisioner, ProactiveRoute,
+                        destination_routes)
+from .stats import StatsPoller
+
+__all__ = ["Controller", "ControllerConfig", "ReactiveForwardingApp",
+           "HostLocator", "Decision", "StatsPoller",
+           "ProactiveProvisioner", "ProactiveRoute", "destination_routes"]

@@ -1,0 +1,136 @@
+"""Controller applications: reactive forwarding (Floodlight's Forwarding).
+
+The app receives each ``packet_in``, decides an output port from its view
+of host locations, and produces the ``flow_mod`` + ``packet_out`` pair the
+paper describes (§III.A).  Host locations can be pre-provisioned by the
+testbed (the usual mode here) and are additionally learned from packet_in
+source addresses, like Floodlight's device manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..openflow import (FlowMod, FlowModCommand, Match, OutputAction,
+                        PacketIn, PacketOut, PortNo, OFP_DEFAULT_PRIORITY,
+                        OFP_NO_BUFFER)
+
+
+class HostLocator:
+    """Maps host addresses to switch ports (device-manager analogue).
+
+    Entries are scoped by datapath id so one locator can serve a
+    multi-switch deployment: the same destination is reached through a
+    different port on every switch along a path.  ``datapath_id=None``
+    entries are global fallbacks (sufficient for single-switch testbeds).
+    """
+
+    def __init__(self) -> None:
+        self._by_ip: Dict[tuple, int] = {}
+        self._by_mac: Dict[tuple, int] = {}
+
+    def provision(self, port: int, mac: Optional[str] = None,
+                  ip: Optional[str] = None,
+                  datapath_id: Optional[int] = None) -> None:
+        """Statically register a host attachment point."""
+        if mac is None and ip is None:
+            raise ValueError("provision needs a MAC or an IP")
+        if mac is not None:
+            self._by_mac[(datapath_id, mac)] = port
+        if ip is not None:
+            self._by_ip[(datapath_id, ip)] = port
+
+    def learn_from(self, message: PacketIn,
+                   datapath_id: Optional[int] = None) -> None:
+        """Record the packet_in's source as living on its in_port."""
+        packet = message.packet
+        self._by_mac[(datapath_id, packet.eth.src_mac)] = message.in_port
+        if packet.ip is not None:
+            self._by_ip[(datapath_id, packet.ip.src_ip)] = message.in_port
+
+    def locate(self, mac: Optional[str] = None,
+               ip: Optional[str] = None,
+               datapath_id: Optional[int] = None) -> Optional[int]:
+        """Port a destination lives on, preferring the IP mapping.
+
+        Looks up the datapath-scoped entry first, then the global one.
+        """
+        for scope in ((datapath_id,) if datapath_id is None
+                      else (datapath_id, None)):
+            if ip is not None and (scope, ip) in self._by_ip:
+                return self._by_ip[(scope, ip)]
+            if mac is not None and (scope, mac) in self._by_mac:
+                return self._by_mac[(scope, mac)]
+        return None
+
+    def __len__(self) -> int:
+        return len(self._by_mac) + len(self._by_ip)
+
+
+@dataclass
+class Decision:
+    """The app's verdict for one packet_in."""
+
+    flow_mod: Optional[FlowMod]
+    packet_out: PacketOut
+
+
+class ReactiveForwardingApp:
+    """Install an exact-match rule and release the packet, per packet_in."""
+
+    def __init__(self, locator: Optional[HostLocator] = None,
+                 idle_timeout: float = 5.0, hard_timeout: float = 0.0,
+                 priority: int = OFP_DEFAULT_PRIORITY):
+        self.locator = locator if locator is not None else HostLocator()
+        self.idle_timeout = idle_timeout
+        self.hard_timeout = hard_timeout
+        self.priority = priority
+        #: Counters.
+        self.decisions_made = 0
+        self.floods = 0
+
+    def decide(self, message: PacketIn,
+               datapath_id: Optional[int] = None) -> Decision:
+        """Produce the flow_mod + packet_out pair for one request.
+
+        Unknown destinations are flooded via packet_out only (no rule is
+        installed for a flood, mirroring Floodlight's Forwarding module).
+        ``datapath_id`` scopes the location lookup in multi-switch
+        deployments.
+        """
+        self.locator.learn_from(message, datapath_id=datapath_id)
+        packet = message.packet
+        dst_ip = packet.ip.dst_ip if packet.ip is not None else None
+        out_port = self.locator.locate(mac=packet.eth.dst_mac, ip=dst_ip,
+                                       datapath_id=datapath_id)
+        self.decisions_made += 1
+
+        if out_port is None:
+            self.floods += 1
+            return Decision(flow_mod=None,
+                            packet_out=self._packet_out(message,
+                                                        int(PortNo.FLOOD)))
+
+        match = Match.exact_from_packet(packet, in_port=message.in_port)
+        flow_mod = FlowMod(match=match,
+                           actions=(OutputAction(out_port),),
+                           command=FlowModCommand.ADD,
+                           priority=self.priority,
+                           idle_timeout=self.idle_timeout,
+                           hard_timeout=self.hard_timeout,
+                           in_reply_to=message.xid)
+        return Decision(flow_mod=flow_mod,
+                        packet_out=self._packet_out(message, out_port))
+
+    def _packet_out(self, message: PacketIn, out_port: int) -> PacketOut:
+        actions = (OutputAction(out_port),)
+        if message.is_buffered:
+            return PacketOut(actions=actions, buffer_id=message.buffer_id,
+                             in_port=message.in_port, data_len=0,
+                             in_reply_to=message.xid)
+        # Not buffered: the controller must push the whole frame back.
+        return PacketOut(actions=actions, buffer_id=OFP_NO_BUFFER,
+                         in_port=message.in_port,
+                         data_len=message.packet.wire_len,
+                         packet=message.packet, in_reply_to=message.xid)

@@ -1,0 +1,71 @@
+"""Proactive rule provisioning — the classic alternative to reactivity.
+
+The paper's related work (DevoFlow, DIFANE) reduces controller
+invocations by keeping rules out of the reactive path.  The simplest
+point in that design space is full proactivity: push coarse wildcard
+routes once, up front, and never see a ``packet_in`` again.  This module
+implements that baseline so experiments can quantify the trade the paper
+implies: proactive routing eliminates the control traffic entirely but
+gives up per-flow visibility and fine-grained control (no per-flow rules,
+no per-flow counters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..openflow import FlowMod, FlowModCommand, Match, OutputAction
+from .controller import Controller
+
+
+@dataclass(frozen=True)
+class ProactiveRoute:
+    """One wildcard route to pre-install."""
+
+    datapath_id: int
+    match: Match
+    out_port: int
+    priority: int = 100
+
+    def to_flow_mod(self) -> FlowMod:
+        """The permanent flow_mod installing this route."""
+        return FlowMod(match=self.match,
+                       actions=(OutputAction(self.out_port),),
+                       command=FlowModCommand.ADD,
+                       priority=self.priority,
+                       idle_timeout=0.0, hard_timeout=0.0)
+
+
+class ProactiveProvisioner:
+    """Pushes a static route set to every switch once."""
+
+    def __init__(self, controller: Controller,
+                 routes: Sequence[ProactiveRoute]):
+        self.controller = controller
+        self.routes = list(routes)
+        self.rules_pushed = 0
+
+    def provision(self) -> int:
+        """Send every route's flow_mod; returns how many were pushed."""
+        by_dpid = {dpid: channel
+                   for channel, dpid in self.controller._channels}
+        for route in self.routes:
+            channel = by_dpid.get(route.datapath_id)
+            if channel is None:
+                raise KeyError(
+                    f"no channel for datapath {route.datapath_id}")
+            channel.send_to_switch(route.to_flow_mod())
+            self.rules_pushed += 1
+        return self.rules_pushed
+
+
+def destination_routes(datapath_id: int,
+                       host_ports: dict) -> list[ProactiveRoute]:
+    """Routes matching only on destination IP (one per known host).
+
+    ``host_ports`` maps destination IP → output port on this switch.
+    """
+    return [ProactiveRoute(datapath_id=datapath_id,
+                           match=Match(ip_dst=ip), out_port=port)
+            for ip, port in sorted(host_ports.items())]

@@ -1,0 +1,117 @@
+"""Periodic flow-statistics collection (a controller-side service).
+
+The paper's related work ([31] Xu et al.) studies minimizing the cost of
+flow-statistics collection; this module provides the collection substrate:
+a poller that periodically sends :class:`FlowStatsRequest` to every
+attached switch and keeps per-datapath time series of rule/packet/byte
+counts.  Written process-style on the simulation kernel — the poller is a
+generator that sleeps, polls, and waits for replies with a timeout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..metrics.series import TimeSeries
+from ..openflow import FlowStatsReply, Match
+from ..simkit import AnyOf, Event, Simulator
+from .controller import Controller
+
+
+class StatsPoller:
+    """Polls every switch for flow stats on a fixed period."""
+
+    def __init__(self, sim: Simulator, controller: Controller,
+                 period: float = 1.0, reply_timeout: float = 0.5,
+                 match: Optional[Match] = None,
+                 poll_ports: bool = False):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if reply_timeout <= 0:
+            raise ValueError(
+                f"reply_timeout must be positive, got {reply_timeout}")
+        self.sim = sim
+        self.controller = controller
+        self.period = period
+        self.reply_timeout = reply_timeout
+        self.match = match if match is not None else Match()
+        self.poll_ports = poll_ports
+        #: Per-datapath series of (time, value) samples.
+        self.rule_counts: Dict[int, TimeSeries] = {}
+        self.packet_counts: Dict[int, TimeSeries] = {}
+        self.byte_counts: Dict[int, TimeSeries] = {}
+        #: Per-datapath series of total port tx bytes (if poll_ports).
+        self.port_tx_bytes: Dict[int, TimeSeries] = {}
+        #: Polls that got no reply within the timeout.
+        self.timeouts = 0
+        self.polls = 0
+        self._pending: Dict[int, Event] = {}
+        self._process = None
+        self._stopped = False
+        controller.events.on("flow_stats", self._on_reply)
+        controller.events.on("port_stats", self._on_port_reply)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin polling (process-style loop on the simulator)."""
+        if self._process is not None:
+            raise RuntimeError("poller already started")
+        self._process = self.sim.process(self._run())
+
+    def stop(self) -> None:
+        """Stop after the current cycle."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # The polling process
+    # ------------------------------------------------------------------
+    def _run(self):
+        while not self._stopped:
+            yield self.sim.timeout(self.period)
+            if self._stopped:
+                return
+            datapath_ids = [dpid for _chan, dpid
+                            in self.controller._channels]
+            for dpid in datapath_ids:
+                self.polls += 1
+                reply_event = self.sim.event()
+                self._pending[dpid] = reply_event
+                self.controller.request_flow_stats(datapath_id=dpid,
+                                                   match=self.match)
+                if self.poll_ports:
+                    self.controller.request_port_stats(datapath_id=dpid)
+                timeout = self.sim.timeout(self.reply_timeout)
+                outcome = yield AnyOf(self.sim, [reply_event, timeout])
+                if reply_event not in outcome:
+                    self.timeouts += 1
+                self._pending.pop(dpid, None)
+
+    def _on_reply(self, time: float, reply: FlowStatsReply,
+                  datapath_id: int) -> None:
+        self.rule_counts.setdefault(
+            datapath_id, TimeSeries(f"rules@{datapath_id}")).add(
+            time, float(len(reply.entries)))
+        self.packet_counts.setdefault(
+            datapath_id, TimeSeries(f"packets@{datapath_id}")).add(
+            time, float(sum(e.packet_count for e in reply.entries)))
+        self.byte_counts.setdefault(
+            datapath_id, TimeSeries(f"bytes@{datapath_id}")).add(
+            time, float(sum(e.byte_count for e in reply.entries)))
+        pending = self._pending.get(datapath_id)
+        if pending is not None and not pending.triggered:
+            pending.succeed(reply)
+
+    def _on_port_reply(self, time: float, reply, datapath_id: int) -> None:
+        self.port_tx_bytes.setdefault(
+            datapath_id, TimeSeries(f"port-tx@{datapath_id}")).add(
+            time, float(sum(e.tx_bytes for e in reply.entries)))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def latest_rule_count(self, datapath_id: int) -> Optional[float]:
+        """Most recent rule count for one switch, if any."""
+        series = self.rule_counts.get(datapath_id)
+        return series.last() if series is not None else None

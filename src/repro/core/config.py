@@ -1,0 +1,105 @@
+"""Buffer-mechanism configuration and factory.
+
+Experiments describe a mechanism declaratively (``BufferConfig``) so runs
+are serializable and sweeps are data, not code.  ``create_mechanism``
+instantiates the policy object for a concrete simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..openflow import OFP_DEFAULT_MISS_SEND_LEN
+from ..simkit import Simulator
+from .mechanisms import (BufferMechanism, FlowGranularityBuffer, NoBuffer,
+                         PacketGranularityBuffer)
+
+#: Mechanism names accepted in configs.
+MECHANISM_NO_BUFFER = "no-buffer"
+MECHANISM_PACKET = "packet-granularity"
+MECHANISM_FLOW = "flow-granularity"
+
+_VALID = (MECHANISM_NO_BUFFER, MECHANISM_PACKET, MECHANISM_FLOW)
+
+
+@dataclass(frozen=True)
+class BufferConfig:
+    """Declarative description of a buffer mechanism."""
+
+    mechanism: str = MECHANISM_NO_BUFFER
+    #: Buffer units (packets for packet granularity, flows for flow
+    #: granularity).  Ignored by no-buffer.
+    capacity: int = 256
+    #: Bytes of a buffered packet copied into its packet_in.
+    miss_send_len: int = OFP_DEFAULT_MISS_SEND_LEN
+    #: Algorithm-1 line-12 re-request timeout (flow granularity only).
+    retry_timeout: float = 0.050
+    #: Re-requests before the flow's buffered packets are dropped.
+    max_retries: int = 8
+    #: Optional per-flow packet cap (flow granularity only).
+    max_packets_per_flow: Optional[int] = None
+    #: Released-unit recycling delay (packet granularity only; models the
+    #: OVS pktbuf ring — see DESIGN.md).  The flow-granularity buffer is
+    #: map-based and frees units immediately, which is precisely the
+    #: paper's "buffer units can be quickly released" advantage (§V.B.5).
+    reclaim_delay: float = 0.0035
+
+    def __post_init__(self) -> None:
+        if self.mechanism not in _VALID:
+            raise ValueError(
+                f"unknown mechanism {self.mechanism!r}; expected one of "
+                f"{_VALID}")
+        if self.capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {self.capacity}")
+
+    @property
+    def label(self) -> str:
+        """Human label used in figures, e.g. ``buffer-256`` / ``no-buffer``."""
+        if self.mechanism == MECHANISM_NO_BUFFER:
+            return "no-buffer"
+        if self.mechanism == MECHANISM_PACKET:
+            return f"buffer-{self.capacity}"
+        return f"flow-buffer-{self.capacity}"
+
+    @property
+    def uses_buffer(self) -> bool:
+        """True for the two buffered mechanisms."""
+        return self.mechanism != MECHANISM_NO_BUFFER
+
+
+def create_mechanism(config: BufferConfig,
+                     sim: Simulator) -> BufferMechanism:
+    """Instantiate the policy object described by ``config``."""
+    if config.mechanism == MECHANISM_NO_BUFFER:
+        return NoBuffer()
+    if config.mechanism == MECHANISM_PACKET:
+        return PacketGranularityBuffer(capacity=config.capacity,
+                                       miss_send_len=config.miss_send_len,
+                                       reclaim_delay=config.reclaim_delay)
+    return FlowGranularityBuffer(
+        sim, capacity=config.capacity, miss_send_len=config.miss_send_len,
+        retry_timeout=config.retry_timeout, max_retries=config.max_retries,
+        max_packets_per_flow=config.max_packets_per_flow)
+
+
+# Canonical configurations the paper evaluates -------------------------------
+
+def no_buffer() -> BufferConfig:
+    """The paper's "no-buffer" setting."""
+    return BufferConfig(mechanism=MECHANISM_NO_BUFFER)
+
+
+def buffer_16() -> BufferConfig:
+    """The paper's "buffer-16" setting (§IV)."""
+    return BufferConfig(mechanism=MECHANISM_PACKET, capacity=16)
+
+
+def buffer_256() -> BufferConfig:
+    """The paper's "buffer-256" setting (§IV)."""
+    return BufferConfig(mechanism=MECHANISM_PACKET, capacity=256)
+
+
+def flow_buffer_256() -> BufferConfig:
+    """The proposed mechanism at the §V evaluation's buffer size."""
+    return BufferConfig(mechanism=MECHANISM_FLOW, capacity=256)

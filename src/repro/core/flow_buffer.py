@@ -1,0 +1,196 @@
+"""Flow-granularity packet buffer (the data structure behind Algorithm 1/2).
+
+Differences from the spec's packet-granularity buffer
+(:class:`repro.openflow.pktbuffer.PacketBuffer`):
+
+* One **buffer unit** holds *all* miss-match packets of one flow, as a FIFO
+  queue.  The unit is addressed by a single ``buffer_id`` shared by every
+  packet of the flow (paper §V.A: the id "is calculated based on the tuple
+  of (src_ip, src_port, dst_ip, dst_port, protocol)").
+* A ``buffer_id ↔ flow`` map answers Algorithm 1's
+  ``getBufferIdFromMap``/``storeBufferIdIntoMap`` in O(1).
+* Releasing a unit drains the whole queue at once — Algorithm 2's loop —
+  which is why the mechanism "improves the buffer utilization by 71.6 %":
+  units turn over per-flow, not per-packet.
+
+Unit accounting counts *units* (flows), matching the paper's Fig. 13
+definition; ``packets_stored`` exposes the per-packet view as well.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..packets import FiveTuple, Packet
+
+#: Shares the process-wide id space with the packet-granularity buffer so
+#: controller-side code can never confuse ids across mechanisms.
+from ..openflow.pktbuffer import _buffer_ids  # noqa: F401  (intentional reuse)
+
+
+class FlowBufferFullError(Exception):
+    """No free buffer unit (flow slot) is available."""
+
+
+class FlowPacketBuffer:
+    """Buffer units keyed by flow; each unit queues that flow's packets."""
+
+    def __init__(self, capacity: int,
+                 max_packets_per_flow: Optional[int] = None):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        if max_packets_per_flow is not None and max_packets_per_flow < 1:
+            raise ValueError("max_packets_per_flow must be >= 1")
+        self.capacity = capacity
+        self.max_packets_per_flow = max_packets_per_flow
+        self._id_by_flow: dict[FiveTuple, int] = {}
+        self._flow_by_id: dict[int, FiveTuple] = {}
+        self._queues: dict[int, Deque[Packet]] = {}
+        self._stored_at: dict[int, float] = {}
+        #: Counters.
+        self.total_buffered = 0
+        self.total_released = 0
+        self.full_rejections = 0
+        self.overflow_drops = 0
+        self.unknown_releases = 0
+        self.peak_units = 0
+        self.peak_packets = 0
+        self._packets_stored = 0
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    @property
+    def units_in_use(self) -> int:
+        """Buffer units (flows) currently occupied."""
+        return len(self._queues)
+
+    @property
+    def packets_stored(self) -> int:
+        """Total packets held across all units."""
+        return self._packets_stored
+
+    @property
+    def is_full(self) -> bool:
+        """True when no unit is free for a *new* flow."""
+        return len(self._queues) >= self.capacity
+
+    @property
+    def free_units(self) -> int:
+        """Units still available for new flows."""
+        return self.capacity - len(self._queues)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 primitives
+    # ------------------------------------------------------------------
+    def get_buffer_id(self, flow: FiveTuple) -> int:
+        """``getBufferIdFromMap``: the flow's id, or ``-1`` if absent."""
+        return self._id_by_flow.get(flow, -1)
+
+    def buffer_first_packet(self, flow: FiveTuple, packet: Packet,
+                            now: float) -> int:
+        """``bufferFirstPacket`` + ``storeBufferIdIntoMap``.
+
+        Allocates a unit, creates the shared ``buffer_id`` and queues the
+        flow's first miss-match packet.  Raises
+        :class:`FlowBufferFullError` when no unit is free.
+        """
+        if flow in self._id_by_flow:
+            raise ValueError(f"flow {flow} already has a buffer unit")
+        if self.is_full:
+            self.full_rejections += 1
+            raise FlowBufferFullError(
+                f"all {self.capacity} buffer units in use")
+        buffer_id = next(_buffer_ids)
+        self._id_by_flow[flow] = buffer_id
+        self._flow_by_id[buffer_id] = flow
+        self._queues[buffer_id] = deque([packet])
+        self._stored_at[buffer_id] = now
+        self.total_buffered += 1
+        self._packets_stored += 1
+        self._update_peaks()
+        return buffer_id
+
+    def buffer_subsequent_packet(self, buffer_id: int,
+                                 packet: Packet) -> bool:
+        """``bufferSubsequentPacket``: append to the flow's queue.
+
+        Returns ``False`` (packet dropped) if the unit is unknown or the
+        per-flow packet cap is hit; the caller decides how to degrade.
+        """
+        queue = self._queues.get(buffer_id)
+        if queue is None:
+            self.unknown_releases += 1
+            return False
+        if (self.max_packets_per_flow is not None
+                and len(queue) >= self.max_packets_per_flow):
+            self.overflow_drops += 1
+            return False
+        queue.append(packet)
+        self.total_buffered += 1
+        self._packets_stored += 1
+        self._update_peaks()
+        return True
+
+    # ------------------------------------------------------------------
+    # Algorithm 2 primitives
+    # ------------------------------------------------------------------
+    def release_all(self, buffer_id: int) -> list[Packet]:
+        """Drain the unit: every buffered packet of the flow, in order.
+
+        This is Algorithm 2's ``getPacketFromBuffer`` loop plus
+        ``releaseBufferUnit``; the unit itself is freed.  Returns an empty
+        list for an unknown id.
+        """
+        queue = self._queues.pop(buffer_id, None)
+        if queue is None:
+            self.unknown_releases += 1
+            return []
+        flow = self._flow_by_id.pop(buffer_id)
+        self._id_by_flow.pop(flow, None)
+        self._stored_at.pop(buffer_id, None)
+        packets = list(queue)
+        self.total_released += len(packets)
+        self._packets_stored -= len(packets)
+        return packets
+
+    def flow_of(self, buffer_id: int) -> Optional[FiveTuple]:
+        """The flow owning a unit (diagnostics)."""
+        return self._flow_by_id.get(buffer_id)
+
+    def queue_length(self, buffer_id: int) -> int:
+        """Packets currently queued in a unit (0 for unknown ids)."""
+        queue = self._queues.get(buffer_id)
+        return 0 if queue is None else len(queue)
+
+    def __contains__(self, buffer_id: int) -> bool:
+        return buffer_id in self._queues
+
+    def expire_older_than(self, cutoff: float) -> list[int]:
+        """Free units created before ``cutoff``; returns the expired ids."""
+        expired = [bid for bid, t in self._stored_at.items() if t < cutoff]
+        for bid in expired:
+            dropped = self.release_all(bid)
+            # release_all counted them as released; reclassify as drops.
+            self.total_released -= len(dropped)
+            self.overflow_drops += len(dropped)
+        return expired
+
+    def clear(self) -> None:
+        """Free everything (counters retained)."""
+        self._id_by_flow.clear()
+        self._flow_by_id.clear()
+        self._queues.clear()
+        self._stored_at.clear()
+        self._packets_stored = 0
+
+    def _update_peaks(self) -> None:
+        if len(self._queues) > self.peak_units:
+            self.peak_units = len(self._queues)
+        if self._packets_stored > self.peak_packets:
+            self.peak_packets = self._packets_stored
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FlowPacketBuffer(units={len(self._queues)}/{self.capacity}, "
+                f"packets={self._packets_stored})")

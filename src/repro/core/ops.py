@@ -1,0 +1,45 @@
+"""Buffer-operation accounting.
+
+The paper's switch-usage analysis (Fig. 4 / Fig. 11) depends on *how much
+extra CPU work* each buffer mechanism adds: map lookups, unit allocation,
+release walks.  Mechanisms report what they did as a :class:`BufferOps`
+record; the switch agent converts the counts into CPU time using the
+calibration constants, keeping policy (what was done) separate from cost
+(how long it takes on this switch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BufferOps:
+    """Counts of elementary buffer operations performed by one decision."""
+
+    map_lookups: int = 0
+    map_inserts: int = 0
+    map_removes: int = 0
+    stores: int = 0
+    releases: int = 0
+    timer_ops: int = 0
+
+    def __add__(self, other: "BufferOps") -> "BufferOps":
+        return BufferOps(
+            map_lookups=self.map_lookups + other.map_lookups,
+            map_inserts=self.map_inserts + other.map_inserts,
+            map_removes=self.map_removes + other.map_removes,
+            stores=self.stores + other.stores,
+            releases=self.releases + other.releases,
+            timer_ops=self.timer_ops + other.timer_ops,
+        )
+
+    @property
+    def total(self) -> int:
+        """Total elementary operations."""
+        return (self.map_lookups + self.map_inserts + self.map_removes
+                + self.stores + self.releases + self.timer_ops)
+
+
+#: The no-op record, shared to avoid churn on the hot path.
+NO_OPS = BufferOps()

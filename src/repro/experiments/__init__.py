@@ -1,0 +1,40 @@
+"""Experiment harness: testbed assembly, sweeps, figures, reports."""
+
+from .calibration import (CONTROL_LINK_RATE_BPS, DATA_LINK_RATE_BPS,
+                          FULL_RATE_SWEEP_MBPS, FULL_REPETITIONS,
+                          MECHANISM_RATE_SWEEP_MBPS, QUICK_RATE_SWEEP_MBPS,
+                          QUICK_REPETITIONS, TABLE_I, TestbedCalibration,
+                          default_calibration, default_controller_config,
+                          default_switch_config, format_table_1)
+from .export import (experiment_to_csv, save_experiment_csv, sweep_rows,
+                     sweep_to_csv)
+from .figures import (FIGURES, ExperimentData, FigureSpec, figure_series,
+                      run_benefits_experiment, run_mechanism_experiment,
+                      workload_a_factory, workload_b_factory)
+from .multiswitch import MultiSwitchTestbed, build_line_testbed
+from .paper_data import (PAPER_QUOTED, QuotedComparison, QuotedValue,
+                         compare_quoted, format_quoted)
+from .report import (format_experiment, format_figure, format_headlines,
+                     headline_claims, headline_series)
+from .runner import (RateAggregate, SweepResult, aggregate, run_once, sweep)
+from .testbed import PORT_HOST1, PORT_HOST2, Testbed, build_testbed
+
+__all__ = [
+    "TestbedCalibration", "default_calibration", "default_switch_config",
+    "default_controller_config", "TABLE_I", "format_table_1",
+    "FULL_RATE_SWEEP_MBPS", "MECHANISM_RATE_SWEEP_MBPS",
+    "QUICK_RATE_SWEEP_MBPS", "FULL_REPETITIONS", "QUICK_REPETITIONS",
+    "DATA_LINK_RATE_BPS", "CONTROL_LINK_RATE_BPS",
+    "Testbed", "build_testbed", "PORT_HOST1", "PORT_HOST2",
+    "MultiSwitchTestbed", "build_line_testbed",
+    "sweep_to_csv", "experiment_to_csv", "save_experiment_csv",
+    "sweep_rows",
+    "run_once", "sweep", "aggregate", "RateAggregate", "SweepResult",
+    "FIGURES", "FigureSpec", "ExperimentData", "figure_series",
+    "run_benefits_experiment", "run_mechanism_experiment",
+    "workload_a_factory", "workload_b_factory",
+    "format_figure", "format_experiment", "format_headlines",
+    "headline_claims", "headline_series",
+    "PAPER_QUOTED", "QuotedValue", "QuotedComparison", "compare_quoted",
+    "format_quoted",
+]

@@ -1,0 +1,165 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Examples::
+
+    repro-sdn-buffer table1
+    repro-sdn-buffer fig2a fig3 --quick
+    repro-sdn-buffer all --rates 5 25 50 75 95 --reps 5
+    repro-sdn-buffer headline --full
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional, Sequence
+
+from .calibration import format_table_1
+from .figures import (FIGURES, run_benefits_experiment,
+                      run_mechanism_experiment)
+from .report import format_figure, format_headlines, headline_claims
+
+_SPECIAL = ("table1", "headline", "quoted", "all")
+
+
+def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="repro-sdn-buffer",
+        description="Regenerate tables/figures of 'Adopting SDN Switch "
+                    "Buffer' (ICDCS'17 / TCC'21) on the simulated testbed.")
+    parser.add_argument("targets", nargs="+",
+                        help=f"figure ids ({', '.join(FIGURES)}), or one of "
+                             f"{', '.join(_SPECIAL)}")
+    parser.add_argument("--rates", type=float, nargs="+", default=None,
+                        help="sending rates in Mbps (default: quick sweep)")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="repetitions per rate (default: 3 quick / 20 full)")
+    parser.add_argument("--full", action="store_true",
+                        help="use the paper's full sweep (5-100 Mbps x 20 reps)")
+    parser.add_argument("--flows", type=int, default=None,
+                        help="override workload-A flow count (default 1000)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base RNG seed")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of tables")
+    parser.add_argument("--chart", action="store_true",
+                        help="draw each figure as an ASCII chart too")
+    parser.add_argument("--csv", metavar="DIR", default=None,
+                        help="also write per-experiment CSVs into DIR")
+    return parser.parse_args(argv)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI body; returns a process exit code."""
+    args = _parse_args(argv)
+    targets = list(args.targets)
+    unknown = [t for t in targets if t not in FIGURES and t not in _SPECIAL]
+    if unknown:
+        print(f"unknown targets: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    if "all" in targets:
+        targets = ["table1"] + list(FIGURES) + ["headline", "quoted"]
+
+    quick = not args.full
+    need_benefits = any(
+        t in ("headline", "quoted")
+        or (t in FIGURES and FIGURES[t].experiment == "benefits")
+        for t in targets)
+    need_mechanism = any(
+        t in ("headline", "quoted")
+        or (t in FIGURES and FIGURES[t].experiment == "mechanism")
+        for t in targets)
+
+    benefits = mechanism = None
+    kwargs = dict(rates_mbps=args.rates, repetitions=args.reps,
+                  quick=quick, base_seed=args.seed)
+    if need_benefits:
+        print("# running benefits experiment (workload A)...",
+              file=sys.stderr)
+        start = time.time()
+        a_kwargs = dict(kwargs)
+        if args.flows is not None:
+            a_kwargs["n_flows"] = args.flows
+        benefits = run_benefits_experiment(**a_kwargs)
+        print(f"# done in {time.time() - start:.1f}s", file=sys.stderr)
+    if need_mechanism:
+        print("# running mechanism experiment (workload B)...",
+              file=sys.stderr)
+        start = time.time()
+        mechanism = run_mechanism_experiment(**kwargs)
+        print(f"# done in {time.time() - start:.1f}s", file=sys.stderr)
+
+    if args.csv is not None:
+        from .export import save_experiment_csv
+        for data in (benefits, mechanism):
+            if data is not None:
+                path = save_experiment_csv(data, args.csv)
+                print(f"# wrote {path}", file=sys.stderr)
+
+    if args.json:
+        print(json.dumps(_json_payload(targets, benefits, mechanism),
+                         indent=2))
+        return 0
+
+    blocks = []
+    for target in targets:
+        if target == "table1":
+            blocks.append("Table I: experimental devices\n"
+                          + format_table_1())
+        elif target == "headline":
+            blocks.append("Headline claims (paper vs measured)\n"
+                          + format_headlines(
+                              headline_claims(benefits, mechanism)))
+        elif target == "quoted":
+            from .paper_data import compare_quoted, format_quoted
+            blocks.append(
+                "Every statistic the paper's text quotes, vs measured\n"
+                + format_quoted(compare_quoted(benefits, mechanism)))
+        else:
+            spec = FIGURES[target]
+            data = benefits if spec.experiment == "benefits" else mechanism
+            assert data is not None
+            block = format_figure(spec, data)
+            if args.chart:
+                from ..metrics import render_chart
+                from .figures import figure_series
+                block += "\n" + render_chart(
+                    list(data.rates), figure_series(spec, data),
+                    y_label=spec.unit, x_label="sending rate (Mbps)")
+            blocks.append(block)
+    print("\n\n".join(blocks))
+    return 0
+
+
+def _json_payload(targets, benefits, mechanism) -> dict:
+    """Machine-readable rendering of the requested targets."""
+    from .figures import figure_series
+    payload: dict = {}
+    for target in targets:
+        if target == "table1":
+            from .calibration import TABLE_I
+            payload["table1"] = [list(row) for row in TABLE_I]
+        elif target == "headline":
+            payload["headline"] = [
+                {"name": claim.name, "paper": claim.paper_value,
+                 "measured": claim.measured_value,
+                 "same_direction": claim.same_direction}
+                for claim in headline_claims(benefits, mechanism)]
+        else:
+            spec = FIGURES[target]
+            data = benefits if spec.experiment == "benefits" else mechanism
+            assert data is not None
+            payload[target] = {
+                "title": spec.title,
+                "unit": spec.unit,
+                "rates_mbps": list(data.rates),
+                "series": figure_series(spec, data),
+            }
+    return payload
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    raise SystemExit(main())

@@ -1,0 +1,80 @@
+"""CSV export of sweep results (for spreadsheets and plotting scripts).
+
+Every figure-ready quantity of a :class:`~repro.experiments.runner.
+RateAggregate` row becomes a column; one CSV per sweep, or one combined
+CSV per experiment with a ``mechanism`` column.  Delays are exported in
+milliseconds, matching the paper's figures.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import Optional
+
+from .figures import ExperimentData
+from .runner import RateAggregate, SweepResult
+
+#: Exported columns: (header, extractor).
+COLUMNS = (
+    ("rate_mbps", lambda r: r.rate_mbps),
+    ("repetitions", lambda r: r.repetitions),
+    ("load_up_mbps", lambda r: r.load_up_mbps),
+    ("load_down_mbps", lambda r: r.load_down_mbps),
+    ("controller_usage_pct", lambda r: r.controller_usage.mean),
+    ("controller_usage_std", lambda r: r.controller_usage.std),
+    ("switch_usage_pct", lambda r: r.switch_usage.mean),
+    ("switch_usage_std", lambda r: r.switch_usage.std),
+    ("setup_delay_ms", lambda r: r.setup_delay.mean * 1e3),
+    ("setup_delay_std_ms", lambda r: r.setup_delay.std * 1e3),
+    ("setup_delay_max_ms", lambda r: r.setup_delay.maximum * 1e3),
+    ("controller_delay_ms", lambda r: r.controller_delay.mean * 1e3),
+    ("switch_delay_ms", lambda r: r.switch_delay.mean * 1e3),
+    ("forwarding_delay_ms", lambda r: r.forwarding_delay.mean * 1e3),
+    ("buffer_avg_units", lambda r: r.buffer_avg_units),
+    ("buffer_max_units", lambda r: r.buffer_max_units),
+    ("packet_ins_per_run", lambda r: r.packet_ins_per_run),
+    ("packet_ins_per_flow", lambda r: r.packet_ins_per_flow),
+    ("completed_flows", lambda r: r.completed_flows),
+    ("packets_dropped", lambda r: r.packets_dropped),
+)
+
+
+def sweep_rows(sweep: SweepResult) -> list[dict]:
+    """One dict per rate, keyed by the COLUMNS headers."""
+    return [{header: extractor(row) for header, extractor in COLUMNS}
+            for row in sweep.rows]
+
+
+def sweep_to_csv(sweep: SweepResult) -> str:
+    """Render one sweep as CSV text."""
+    stream = io.StringIO()
+    writer = csv.DictWriter(stream,
+                            fieldnames=[h for h, _ in COLUMNS])
+    writer.writeheader()
+    for row in sweep_rows(sweep):
+        writer.writerow(row)
+    return stream.getvalue()
+
+
+def experiment_to_csv(data: ExperimentData) -> str:
+    """Combined CSV: every sweep's rows with a leading mechanism column."""
+    stream = io.StringIO()
+    fieldnames = ["mechanism"] + [h for h, _ in COLUMNS]
+    writer = csv.DictWriter(stream, fieldnames=fieldnames)
+    writer.writeheader()
+    for label, sweep in data.sweeps.items():
+        for row in sweep_rows(sweep):
+            writer.writerow({"mechanism": label, **row})
+    return stream.getvalue()
+
+
+def save_experiment_csv(data: ExperimentData, directory: str,
+                        stem: Optional[str] = None) -> pathlib.Path:
+    """Write ``<directory>/<stem>.csv``; returns the path."""
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    target = path / f"{stem or data.name}.csv"
+    target.write_text(experiment_to_csv(data))
+    return target

@@ -1,0 +1,175 @@
+"""Every number the paper's prose quotes, as data.
+
+The paper's figures are images, but its text quotes dozens of exact
+statistics ("mean of 5.28ms and the standard deviation is 8.74ms", "43
+buffer units at the sending rate of 95Mbps", ...).  This module encodes
+all of them, each tagged with the statistic it is and where the paper
+says it, so :func:`compare_quoted` can put the reproduction side by side
+with every quantitative claim — not just the abstract's headline
+percentages.
+
+Statistics vocabulary: ``mean`` / ``std`` / ``max`` are over the whole
+sending-rate sweep (how the paper summarizes its curves); ``at:<rate>``
+is the curve's value at one rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..metrics import summarize
+from .figures import FIGURES, ExperimentData, figure_series
+from .runner import RateAggregate
+
+
+@dataclass(frozen=True)
+class QuotedValue:
+    """One number the paper's text states."""
+
+    figure_id: str            # which figure's data it describes
+    label: str                # mechanism label in that figure
+    statistic: str            # "mean" | "std" | "max" | "at:<rate>"
+    value: float              # the paper's number
+    unit: str
+    where: str                # section of the paper that quotes it
+
+
+#: The §IV and §V quoted statistics, in paper order.
+PAPER_QUOTED: List[QuotedValue] = [
+    # §IV.A — control path load (Fig. 2)
+    QuotedValue("fig2a", "buffer-256", "mean", 10.86, "Mbps", "IV.A"),
+    QuotedValue("fig2a", "buffer-256", "std", 6.05, "Mbps", "IV.A"),
+    # §IV.B — controller usage (Fig. 3)
+    QuotedValue("fig3", "no-buffer", "std", 33.41, "%", "IV.B"),
+    QuotedValue("fig3", "buffer-16", "mean", 53.07, "%", "IV.B"),
+    QuotedValue("fig3", "buffer-16", "std", 16.62, "%", "IV.B"),
+    QuotedValue("fig3", "buffer-256", "mean", 34.59, "%", "IV.B"),
+    QuotedValue("fig3", "buffer-256", "std", 9.87, "%", "IV.B"),
+    # §IV.C — switch usage (Fig. 4)
+    QuotedValue("fig4", "no-buffer", "mean", 260.13, "%", "IV.C"),
+    QuotedValue("fig4", "no-buffer", "std", 51.92, "%", "IV.C"),
+    QuotedValue("fig4", "buffer-16", "mean", 263.84, "%", "IV.C"),
+    QuotedValue("fig4", "buffer-16", "std", 51.88, "%", "IV.C"),
+    QuotedValue("fig4", "buffer-256", "mean", 274.64, "%", "IV.C"),
+    QuotedValue("fig4", "buffer-256", "std", 44.62, "%", "IV.C"),
+    # §IV.D — flow setup delay (Fig. 5)
+    QuotedValue("fig5", "no-buffer", "mean", 5.28, "ms", "IV.D"),
+    QuotedValue("fig5", "no-buffer", "std", 8.74, "ms", "IV.D"),
+    QuotedValue("fig5", "no-buffer", "max", 30.46, "ms", "IV.D"),
+    QuotedValue("fig5", "buffer-16", "mean", 1.98, "ms", "IV.D"),
+    QuotedValue("fig5", "buffer-16", "std", 1.85, "ms", "IV.D"),
+    QuotedValue("fig5", "buffer-256", "mean", 1.17, "ms", "IV.D"),
+    QuotedValue("fig5", "buffer-256", "std", 0.37, "ms", "IV.D"),
+    QuotedValue("fig5", "buffer-256", "max", 5.35, "ms", "IV.D"),
+    # §IV.E — controller delay (Fig. 6)
+    QuotedValue("fig6", "no-buffer", "mean", 1.65, "ms", "IV.E"),
+    QuotedValue("fig6", "no-buffer", "max", 4.84, "ms", "IV.E"),
+    QuotedValue("fig6", "no-buffer", "std", 1.10, "ms", "IV.E"),
+    QuotedValue("fig6", "buffer-16", "mean", 1.11, "ms", "IV.E"),
+    QuotedValue("fig6", "buffer-16", "std", 0.66, "ms", "IV.E"),
+    QuotedValue("fig6", "buffer-256", "mean", 0.70, "ms", "IV.E"),
+    QuotedValue("fig6", "buffer-256", "std", 0.12, "ms", "IV.E"),
+    # §IV.F — switch delay (Fig. 7)
+    QuotedValue("fig7", "no-buffer", "at:95", 25.07, "ms", "IV.F"),
+    QuotedValue("fig7", "buffer-16", "mean", 0.87, "ms", "IV.F"),
+    QuotedValue("fig7", "buffer-16", "std", 1.18, "ms", "IV.F"),
+    QuotedValue("fig7", "buffer-256", "mean", 0.47, "ms", "IV.F"),
+    QuotedValue("fig7", "buffer-256", "std", 0.27, "ms", "IV.F"),
+    # §IV.G — buffer utilization (Fig. 8)
+    QuotedValue("fig8", "buffer-256", "max", 80.0, "units", "IV.G"),
+    # §V.B.1 — control path load (Fig. 9)
+    QuotedValue("fig9a", "flow-buffer-256", "mean", 0.045, "Mbps", "V.B.1"),
+    QuotedValue("fig9a", "flow-buffer-256", "std", 0.005, "Mbps", "V.B.1"),
+    QuotedValue("fig9a", "buffer-256", "mean", 0.123, "Mbps", "V.B.1"),
+    QuotedValue("fig9a", "buffer-256", "std", 0.009, "Mbps", "V.B.1"),
+    # §V.B.2 — controller usage (Fig. 10)
+    QuotedValue("fig10", "buffer-256", "mean", 24.82, "%", "V.B.2"),
+    QuotedValue("fig10", "buffer-256", "max", 65.1, "%", "V.B.2"),
+    # §V.B.3 — switch usage (Fig. 11)
+    QuotedValue("fig11", "flow-buffer-256", "mean", 11.67, "%", "V.B.3"),
+    QuotedValue("fig11", "buffer-256", "mean", 17.31, "%", "V.B.3"),
+    # §V.B.4 — delays (Fig. 12)
+    QuotedValue("fig12a", "flow-buffer-256", "mean", 2.05, "ms", "V.B.4"),
+    QuotedValue("fig12a", "flow-buffer-256", "std", 0.46, "ms", "V.B.4"),
+    QuotedValue("fig12a", "buffer-256", "mean", 1.53, "ms", "V.B.4"),
+    QuotedValue("fig12a", "buffer-256", "std", 0.69, "ms", "V.B.4"),
+    QuotedValue("fig12b", "buffer-256", "at:95", 54.71, "ms", "V.B.4"),
+    QuotedValue("fig12b", "flow-buffer-256", "at:95", 34.23, "ms", "V.B.4"),
+    # §V.B.5 — buffer utilization (Fig. 13)
+    QuotedValue("fig13a", "buffer-256", "at:95", 43.0, "units", "V.B.5"),
+    QuotedValue("fig13a", "flow-buffer-256", "max", 5.0, "units", "V.B.5"),
+]
+
+
+@dataclass(frozen=True)
+class QuotedComparison:
+    """A quoted value next to its measured counterpart."""
+
+    quoted: QuotedValue
+    measured: Optional[float]       # None if the data lacks the figure
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """measured / paper (None when incomparable)."""
+        if self.measured is None or self.quoted.value == 0:
+            return None
+        return self.measured / self.quoted.value
+
+
+def _measured_statistic(series: List[float], rates: List[float],
+                        statistic: str) -> float:
+    if statistic == "mean":
+        return summarize(series).mean
+    if statistic == "std":
+        return summarize(series).std
+    if statistic == "max":
+        return max(series)
+    if statistic.startswith("at:"):
+        rate = float(statistic[3:])
+        return series[rates.index(rate)]
+    raise ValueError(f"unknown statistic {statistic!r}")
+
+
+def compare_quoted(benefits: Optional[ExperimentData] = None,
+                   mechanism: Optional[ExperimentData] = None
+                   ) -> List[QuotedComparison]:
+    """Measure every quoted value against the provided experiment data.
+
+    Quotes whose figure/rate is not present in the data are returned with
+    ``measured=None`` so partial sweeps still yield a partial report.
+    """
+    by_experiment = {"benefits": benefits, "mechanism": mechanism}
+    comparisons: List[QuotedComparison] = []
+    for quoted in PAPER_QUOTED:
+        spec = FIGURES[quoted.figure_id]
+        data = by_experiment[spec.experiment]
+        measured: Optional[float] = None
+        if data is not None:
+            rates = list(data.rates)
+            series = figure_series(spec, data)[quoted.label]
+            try:
+                measured = _measured_statistic(series, rates,
+                                               quoted.statistic)
+            except ValueError:      # rate not in this sweep
+                measured = None
+        comparisons.append(QuotedComparison(quoted=quoted,
+                                            measured=measured))
+    return comparisons
+
+
+def format_quoted(comparisons: List[QuotedComparison]) -> str:
+    """Render the quoted-vs-measured table."""
+    lines = [f"{'figure':<7} {'mechanism':<16} {'stat':<6} "
+             f"{'paper':>9} {'measured':>9} {'ratio':>6}  where"]
+    for comparison in comparisons:
+        quoted = comparison.quoted
+        measured = (f"{comparison.measured:>9.3f}"
+                    if comparison.measured is not None else "        -")
+        ratio = (f"{comparison.ratio:>6.2f}"
+                 if comparison.ratio is not None else "     -")
+        lines.append(
+            f"{quoted.figure_id:<7} {quoted.label:<16} "
+            f"{quoted.statistic:<6} {quoted.value:>9.3f} {measured} "
+            f"{ratio}  {quoted.where}")
+    return "\n".join(lines)

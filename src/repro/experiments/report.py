@@ -1,0 +1,90 @@
+"""Paper-style rendering of regenerated figures and headline claims."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..core import HeadlineClaim, build_headline_claims
+from .figures import (FIGURES, ExperimentData, FigureSpec, figure_series)
+
+
+def format_figure(spec: FigureSpec, data: ExperimentData) -> str:
+    """One figure as an aligned text table (rates down, mechanisms across)."""
+    series = figure_series(spec, data)
+    rates = list(data.rates)
+    header = [f"{spec.figure_id}: {spec.title} [{spec.unit}]",
+              f"  expected shape: {spec.paper_shape}"]
+    label_width = max(12, *(len(label) for label in spec.labels))
+    cols = "  ".join(label.rjust(label_width) for label in spec.labels)
+    header.append(f"{'rate(Mbps)':>10}  {cols}")
+    rows = []
+    for i, rate in enumerate(rates):
+        cells = "  ".join(f"{series[label][i]:>{label_width}.3f}"
+                          for label in spec.labels)
+        rows.append(f"{rate:>10.0f}  {cells}")
+    return "\n".join(header + rows)
+
+
+def format_experiment(data: ExperimentData,
+                      figure_ids: Optional[Sequence[str]] = None) -> str:
+    """Every figure belonging to ``data``'s experiment, rendered."""
+    blocks = []
+    for fig_id, spec in FIGURES.items():
+        if spec.experiment != data.name:
+            continue
+        if figure_ids is not None and fig_id not in figure_ids:
+            continue
+        blocks.append(format_figure(spec, data))
+    return "\n\n".join(blocks)
+
+
+def headline_series(benefits: Optional[ExperimentData] = None,
+                    mechanism: Optional[ExperimentData] = None
+                    ) -> Dict[str, Dict[str, list[float]]]:
+    """Assemble the raw series :func:`build_headline_claims` consumes."""
+    series: Dict[str, Dict[str, list[float]]] = {}
+
+    def put(metric: str, data: ExperimentData, getter) -> None:
+        series[metric] = {label: data.series(label, getter)
+                          for label in data.sweeps}
+
+    if benefits is not None:
+        put("load_up", benefits, lambda r: r.load_up_mbps)
+        put("load_down", benefits, lambda r: r.load_down_mbps)
+        put("controller_usage", benefits,
+            lambda r: r.controller_usage.mean)
+        put("switch_usage", benefits, lambda r: r.switch_usage.mean)
+        put("setup_delay", benefits, lambda r: r.setup_delay.mean)
+        put("controller_delay", benefits,
+            lambda r: r.controller_delay.mean)
+        put("switch_delay", benefits, lambda r: r.switch_delay.mean)
+    if mechanism is not None:
+        put("b_load_up", mechanism, lambda r: r.load_up_mbps)
+        put("b_load_down", mechanism, lambda r: r.load_down_mbps)
+        put("b_controller_usage", mechanism,
+            lambda r: r.controller_usage.mean)
+        put("b_forwarding_delay", mechanism,
+            lambda r: r.forwarding_delay.mean)
+        put("b_buffer_avg", mechanism, lambda r: r.buffer_avg_units)
+    return series
+
+
+def headline_claims(benefits: Optional[ExperimentData] = None,
+                    mechanism: Optional[ExperimentData] = None
+                    ) -> list[HeadlineClaim]:
+    """The abstract's percentages, measured on this reproduction."""
+    return build_headline_claims(headline_series(benefits, mechanism))
+
+
+def format_headlines(claims: Sequence[HeadlineClaim]) -> str:
+    """Render headline claims paper-vs-measured."""
+    if not claims:
+        return "(no headline claims computable from the provided data)"
+    width = max(len(c.name) for c in claims)
+    lines = [f"{'claim':<{width}}  {'paper':>8}  {'measured':>8}  agree?"]
+    for claim in claims:
+        lines.append(
+            f"{claim.name:<{width}}  {claim.paper_value:>+7.1f}%  "
+            f"{claim.measured_value:>+7.1f}%  "
+            f"{'yes' if claim.same_direction else 'NO'}")
+    return "\n".join(lines)

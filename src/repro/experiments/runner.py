@@ -1,0 +1,183 @@
+"""Run orchestration: single runs, repetitions and rate sweeps.
+
+The paper's method is: for each sending rate, run the workload 20 times
+and report the per-rate statistics.  :func:`run_once` executes one
+repetition on a fresh testbed; :func:`sweep` maps a workload factory over
+(rates × repetitions) and aggregates into figure-ready rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..core import BufferConfig
+from ..metrics import RunMetrics, Summary, summarize
+from ..simkit import RandomStreams, mbps
+from ..trafficgen import Workload
+from .calibration import TestbedCalibration
+from .testbed import build_testbed
+
+#: Factory signature: (rate_bps, rng) -> Workload.
+WorkloadFactory = Callable[[float, RandomStreams], Workload]
+
+
+def run_once(buffer_config: BufferConfig, workload: Workload,
+             calibration: Optional[TestbedCalibration] = None,
+             seed: int = 0, settle: float = 0.020, drain: float = 0.250,
+             max_extends: int = 20) -> RunMetrics:
+    """One repetition: build a fresh testbed, play the workload, snapshot.
+
+    ``settle`` gives the OpenFlow handshake time to finish before traffic;
+    ``drain`` lets in-flight control traffic land after the last send.
+    If flows are still incomplete at the nominal deadline (deep queues at
+    high rates), the run is extended in 100 ms steps while progress is
+    being made, up to ``max_extends`` times.
+    """
+    testbed = build_testbed(buffer_config, workload,
+                            calibration=calibration, seed=seed)
+    sim = testbed.sim
+    testbed.controller.start_handshake()
+    testbed.pktgen.start(at=settle)
+
+    deadline = settle + workload.duration + drain
+    sim.run(until=deadline)
+
+    tracker = testbed.metrics.delay_tracker
+    extends = 0
+    previous_completed = -1
+    while (tracker.completed_flows < tracker.total_flows
+           and extends < max_extends
+           and tracker.completed_flows != previous_completed):
+        previous_completed = tracker.completed_flows
+        deadline += 0.100
+        sim.run(until=deadline)
+        extends += 1
+
+    active_end = max(
+        settle + workload.duration,
+        testbed.metrics.capture_up.last_time() or 0.0,
+        testbed.metrics.capture_down.last_time() or 0.0,
+    ) + 0.005
+    # Loads are normalized over the send window plus a small margin: a
+    # congested post-send drain lengthens delays but must not dilute the
+    # reported control-path rate.
+    load_end = settle + workload.duration + 0.050
+    snapshot = testbed.metrics.snapshot(settle, min(active_end, sim.now),
+                                        load_end=load_end)
+    testbed.shutdown()
+    return snapshot
+
+
+@dataclass
+class RateAggregate:
+    """Per-sending-rate statistics over all repetitions (one figure row)."""
+
+    rate_mbps: float
+    label: str
+    repetitions: int
+    # Control path load (Fig. 2 / 9), Mbps averaged over repetitions.
+    load_up_mbps: float
+    load_down_mbps: float
+    # CPU usage (Fig. 3-4 / 10-11), percent.
+    controller_usage: Summary
+    switch_usage: Summary
+    # Delays (Fig. 5-7 / 12), pooled across repetitions, seconds.
+    setup_delay: Summary
+    controller_delay: Summary
+    switch_delay: Summary
+    forwarding_delay: Summary
+    # Buffer utilization (Fig. 8 / 13), units.
+    buffer_avg_units: float
+    buffer_max_units: float
+    # Request accounting (the §V story).
+    packet_ins_per_run: float
+    packet_ins_per_flow: float
+    retries_per_run: float
+    completed_flows: float
+    total_flows: int
+    packets_dropped: float
+
+
+def aggregate(rate_mbps: float, label: str,
+              runs: Sequence[RunMetrics]) -> RateAggregate:
+    """Fold repetition snapshots into one figure row."""
+    if not runs:
+        raise ValueError("cannot aggregate zero runs")
+    pooled_setup: List[float] = []
+    pooled_ctrl: List[float] = []
+    pooled_switch: List[float] = []
+    pooled_fwd: List[float] = []
+    for run in runs:
+        pooled_setup.extend(run.setup_delays)
+        pooled_ctrl.extend(run.controller_delays)
+        pooled_switch.extend(run.switch_delays)
+        pooled_fwd.extend(run.forwarding_delays)
+    n = len(runs)
+    return RateAggregate(
+        rate_mbps=rate_mbps,
+        label=label,
+        repetitions=n,
+        load_up_mbps=sum(r.control_load_up_mbps for r in runs) / n,
+        load_down_mbps=sum(r.control_load_down_mbps for r in runs) / n,
+        controller_usage=summarize(
+            r.controller_usage_percent for r in runs),
+        switch_usage=summarize(r.switch_usage_percent for r in runs),
+        setup_delay=summarize(pooled_setup),
+        controller_delay=summarize(pooled_ctrl),
+        switch_delay=summarize(pooled_switch),
+        forwarding_delay=summarize(pooled_fwd),
+        buffer_avg_units=sum(r.buffer_avg_units for r in runs) / n,
+        buffer_max_units=max(r.buffer_max_units for r in runs),
+        packet_ins_per_run=sum(r.packet_in_count for r in runs) / n,
+        packet_ins_per_flow=sum(
+            r.redundant_packet_in_ratio for r in runs) / n,
+        retries_per_run=sum(r.packet_in_retry_count for r in runs) / n,
+        completed_flows=sum(r.completed_flows for r in runs) / n,
+        total_flows=runs[0].total_flows,
+        packets_dropped=sum(r.packets_dropped for r in runs) / n,
+    )
+
+
+@dataclass
+class SweepResult:
+    """All rows of one mechanism's rate sweep."""
+
+    label: str
+    rows: List[RateAggregate] = field(default_factory=list)
+
+    def row_at(self, rate_mbps: float) -> RateAggregate:
+        """The row for an exact sending rate."""
+        for row in self.rows:
+            if row.rate_mbps == rate_mbps:
+                return row
+        raise KeyError(f"no row at {rate_mbps} Mbps in {self.label!r}")
+
+    def series(self, getter: Callable[[RateAggregate], float]) -> List[float]:
+        """Extract one metric across the sweep (figure y-values)."""
+        return [getter(row) for row in self.rows]
+
+    @property
+    def rates(self) -> List[float]:
+        """Figure x-values."""
+        return [row.rate_mbps for row in self.rows]
+
+
+def sweep(buffer_config: BufferConfig, workload_factory: WorkloadFactory,
+          rates_mbps: Sequence[float], repetitions: int,
+          calibration: Optional[TestbedCalibration] = None,
+          base_seed: int = 0) -> SweepResult:
+    """The paper's method: repetitions at every sending rate."""
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    result = SweepResult(label=buffer_config.label)
+    for rate in rates_mbps:
+        runs = []
+        for rep in range(repetitions):
+            seed = base_seed * 100_003 + int(rate) * 1_009 + rep
+            rng = RandomStreams(seed)
+            workload = workload_factory(mbps(rate), rng)
+            runs.append(run_once(buffer_config, workload,
+                                 calibration=calibration, seed=seed))
+        result.rows.append(aggregate(rate, buffer_config.label, runs))
+    return result

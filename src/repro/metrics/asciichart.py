@@ -1,0 +1,77 @@
+"""ASCII line charts for terminal figure rendering.
+
+The CLI's ``--chart`` flag draws each regenerated figure as a character
+plot, so the paper's curve shapes (the buffer-16 knee, the >75 Mbps
+blow-up, the flow-granularity crossover) are visible without leaving the
+terminal.  Pure stdlib, deterministic, and tested like everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+#: Plot symbols assigned to series in insertion order.
+SERIES_MARKS = "*o+x#@"
+
+
+def _scale(value: float, low: float, high: float, size: int) -> int:
+    """Map ``value`` in [low, high] onto a 0..size-1 grid index."""
+    if high == low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(size - 1, max(0, round(position * (size - 1))))
+
+
+def render_chart(x_values: Sequence[float],
+                 series: Dict[str, Sequence[float]],
+                 width: int = 60, height: int = 16,
+                 y_label: str = "", x_label: str = "") -> str:
+    """Render named series over a shared x-axis as an ASCII chart.
+
+    Points are plotted with one mark per series; collisions show the
+    later series' mark.  Axes are annotated with min/max and the legend
+    maps marks to series names.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 10 or height < 4:
+        raise ValueError("chart too small to draw")
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(f"series {name!r} length {len(values)} != "
+                             f"x-axis length {len(x_values)}")
+    if not x_values:
+        raise ValueError("need at least one x value")
+
+    all_y = [v for values in series.values() for v in values]
+    y_low, y_high = min(all_y), max(all_y)
+    x_low, x_high = min(x_values), max(x_values)
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        mark = SERIES_MARKS[index % len(SERIES_MARKS)]
+        for x, y in zip(x_values, values):
+            column = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            grid[row][column] = mark
+
+    left_labels = [f"{y_high:>10.3g} ", " " * 11, f"{y_low:>10.3g} "]
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = left_labels[0]
+        elif row_index == height - 1:
+            prefix = left_labels[2]
+        else:
+            prefix = left_labels[1]
+        lines.append(prefix + "|" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(" " * 12 + f"{x_low:<10.3g}"
+                 + f"{x_high:>{max(0, width - 10)}.3g}")
+    if y_label or x_label:
+        lines.append(" " * 12 + f"y: {y_label}   x: {x_label}".rstrip())
+    legend = "   ".join(
+        f"{SERIES_MARKS[i % len(SERIES_MARKS)]} {name}"
+        for i, name in enumerate(series))
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""One-stop metric collection for a testbed run.
+
+:class:`MetricsSuite` wires captures, samplers and the delay tracker to a
+switch + controller + control cable, and condenses everything into a
+:class:`RunMetrics` snapshot — the row format every figure harness
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..controllersim import Controller
+from ..netsim import DuplexLink
+from ..simkit import Simulator, to_mbps
+from ..switchsim import Switch
+from ..trafficgen import FlowSpec
+from .capture import LinkCapture
+from .delays import DelayTracker
+from .samplers import GaugeSampler, UtilizationSampler
+from .series import Summary, TimeSeries, summarize
+
+
+@dataclass
+class RunMetrics:
+    """Everything one run produces, in figure-ready units."""
+
+    #: Measurement window (seconds of simulated time).
+    window: float
+    # -- control path load (Fig. 2 / Fig. 9) ---------------------------
+    control_load_up_mbps: float
+    control_load_down_mbps: float
+    packet_in_count: int
+    packet_in_retry_count: int
+    flow_mod_count: int
+    packet_out_count: int
+    error_count: int
+    # -- CPU usage (Fig. 3-4 / Fig. 10-11) ------------------------------
+    controller_usage_percent: float
+    switch_usage_percent: float
+    controller_usage_series: TimeSeries
+    switch_usage_series: TimeSeries
+    # -- delays (Fig. 5-7 / Fig. 12), seconds ---------------------------
+    setup_delays: List[float]
+    controller_delays: List[float]
+    switch_delays: List[float]
+    forwarding_delays: List[float]
+    # -- buffer utilization (Fig. 8 / Fig. 13) --------------------------
+    buffer_occupancy_series: TimeSeries
+    buffer_peak_units: int
+    # -- flow accounting -------------------------------------------------
+    packet_ins_per_flow: List[int]
+    completed_flows: int
+    total_flows: int
+    packets_dropped: int
+
+    # -- summaries --------------------------------------------------------
+    def setup_delay_summary(self) -> Summary:
+        """Summary of flow setup delays."""
+        return summarize(self.setup_delays)
+
+    def controller_delay_summary(self) -> Summary:
+        """Summary of controller delays."""
+        return summarize(self.controller_delays)
+
+    def switch_delay_summary(self) -> Summary:
+        """Summary of switch delays."""
+        return summarize(self.switch_delays)
+
+    def forwarding_delay_summary(self) -> Summary:
+        """Summary of flow forwarding delays."""
+        return summarize(self.forwarding_delays)
+
+    @property
+    def buffer_avg_units(self) -> float:
+        """Mean sampled buffer occupancy."""
+        return self.buffer_occupancy_series.mean()
+
+    @property
+    def buffer_max_units(self) -> float:
+        """Peak buffer occupancy (allocation-time peak, not just samples)."""
+        return float(self.buffer_peak_units)
+
+    @property
+    def redundant_packet_in_ratio(self) -> float:
+        """Mean packet_ins per flow (1.0 is the flow-granularity ideal)."""
+        if not self.packet_ins_per_flow:
+            return 0.0
+        return sum(self.packet_ins_per_flow) / len(self.packet_ins_per_flow)
+
+
+class MetricsSuite:
+    """Attach every probe the paper's figures need to one testbed."""
+
+    def __init__(self, sim: Simulator, switch: Switch,
+                 controller: Controller, control_cable: DuplexLink,
+                 flows: Dict[int, FlowSpec],
+                 sampling_interval: float = 0.020):
+        self.sim = sim
+        self.switch = switch
+        self.controller = controller
+        self.capture_up = LinkCapture(control_cable.forward,
+                                      name="ctrl-up")
+        self.capture_down = LinkCapture(control_cable.reverse,
+                                        name="ctrl-down")
+        self.delay_tracker = DelayTracker(flows)
+        self.delay_tracker.attach(switch.events)
+        self.switch_sampler = UtilizationSampler(
+            sim, switch.cpu_stations, sampling_interval,
+            baseline_percent=switch.config.baseline_usage_percent,
+            name="switch-usage")
+        self.controller_sampler = UtilizationSampler(
+            sim, controller.station, sampling_interval,
+            baseline_percent=controller.config.baseline_usage_percent,
+            name="controller-usage")
+        self.buffer_sampler = GaugeSampler(
+            sim, switch.buffer_occupancy, sampling_interval,
+            name="buffer-occupancy")
+        self._retry_count = 0
+        switch.events.on("packet_in_sent", self._count_retry)
+
+    def _count_retry(self, time: float, message) -> None:
+        if getattr(message, "is_retry", False):
+            self._retry_count += 1
+
+    def stop(self) -> None:
+        """Stop all periodic samplers."""
+        self.switch_sampler.stop()
+        self.controller_sampler.stop()
+        self.buffer_sampler.stop()
+
+    def snapshot(self, start: float, end: float,
+                 load_end: Optional[float] = None) -> RunMetrics:
+        """Condense everything collected over the active window.
+
+        ``start``/``end`` bound the traffic-active period: CPU usage is
+        the mean of the sampled per-window readings inside it, which is
+        how ``top`` readings during the paper's tests behave (idle drain
+        time is excluded).  Control-path loads are normalized over
+        ``[start, load_end]`` — the send window — so a slow post-send
+        drain inflates delays (as it should) without *diluting* the load
+        figure.  ``load_end`` defaults to ``end``.
+        """
+        if end <= start:
+            raise ValueError(f"empty window [{start}, {end}]")
+        if load_end is None:
+            load_end = end
+        load_end = min(max(load_end, start + 1e-9), end)
+        load_window = load_end - start
+        window = end - start
+        peak = 0
+        mechanism = self.switch.mechanism
+        buffer_obj = getattr(mechanism, "buffer", None)
+        if buffer_obj is not None:
+            peak = buffer_obj.peak_units
+        ctrl_series = self.controller_sampler.series.window(start, end)
+        switch_series = self.switch_sampler.series.window(start, end)
+        ctrl_usage = (ctrl_series.mean() if len(ctrl_series)
+                      else self.controller.usage_percent())
+        switch_usage = (switch_series.mean() if len(switch_series)
+                        else self.switch.usage_percent())
+        return RunMetrics(
+            window=window,
+            control_load_up_mbps=to_mbps(
+                self.capture_up.bytes_within(start, load_end) * 8
+                / load_window),
+            control_load_down_mbps=to_mbps(
+                self.capture_down.bytes_within(start, load_end) * 8
+                / load_window),
+            packet_in_count=self.capture_up.count("packetin"),
+            packet_in_retry_count=self._retry_count,
+            flow_mod_count=self.capture_down.count("flowmod"),
+            packet_out_count=self.capture_down.count("packetout"),
+            error_count=self.capture_up.count("errormsg"),
+            controller_usage_percent=ctrl_usage,
+            switch_usage_percent=switch_usage,
+            controller_usage_series=ctrl_series,
+            switch_usage_series=switch_series,
+            setup_delays=self.delay_tracker.setup_delays(),
+            controller_delays=self.delay_tracker.controller_delays(),
+            switch_delays=self.delay_tracker.switch_delays(),
+            forwarding_delays=self.delay_tracker.forwarding_delays(),
+            buffer_occupancy_series=self.buffer_sampler.series.window(
+                start, end),
+            buffer_peak_units=peak,
+            packet_ins_per_flow=self.delay_tracker.packet_ins_per_flow(),
+            completed_flows=self.delay_tracker.completed_flows,
+            total_flows=self.delay_tracker.total_flows,
+            packets_dropped=self.switch.datapath.packets_dropped,
+        )

@@ -1,0 +1,190 @@
+"""Per-flow delay bookkeeping implementing the paper's §III.B definitions.
+
+* *flow setup delay* — first packet of a flow enters the switch → that
+  same packet leaves the switch.
+* *controller delay* — the flow's first ``packet_in`` leaves the switch →
+  the first of its ``flow_mod``/``packet_out`` replies arrives at the
+  switch.
+* *switch delay* — setup delay − controller delay.
+* *flow forwarding delay* (§V) — first packet enters → last packet of the
+  flow leaves.
+
+The tracker subscribes to the switch's event emitter, so measurement adds
+no code to the switch itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..openflow import OFMessage, PacketIn
+from ..packets import Packet
+from ..simkit import EventEmitter
+from ..trafficgen import FlowSpec
+
+
+@dataclass
+class FlowDelayRecord:
+    """Everything measured about one flow."""
+
+    flow_id: int
+    expected_packets: int
+    first_ingress: Optional[float] = None
+    first_packet_uid: Optional[int] = None
+    first_packet_egress: Optional[float] = None
+    last_egress: Optional[float] = None
+    egress_count: int = 0
+    ingress_count: int = 0
+    first_packet_in_sent: Optional[float] = None
+    first_reply_arrived: Optional[float] = None
+    packet_ins_sent: int = 0
+
+    @property
+    def setup_delay(self) -> Optional[float]:
+        """First packet enters → first packet leaves; ``None`` if pending."""
+        if self.first_ingress is None or self.first_packet_egress is None:
+            return None
+        return self.first_packet_egress - self.first_ingress
+
+    @property
+    def controller_delay(self) -> Optional[float]:
+        """First packet_in sent → first reply arrived; ``None`` if pending."""
+        if (self.first_packet_in_sent is None
+                or self.first_reply_arrived is None):
+            return None
+        return self.first_reply_arrived - self.first_packet_in_sent
+
+    @property
+    def switch_delay(self) -> Optional[float]:
+        """Setup delay minus controller delay (the paper's definition)."""
+        setup = self.setup_delay
+        ctrl = self.controller_delay
+        if setup is None or ctrl is None:
+            return None
+        return setup - ctrl
+
+    @property
+    def forwarding_delay(self) -> Optional[float]:
+        """First packet enters → last packet leaves; requires completion."""
+        if not self.completed or self.first_ingress is None:
+            return None
+        assert self.last_egress is not None
+        return self.last_egress - self.first_ingress
+
+    @property
+    def completed(self) -> bool:
+        """Every expected packet has left the switch."""
+        return self.egress_count >= self.expected_packets
+
+
+class DelayTracker:
+    """Subscribes to switch events and fills per-flow records."""
+
+    def __init__(self, flows: Dict[int, FlowSpec]):
+        self.records: Dict[int, FlowDelayRecord] = {
+            flow_id: FlowDelayRecord(flow_id=flow_id,
+                                     expected_packets=spec.n_packets)
+            for flow_id, spec in flows.items()
+        }
+        #: xid of each packet_in → (flow_id, sent time).
+        self._pending_xids: Dict[int, tuple] = {}
+        #: All request→first-reply round trips, across flows and retries.
+        self.all_rtts: List[float] = []
+
+    def attach(self, events: EventEmitter) -> None:
+        """Subscribe to a switch's event emitter."""
+        events.on("packet_ingress", self._on_ingress)
+        events.on("packet_egress", self._on_egress)
+        events.on("packet_in_sent", self._on_packet_in)
+        events.on("reply_arrived", self._on_reply)
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _record_for(self, packet: Packet) -> Optional[FlowDelayRecord]:
+        if packet.flow_id is None:
+            return None
+        return self.records.get(packet.flow_id)
+
+    def _on_ingress(self, time: float, packet: Packet, in_port: int) -> None:
+        record = self._record_for(packet)
+        if record is None:
+            return
+        record.ingress_count += 1
+        if record.first_ingress is None:
+            record.first_ingress = time
+            record.first_packet_uid = packet.uid
+
+    def _on_egress(self, time: float, packet: Packet, out_port: int) -> None:
+        record = self._record_for(packet)
+        if record is None:
+            return
+        record.egress_count += 1
+        if packet.uid == record.first_packet_uid:
+            record.first_packet_egress = time
+        if record.last_egress is None or time > record.last_egress:
+            record.last_egress = time
+
+    def _on_packet_in(self, time: float, message: PacketIn) -> None:
+        record = self._record_for(message.packet)
+        if record is None:
+            return
+        record.packet_ins_sent += 1
+        if record.first_packet_in_sent is None:
+            record.first_packet_in_sent = time
+        self._pending_xids[message.xid] = (record.flow_id, time)
+
+    def _on_reply(self, time: float, message: OFMessage) -> None:
+        ref = message.in_reply_to
+        if ref is None:
+            return
+        pending = self._pending_xids.pop(ref, None)
+        if pending is None:
+            return  # second reply of the flow_mod/packet_out pair
+        flow_id, sent = pending
+        self.all_rtts.append(time - sent)
+        record = self.records.get(flow_id)
+        if record is not None and record.first_reply_arrived is None:
+            record.first_reply_arrived = time
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def _collect(self, attribute: str) -> List[float]:
+        values = []
+        for record in self.records.values():
+            value = getattr(record, attribute)
+            if value is not None:
+                values.append(value)
+        return values
+
+    def setup_delays(self) -> List[float]:
+        """All measured flow setup delays."""
+        return self._collect("setup_delay")
+
+    def controller_delays(self) -> List[float]:
+        """All measured controller delays."""
+        return self._collect("controller_delay")
+
+    def switch_delays(self) -> List[float]:
+        """All measured switch delays."""
+        return self._collect("switch_delay")
+
+    def forwarding_delays(self) -> List[float]:
+        """All measured flow forwarding delays (completed flows only)."""
+        return self._collect("forwarding_delay")
+
+    def packet_ins_per_flow(self) -> List[int]:
+        """Request count per flow — the flow-granularity win (§V)."""
+        return [r.packet_ins_sent for r in self.records.values()]
+
+    @property
+    def completed_flows(self) -> int:
+        """Flows whose every packet left the switch."""
+        return sum(1 for r in self.records.values() if r.completed)
+
+    @property
+    def total_flows(self) -> int:
+        """Flows being tracked."""
+        return len(self.records)

@@ -1,0 +1,82 @@
+"""Periodic samplers: CPU usage windows and buffer-occupancy gauges.
+
+The paper reads CPU usage from ``top`` — i.e. busy time per sampling
+window — and buffer utilization by inspecting occupancy over time.  The
+samplers here reproduce both: :class:`UtilizationSampler` converts a
+station's busy-time counter into per-window utilization percentages, and
+:class:`GaugeSampler` polls an arbitrary gauge function.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Union
+
+from ..simkit import ServiceStation, Simulator
+from .series import TimeSeries
+
+
+class GaugeSampler:
+    """Samples ``gauge(now)`` every ``interval`` seconds into a series."""
+
+    def __init__(self, sim: Simulator, gauge: Callable[[float], float],
+                 interval: float, name: str = "gauge"):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.sim = sim
+        self.gauge = gauge
+        self.interval = interval
+        self.series = TimeSeries(name)
+        self._handle = sim.schedule(interval, self._tick)
+
+    def _tick(self) -> None:
+        self.series.add(self.sim.now, float(self.gauge(self.sim.now)))
+        self._handle = self.sim.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        """Stop sampling."""
+        self._handle.cancel()
+
+
+class UtilizationSampler:
+    """Per-window CPU utilization of a station, ``top``-style.
+
+    Each window's value is (busy-seconds accrued in the window) /
+    (window length) × 100 + baseline, summed over cores implicitly
+    because ``busy_time`` accrues per core.  Jobs spanning a window
+    boundary are attributed to the window in which they finish — the same
+    smearing a real ``top`` shows.
+    """
+
+    def __init__(self, sim: Simulator,
+                 station: Union[ServiceStation, Sequence[ServiceStation]],
+                 interval: float, baseline_percent: float = 0.0,
+                 name: str = "cpu"):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.sim = sim
+        if isinstance(station, ServiceStation):
+            self.stations = [station]
+        else:
+            self.stations = list(station)
+        if not self.stations:
+            raise ValueError("need at least one station")
+        self.interval = interval
+        self.baseline_percent = baseline_percent
+        self.series = TimeSeries(name)
+        self._last_busy = self._total_busy()
+        self._handle = sim.schedule(interval, self._tick)
+
+    def _total_busy(self) -> float:
+        return sum(s.busy_time for s in self.stations)
+
+    def _tick(self) -> None:
+        busy = self._total_busy()
+        delta = busy - self._last_busy
+        self._last_busy = busy
+        usage = 100.0 * delta / self.interval + self.baseline_percent
+        self.series.add(self.sim.now, usage)
+        self._handle = self.sim.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        """Stop sampling."""
+        self._handle.cancel()

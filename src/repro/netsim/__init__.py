@@ -1,0 +1,7 @@
+"""Hosts, links and topology plumbing."""
+
+from .host import Host
+from .link import DuplexLink, Link
+from .topology import Topology
+
+__all__ = ["Host", "Link", "DuplexLink", "Topology"]

@@ -1,0 +1,40 @@
+"""OpenFlow protocol model: messages, matches, flow tables, packet buffer."""
+
+from .actions import (Action, ControllerAction, DropAction, OutputAction,
+                      actions_wire_len)
+from .channel import DEFAULT_ENCAPSULATION_OVERHEAD, ControlChannel
+from .constants import (OFP_DEFAULT_MISS_SEND_LEN, OFP_DEFAULT_PRIORITY,
+                        OFP_HEADER_LEN, OFP_MATCH_LEN, OFP_NO_BUFFER,
+                        OFP_TCP_PORT, ErrorType, FlowModCommand,
+                        PacketInReason, PortNo)
+from .flowtable import FlowEntry, FlowTable
+from .match import Match
+from .messages import (BarrierReply, BarrierRequest, EchoReply, EchoRequest,
+                       ErrorMsg, FeaturesReply, FeaturesRequest, FlowMod,
+                       FlowRemoved, FlowStatsEntry, FlowStatsReply,
+                       FlowStatsRequest, GetConfigReply, GetConfigRequest,
+                       Hello, OFMessage, PacketIn, PacketOut,
+                       PortStatsEntry, PortStatsReply, PortStatsRequest,
+                       SetConfig, next_xid)
+from .pktbuffer import BufferFullError, PacketBuffer
+from .wire import (WireError, decode_match, decode_message, encode_match,
+                   encode_message)
+
+__all__ = [
+    "Action", "OutputAction", "DropAction", "ControllerAction",
+    "actions_wire_len",
+    "ControlChannel", "DEFAULT_ENCAPSULATION_OVERHEAD",
+    "OFP_HEADER_LEN", "OFP_NO_BUFFER", "OFP_DEFAULT_MISS_SEND_LEN",
+    "OFP_DEFAULT_PRIORITY", "OFP_MATCH_LEN", "OFP_TCP_PORT",
+    "PacketInReason", "FlowModCommand", "ErrorType", "PortNo",
+    "FlowEntry", "FlowTable", "Match",
+    "OFMessage", "Hello", "EchoRequest", "EchoReply", "FeaturesRequest",
+    "FeaturesReply", "PacketIn", "PacketOut", "FlowMod", "BarrierRequest",
+    "BarrierReply", "ErrorMsg", "next_xid",
+    "SetConfig", "GetConfigRequest", "GetConfigReply", "FlowRemoved",
+    "FlowStatsRequest", "FlowStatsReply", "FlowStatsEntry",
+    "PortStatsRequest", "PortStatsReply", "PortStatsEntry",
+    "PacketBuffer", "BufferFullError",
+    "encode_message", "decode_message", "encode_match", "decode_match",
+    "WireError",
+]

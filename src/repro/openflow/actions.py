@@ -1,0 +1,80 @@
+"""Flow actions (subset: output, drop, and controller punt).
+
+Actions carry their OpenFlow 1.0 wire sizes so flow_mod / packet_out
+messages report realistic lengths on the control path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .constants import OFP_ACTION_OUTPUT_LEN, PortNo
+
+
+@dataclass(frozen=True)
+class Action:
+    """Base class; concrete actions define ``wire_len``."""
+
+    @property
+    def wire_len(self) -> int:
+        """Size of the action structure on the wire."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class OutputAction(Action):
+    """Forward the packet out of ``port``."""
+
+    port: int
+
+    def __post_init__(self) -> None:
+        if self.port < 0:
+            raise ValueError(f"port must be >= 0, got {self.port}")
+
+    @property
+    def wire_len(self) -> int:
+        return OFP_ACTION_OUTPUT_LEN
+
+    def __str__(self) -> str:
+        try:
+            name = PortNo(self.port).name
+        except ValueError:
+            name = str(self.port)
+        return f"output:{name}"
+
+
+@dataclass(frozen=True)
+class DropAction(Action):
+    """Discard the packet (an empty action list in real OpenFlow;
+
+    modelled explicitly so tests can assert drops happened on purpose)."""
+
+    @property
+    def wire_len(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return "drop"
+
+
+@dataclass(frozen=True)
+class ControllerAction(Action):
+    """Punt the packet to the controller (output to CONTROLLER port)."""
+
+    max_len: int = 128
+
+    def __post_init__(self) -> None:
+        if self.max_len < 0:
+            raise ValueError(f"max_len must be >= 0, got {self.max_len}")
+
+    @property
+    def wire_len(self) -> int:
+        return OFP_ACTION_OUTPUT_LEN
+
+    def __str__(self) -> str:
+        return f"output:CONTROLLER(max_len={self.max_len})"
+
+
+def actions_wire_len(actions: tuple) -> int:
+    """Total wire size of an action list."""
+    return sum(action.wire_len for action in actions)

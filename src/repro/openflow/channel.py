@@ -1,0 +1,95 @@
+"""The control channel: OpenFlow messages over a (possibly shared) link.
+
+Control messages ride a TCP connection over a real cable, so each message
+pays Ethernet + IP + TCP encapsulation on the wire — tcpdump on the
+controller interface sees those bytes, and so does the paper's
+control-path-load metric.  The channel stamps ``sent_at`` on every message
+(the raw timestamp for the controller-delay metric) and delivers through
+the underlying :class:`~repro.netsim.link.DuplexLink`, inheriting its
+bandwidth contention and FIFO queueing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..netsim import DuplexLink
+from ..simkit import Simulator
+from .messages import OFMessage
+
+#: Ethernet(14) + IPv4(20) + TCP(20) encapsulation per control message.
+#: (Nagle batching would amortize this; modelling per-message keeps the
+#: capture arithmetic transparent and is what tcpdump shows with TCP_NODELAY,
+#: which both OVS and Floodlight set on the OpenFlow connection.)
+DEFAULT_ENCAPSULATION_OVERHEAD = 54
+
+MessageHandler = Callable[[OFMessage], None]
+
+
+class ControlChannel:
+    """Bidirectional OpenFlow message transport between one switch and
+    one controller."""
+
+    def __init__(self, sim: Simulator, cable: DuplexLink,
+                 encapsulation_overhead: int = DEFAULT_ENCAPSULATION_OVERHEAD):
+        if encapsulation_overhead < 0:
+            raise ValueError("encapsulation overhead must be >= 0")
+        self.sim = sim
+        self.cable = cable
+        self.encapsulation_overhead = encapsulation_overhead
+        self._switch_handler: Optional[MessageHandler] = None
+        self._controller_handler: Optional[MessageHandler] = None
+        # forward = switch -> controller; reverse = controller -> switch.
+        cable.forward.connect(self._deliver_to_controller)
+        cable.reverse.connect(self._deliver_to_switch)
+        #: Message counters per direction.
+        self.to_controller_count = 0
+        self.to_switch_count = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def bind_switch(self, handler: MessageHandler) -> None:
+        """Messages from the controller are delivered to ``handler``."""
+        self._switch_handler = handler
+
+    def bind_controller(self, handler: MessageHandler) -> None:
+        """Messages from the switch are delivered to ``handler``."""
+        self._controller_handler = handler
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def wire_size(self, message: OFMessage) -> int:
+        """Bytes the message occupies on the cable."""
+        return message.wire_len + self.encapsulation_overhead
+
+    def send_to_controller(self, message: OFMessage) -> None:
+        """Switch-side send."""
+        if self._controller_handler is None:
+            raise RuntimeError("controller handler not bound")
+        message.sent_at = self.sim.now
+        self.to_controller_count += 1
+        self.cable.forward.send(message, self.wire_size(message))
+
+    def send_to_switch(self, message: OFMessage) -> None:
+        """Controller-side send."""
+        if self._switch_handler is None:
+            raise RuntimeError("switch handler not bound")
+        message.sent_at = self.sim.now
+        self.to_switch_count += 1
+        self.cable.reverse.send(message, self.wire_size(message))
+
+    def _deliver_to_controller(self, message: OFMessage) -> None:
+        assert self._controller_handler is not None
+        self._controller_handler(message)
+
+    def _deliver_to_switch(self, message: OFMessage) -> None:
+        assert self._switch_handler is not None
+        self._switch_handler(message)
+
+    def reset_accounting(self) -> None:
+        """Restart message counters and cable accounting."""
+        self.to_controller_count = 0
+        self.to_switch_count = 0
+        self.cable.reset_accounting()

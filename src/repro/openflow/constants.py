@@ -1,0 +1,73 @@
+"""OpenFlow protocol constants.
+
+Values follow the OpenFlow switch specification (1.0 wire sizes, with the
+1.5.1 buffer semantics the paper cites): the 8-byte common header, the
+``OFP_NO_BUFFER`` sentinel, ``packet_in`` reasons, ``flow_mod`` commands
+and the default ``miss_send_len`` of 128 bytes that bounds how much of a
+buffered miss-match packet is copied into a ``packet_in``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Size of the common OpenFlow header (version, type, length, xid).
+OFP_HEADER_LEN = 8
+
+#: ``buffer_id`` value meaning "packet not buffered; full frame enclosed".
+OFP_NO_BUFFER = 0xFFFFFFFF
+
+#: Default number of bytes of a buffered packet sent to the controller.
+OFP_DEFAULT_MISS_SEND_LEN = 128
+
+#: Default priority for flow entries installed by the reactive app.
+OFP_DEFAULT_PRIORITY = 0x8000
+
+#: Wire size of an (OpenFlow 1.0) ofp_match structure.
+OFP_MATCH_LEN = 40
+
+#: Fixed part of messages beyond the common header (OpenFlow 1.0 sizes).
+OFP_PACKET_IN_FIXED = 10       # buffer_id, total_len, in_port, reason, pad
+OFP_PACKET_OUT_FIXED = 8       # buffer_id, in_port, actions_len
+OFP_FLOW_MOD_FIXED = 64        # match + cookie/command/timeouts/priority/...
+OFP_ACTION_OUTPUT_LEN = 8
+
+#: TCP port the controller listens on (cosmetic; used in captures).
+OFP_TCP_PORT = 6653
+
+
+class PacketInReason(enum.IntEnum):
+    """Why a packet was sent to the controller."""
+
+    NO_MATCH = 0        # OFPR_NO_MATCH — table miss
+    ACTION = 1          # OFPR_ACTION — explicit output-to-controller
+    INVALID_TTL = 2     # OFPR_INVALID_TTL
+
+
+class FlowModCommand(enum.IntEnum):
+    """flow_mod commands (subset used by the reproduction)."""
+
+    ADD = 0
+    MODIFY = 1
+    MODIFY_STRICT = 2
+    DELETE = 3
+    DELETE_STRICT = 4
+
+
+class ErrorType(enum.IntEnum):
+    """Error categories the simulated agent can raise."""
+
+    BAD_REQUEST = 1
+    BAD_ACTION = 2
+    FLOW_MOD_FAILED = 3
+    BUFFER_EMPTY = 4      # packet_out referenced an unknown/expired buffer
+    BUFFER_UNKNOWN = 5
+
+
+class PortNo(enum.IntEnum):
+    """Reserved port numbers (subset)."""
+
+    IN_PORT = 0xFFF8      # send back out the ingress port
+    FLOOD = 0xFFFB        # flood to all ports except ingress
+    CONTROLLER = 0xFFFD   # punt to the controller
+    NONE = 0xFFFF

@@ -1,0 +1,295 @@
+"""Flow table: prioritized rules with timeouts and capacity eviction.
+
+The table keeps an O(1) hash index for fully-exact entries (the kind the
+reactive forwarding app installs — one per 5-tuple flow) and a linear,
+priority-ordered list for wildcard entries.  Idle/hard timeouts and
+LRU/FIFO eviction model the paper's observation that "rules for inactive
+flows will be kicked out and replaced by rules for active flows", which is
+why even TCP flows can hit the miss path mid-connection (§VI.B).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, fields as dc_fields
+from typing import Optional, Tuple
+
+from ..packets import Packet
+from .actions import Action
+from .match import Match
+
+#: Entry-id source (diagnostics; stable ordering for FIFO eviction).
+_entry_ids = itertools.count(1)
+
+
+def _exact_key_from_match(match: Match) -> Optional[tuple]:
+    """Hash key for a fully-exact match; ``None`` if any field wildcarded."""
+    values = tuple(getattr(match, f.name) for f in dc_fields(match))
+    if any(v is None for v in values):
+        return None
+    return values
+
+
+def _exact_key_from_packet(packet: Packet, in_port: int) -> tuple:
+    """The key a fully-exact entry for this packet would have."""
+    ip = packet.ip
+    l4 = packet.l4
+    return (in_port,
+            packet.eth.src_mac, packet.eth.dst_mac, packet.eth.ethertype,
+            ip.src_ip if ip is not None else None,
+            ip.dst_ip if ip is not None else None,
+            ip.protocol if ip is not None else None,
+            l4.src_port if l4 is not None else None,
+            l4.dst_port if l4 is not None else None)
+
+
+@dataclass
+class FlowEntry:
+    """One installed rule."""
+
+    match: Match
+    actions: Tuple[Action, ...]
+    priority: int = 0x8000
+    idle_timeout: float = 0.0       # 0 = never idle-expires
+    hard_timeout: float = 0.0       # 0 = never hard-expires
+    cookie: int = 0
+    #: Emit a FlowRemoved to the controller when this rule dies.
+    send_flow_removed: bool = False
+    installed_at: float = 0.0
+    last_used: float = 0.0
+    packet_count: int = 0
+    byte_count: int = 0
+    entry_id: int = field(default_factory=lambda: next(_entry_ids))
+
+    def touch(self, now: float, wire_len: int) -> None:
+        """Record a packet hit."""
+        self.last_used = now
+        self.packet_count += 1
+        self.byte_count += wire_len
+
+    def is_expired(self, now: float) -> bool:
+        """Idle or hard timeout elapsed?"""
+        if self.hard_timeout > 0 and now - self.installed_at >= self.hard_timeout:
+            return True
+        if self.idle_timeout > 0 and now - self.last_used >= self.idle_timeout:
+            return True
+        return False
+
+
+class FlowTable:
+    """A single flow table with capacity-based eviction.
+
+    ``eviction`` is ``"lru"`` (least recently used, the default — matches
+    the LRU caching behaviour of [13] the paper cites) or ``"fifo"``
+    (oldest installation first).
+    """
+
+    def __init__(self, capacity: int = 2048, eviction: str = "lru"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if eviction not in ("lru", "fifo"):
+            raise ValueError(f"unknown eviction policy {eviction!r}")
+        self.capacity = capacity
+        self.eviction = eviction
+        self._exact: dict[tuple, FlowEntry] = {}
+        #: Wildcard entries, kept sorted by (-priority, entry_id).
+        self._wildcards: list[FlowEntry] = []
+        #: Mutation counter: any structural change bumps this, letting
+        #: exact-match caches above the table validate their entries.
+        self.generation = 0
+        #: Statistics.
+        self.lookups = 0
+        self.hits = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    # ------------------------------------------------------------------
+    # Size
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._exact) + len(self._wildcards)
+
+    @property
+    def is_full(self) -> bool:
+        """True when at capacity (the next insert will evict)."""
+        return len(self) >= self.capacity
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, packet: Packet, in_port: int,
+               now: float) -> Optional[FlowEntry]:
+        """Find the highest-priority live entry matching ``packet``.
+
+        Expired entries encountered during lookup are removed lazily, in
+        addition to the periodic :meth:`expire` sweep.
+        """
+        self.lookups += 1
+        best: Optional[FlowEntry] = None
+
+        key = _exact_key_from_packet(packet, in_port)
+        exact = self._exact.get(key)
+        if exact is not None:
+            if exact.is_expired(now):
+                del self._exact[key]
+                self.expirations += 1
+                self.generation += 1
+            else:
+                best = exact
+
+        if self._wildcards:
+            survivors = []
+            for entry in self._wildcards:
+                if entry.is_expired(now):
+                    self.expirations += 1
+                    continue
+                survivors.append(entry)
+                if best is None or entry.priority > best.priority:
+                    if entry.match.matches(packet, in_port):
+                        best = entry
+            if len(survivors) != len(self._wildcards):
+                self._wildcards = survivors
+                self.generation += 1
+
+        if best is not None:
+            best.touch(now, packet.wire_len)
+            self.hits += 1
+        return best
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, entry: FlowEntry, now: float) -> Optional[FlowEntry]:
+        """Install ``entry``; returns the evicted entry, if any.
+
+        Installing an entry with the same exact key (or identical wildcard
+        match + priority) replaces the old one without eviction.
+        """
+        entry.installed_at = now
+        entry.last_used = now
+        key = _exact_key_from_match(entry.match)
+        replaced = False
+        if key is not None:
+            replaced = key in self._exact
+        else:
+            for i, existing in enumerate(self._wildcards):
+                if (existing.match == entry.match
+                        and existing.priority == entry.priority):
+                    self._wildcards[i] = entry
+                    replaced = True
+                    break
+
+        evicted: Optional[FlowEntry] = None
+        if not replaced and self.is_full:
+            evicted = self._evict_one()
+
+        if key is not None:
+            self._exact[key] = entry
+        elif not replaced:
+            self._wildcards.append(entry)
+            self._wildcards.sort(key=lambda e: (-e.priority, e.entry_id))
+        self.insertions += 1
+        self.generation += 1
+        return evicted
+
+    def _evict_one(self) -> Optional[FlowEntry]:
+        """Remove one entry according to the eviction policy."""
+        candidates = list(self._exact.items())
+        if self.eviction == "lru":
+            score = lambda item: (item[1].last_used, item[1].entry_id)
+        else:  # fifo
+            score = lambda item: (item[1].installed_at, item[1].entry_id)
+        victim_key: Optional[tuple] = None
+        victim: Optional[FlowEntry] = None
+        if candidates:
+            victim_key, victim = min(candidates, key=score)
+        # Wildcards are only evicted if there are no exact entries; real
+        # switches strongly prefer evicting microflow rules.
+        if victim is None and self._wildcards:
+            victim = min(self._wildcards,
+                         key=lambda e: (e.last_used, e.entry_id))
+            self._wildcards.remove(victim)
+        elif victim_key is not None:
+            del self._exact[victim_key]
+        if victim is not None:
+            self.evictions += 1
+        return victim
+
+    def remove(self, match: Match, strict_priority: Optional[int] = None,
+               now: Optional[float] = None) -> int:
+        """Delete entries covered by ``match``; returns how many.
+
+        With ``strict_priority`` only an identical match at that priority is
+        removed (OFPFC_DELETE_STRICT); otherwise all covered entries go
+        (OFPFC_DELETE).  When ``now`` is given, entries that had already
+        expired are swept out first and not counted as deletions — a dead
+        rule cannot be deleted twice.
+        """
+        if now is not None:
+            self.expire(now)
+        removed = 0
+        if strict_priority is not None:
+            key = _exact_key_from_match(match)
+            if key is not None and key in self._exact:
+                if self._exact[key].priority == strict_priority:
+                    del self._exact[key]
+                    removed += 1
+            else:
+                keep = [e for e in self._wildcards
+                        if not (e.match == match
+                                and e.priority == strict_priority)]
+                removed += len(self._wildcards) - len(keep)
+                self._wildcards = keep
+            if removed:
+                self.generation += 1
+            return removed
+
+        for key, entry in list(self._exact.items()):
+            if match.covers(entry.match):
+                del self._exact[key]
+                removed += 1
+        keep = [e for e in self._wildcards if not match.covers(e.match)]
+        removed += len(self._wildcards) - len(keep)
+        self._wildcards = keep
+        if removed:
+            self.generation += 1
+        return removed
+
+    def expire(self, now: float) -> list[FlowEntry]:
+        """Sweep out every expired entry; returns what was removed."""
+        expired: list[FlowEntry] = []
+        for key, entry in list(self._exact.items()):
+            if entry.is_expired(now):
+                del self._exact[key]
+                expired.append(entry)
+        keep = []
+        for entry in self._wildcards:
+            if entry.is_expired(now):
+                expired.append(entry)
+            else:
+                keep.append(entry)
+        self._wildcards = keep
+        self.expirations += len(expired)
+        if expired:
+            self.generation += 1
+        return expired
+
+    def entries(self) -> list[FlowEntry]:
+        """All live entries (exact first, then wildcards by priority)."""
+        return list(self._exact.values()) + list(self._wildcards)
+
+    def clear(self) -> None:
+        """Drop every entry (counters retained)."""
+        self._exact.clear()
+        self._wildcards.clear()
+        self.generation += 1
+
+    @property
+    def miss_count(self) -> int:
+        """Lookups that found no entry."""
+        return self.lookups - self.hits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FlowTable(size={len(self)}/{self.capacity}, "
+                f"hits={self.hits}/{self.lookups})")

@@ -1,0 +1,110 @@
+"""Flow-table match structure.
+
+A :class:`Match` is a set of optional field constraints; ``None`` means
+wildcard.  The reactive forwarding app installs exact 5-tuple matches (the
+key the paper's Algorithm 1 identifies flows by), but the structure supports
+arbitrary wildcarding so the flow table and its tests can exercise priority
+and overlap semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Optional
+
+from .constants import OFP_MATCH_LEN
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..packets import Packet
+
+
+@dataclass(frozen=True)
+class Match:
+    """OpenFlow match; ``None`` fields are wildcards."""
+
+    in_port: Optional[int] = None
+    eth_src: Optional[str] = None
+    eth_dst: Optional[str] = None
+    eth_type: Optional[int] = None
+    ip_src: Optional[str] = None
+    ip_dst: Optional[str] = None
+    ip_proto: Optional[int] = None
+    tp_src: Optional[int] = None
+    tp_dst: Optional[int] = None
+
+    @classmethod
+    def exact_from_packet(cls, packet: "Packet",
+                          in_port: Optional[int] = None) -> "Match":
+        """An exact match on everything the packet carries."""
+        ip = packet.ip
+        l4 = packet.l4
+        return cls(
+            in_port=in_port,
+            eth_src=packet.eth.src_mac,
+            eth_dst=packet.eth.dst_mac,
+            eth_type=packet.eth.ethertype,
+            ip_src=ip.src_ip if ip is not None else None,
+            ip_dst=ip.dst_ip if ip is not None else None,
+            ip_proto=ip.protocol if ip is not None else None,
+            tp_src=l4.src_port if l4 is not None else None,
+            tp_dst=l4.dst_port if l4 is not None else None,
+        )
+
+    def matches(self, packet: "Packet",
+                in_port: Optional[int] = None) -> bool:
+        """Does ``packet`` (arriving on ``in_port``) satisfy this match?"""
+        if self.in_port is not None and self.in_port != in_port:
+            return False
+        if self.eth_src is not None and self.eth_src != packet.eth.src_mac:
+            return False
+        if self.eth_dst is not None and self.eth_dst != packet.eth.dst_mac:
+            return False
+        if self.eth_type is not None and self.eth_type != packet.eth.ethertype:
+            return False
+        ip = packet.ip
+        if self.ip_src is not None and (ip is None or self.ip_src != ip.src_ip):
+            return False
+        if self.ip_dst is not None and (ip is None or self.ip_dst != ip.dst_ip):
+            return False
+        if self.ip_proto is not None and (
+                ip is None or self.ip_proto != ip.protocol):
+            return False
+        l4 = packet.l4
+        if self.tp_src is not None and (
+                l4 is None or self.tp_src != l4.src_port):
+            return False
+        if self.tp_dst is not None and (
+                l4 is None or self.tp_dst != l4.dst_port):
+            return False
+        return True
+
+    @property
+    def wire_len(self) -> int:
+        """Size contribution on the wire (fixed ofp_match structure)."""
+        return OFP_MATCH_LEN
+
+    @property
+    def wildcard_count(self) -> int:
+        """Number of wildcarded fields (9 = match-all)."""
+        return sum(1 for f in fields(self) if getattr(self, f.name) is None)
+
+    @property
+    def is_match_all(self) -> bool:
+        """True if every field is wildcarded."""
+        return self.wildcard_count == len(fields(self))
+
+    def covers(self, other: "Match") -> bool:
+        """True if every packet matching ``other`` also matches ``self``."""
+        for f in fields(self):
+            mine = getattr(self, f.name)
+            theirs = getattr(other, f.name)
+            if mine is None:
+                continue
+            if theirs is None or mine != theirs:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        parts = [f"{f.name}={getattr(self, f.name)}" for f in fields(self)
+                 if getattr(self, f.name) is not None]
+        return "Match(" + (", ".join(parts) if parts else "*") + ")"

@@ -1,0 +1,171 @@
+"""The switch packet buffer (packet-granularity, per the OpenFlow spec).
+
+This is the "intrinsic buffer in a SDN switch" the paper studies.  Each
+buffered miss-match packet occupies one *buffer unit* and is assigned an
+exclusive ``buffer_id``; a later ``packet_out`` (or ``flow_mod``) carrying
+that id releases the unit and emits the packet.  When all units are in use
+the switch falls back to no-buffer behaviour for new misses — the paper's
+"buffer exhaustion" knee (Fig. 2/8 around 30–35 Mbps for buffer-16).
+
+Occupancy accounting feeds the Fig. 8 / Fig. 13 buffer-utilization curves.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Optional
+
+from ..packets import Packet
+
+#: Global buffer_id source; ids never repeat within a process, mirroring
+#: how real switches avoid immediately reusing ids of released units.
+_buffer_ids = itertools.count(1)
+
+
+class BufferFullError(Exception):
+    """No free buffer unit is available."""
+
+
+class PacketBuffer:
+    """Fixed-capacity store of miss-match packets keyed by ``buffer_id``.
+
+    ``reclaim_delay`` models how OVS's pktbuf recycles ring slots: a unit
+    released by a ``packet_out`` only becomes allocatable again after the
+    delay.  Occupancy (and exhaustion) therefore reflects allocation churn,
+    not just packets literally in flight — which is how a 16-unit buffer
+    exhausts near a 30–35 Mbps sending rate even though the control loop
+    only takes a millisecond (paper Figs. 2 and 8).
+    """
+
+    def __init__(self, capacity: int, reclaim_delay: float = 0.0):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        if reclaim_delay < 0:
+            raise ValueError(
+                f"reclaim_delay must be >= 0, got {reclaim_delay}")
+        self.capacity = capacity
+        self.reclaim_delay = reclaim_delay
+        self._units: dict[int, Packet] = {}
+        self._stored_at: dict[int, float] = {}
+        #: Expiry times of released-but-not-yet-reclaimed units (sorted,
+        #: because releases happen in nondecreasing simulated time).
+        self._cooling: deque[float] = deque()
+        #: Counters for analysis.
+        self.total_buffered = 0
+        self.total_released = 0
+        self.full_rejections = 0
+        self.unknown_releases = 0
+        self.peak_units = 0
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    def _prune_cooling(self, now: float) -> None:
+        while self._cooling and self._cooling[0] <= now:
+            self._cooling.popleft()
+
+    def occupancy(self, now: float) -> int:
+        """Units unavailable right now (live + cooling)."""
+        self._prune_cooling(now)
+        return len(self._units) + len(self._cooling)
+
+    @property
+    def units_in_use(self) -> int:
+        """Units holding a live packet (excludes cooling units)."""
+        return len(self._units)
+
+    @property
+    def packets_stored(self) -> int:
+        """Packets currently held (== live units for packet granularity)."""
+        return len(self._units)
+
+    def is_exhausted(self, now: float) -> bool:
+        """True when no unit can be allocated at ``now``."""
+        return self.occupancy(now) >= self.capacity
+
+    @property
+    def is_full(self) -> bool:
+        """True when live units alone reach capacity."""
+        return len(self._units) >= self.capacity
+
+    def free_units(self, now: float) -> int:
+        """Units allocatable at ``now``."""
+        return self.capacity - self.occupancy(now)
+
+    # ------------------------------------------------------------------
+    # Store / fetch
+    # ------------------------------------------------------------------
+    def store(self, packet: Packet, now: float) -> int:
+        """Buffer ``packet``; returns its fresh exclusive ``buffer_id``.
+
+        Raises :class:`BufferFullError` when exhausted — the caller then
+        falls back to enclosing the full frame in the ``packet_in``.
+        """
+        if self.is_exhausted(now):
+            self.full_rejections += 1
+            raise BufferFullError(
+                f"all {self.capacity} buffer units in use")
+        buffer_id = next(_buffer_ids)
+        self._units[buffer_id] = packet
+        self._stored_at[buffer_id] = now
+        self.total_buffered += 1
+        occupied = len(self._units) + len(self._cooling)
+        if occupied > self.peak_units:
+            self.peak_units = occupied
+        return buffer_id
+
+    def release(self, buffer_id: int, now: float) -> Optional[Packet]:
+        """Free the unit and return its packet; ``None`` if unknown.
+
+        Unknown ids happen legitimately: a retransmitted ``packet_out``
+        after the unit already aged out, or a controller bug.  The switch
+        answers those with an error message rather than crashing.  The
+        freed unit re-enters the free pool after ``reclaim_delay``.
+        """
+        packet = self._units.pop(buffer_id, None)
+        self._stored_at.pop(buffer_id, None)
+        if packet is None:
+            self.unknown_releases += 1
+            return None
+        self.total_released += 1
+        if self.reclaim_delay > 0:
+            self._cooling.append(now + self.reclaim_delay)
+        return packet
+
+    def peek(self, buffer_id: int) -> Optional[Packet]:
+        """Look at a buffered packet without releasing it."""
+        return self._units.get(buffer_id)
+
+    def __contains__(self, buffer_id: int) -> bool:
+        return buffer_id in self._units
+
+    def expire_older_than(self, cutoff: float) -> list[int]:
+        """Free units stored before ``cutoff``; returns the expired ids.
+
+        Real switches age out buffered packets whose ``packet_out`` never
+        arrives; this keeps a crashed controller from pinning the buffer.
+        """
+        expired = [bid for bid, t in self._stored_at.items() if t < cutoff]
+        for bid in expired:
+            self._units.pop(bid, None)
+            self._stored_at.pop(bid, None)
+        return expired
+
+    def clear(self) -> None:
+        """Free every unit (counters retained)."""
+        self._units.clear()
+        self._stored_at.clear()
+        self._cooling.clear()
+
+    def reset_accounting(self) -> None:
+        """Zero the counters (occupancy is untouched)."""
+        self.total_buffered = 0
+        self.total_released = 0
+        self.full_rejections = 0
+        self.unknown_releases = 0
+        self.peak_units = len(self._units)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PacketBuffer(units={len(self._units)}/{self.capacity}, "
+                f"peak={self.peak_units})")

@@ -1,0 +1,67 @@
+"""Ethernet (IEEE 802.3) header model.
+
+Only the fields and sizes relevant to the reproduction are modelled:
+addresses, EtherType, the 14-byte header and the frame-size floor.  The
+paper's workload uses fixed 1000-byte frames, but the model keeps real
+Ethernet size rules so mixed workloads stay honest.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+#: Bytes in an Ethernet header (dst MAC + src MAC + EtherType).
+HEADER_LEN = 14
+#: Minimum and maximum frame sizes (without FCS, as captured by tcpdump).
+MIN_FRAME = 60
+MAX_FRAME = 1514
+
+#: EtherType values used in this package.
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+
+_MAC_RE = re.compile(r"^([0-9a-fA-F]{2}:){5}[0-9a-fA-F]{2}$")
+
+
+def mac_to_int(mac: str) -> int:
+    """Parse ``aa:bb:cc:dd:ee:ff`` into a 48-bit integer."""
+    if not _MAC_RE.match(mac):
+        raise ValueError(f"malformed MAC address: {mac!r}")
+    return int(mac.replace(":", ""), 16)
+
+
+def int_to_mac(value: int) -> str:
+    """Render a 48-bit integer as ``aa:bb:cc:dd:ee:ff``."""
+    if not 0 <= value < (1 << 48):
+        raise ValueError(f"MAC integer out of range: {value!r}")
+    raw = f"{value:012x}"
+    return ":".join(raw[i:i + 2] for i in range(0, 12, 2))
+
+
+@dataclass(frozen=True)
+class EthernetHeader:
+    """Immutable Ethernet header."""
+
+    src_mac: str
+    dst_mac: str
+    ethertype: int = ETHERTYPE_IPV4
+
+    def __post_init__(self) -> None:
+        mac_to_int(self.src_mac)  # validation only
+        mac_to_int(self.dst_mac)
+        if not 0 <= self.ethertype <= 0xFFFF:
+            raise ValueError(f"ethertype out of range: {self.ethertype!r}")
+
+    @property
+    def header_len(self) -> int:
+        """Size of this header on the wire, in bytes."""
+        return HEADER_LEN
+
+    def reversed(self) -> "EthernetHeader":
+        """Header with source and destination swapped (for replies)."""
+        return EthernetHeader(src_mac=self.dst_mac, dst_mac=self.src_mac,
+                              ethertype=self.ethertype)
+
+    def __str__(self) -> str:
+        return f"eth {self.src_mac} > {self.dst_mac} type 0x{self.ethertype:04x}"

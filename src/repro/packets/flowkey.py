@@ -1,0 +1,50 @@
+"""Flow identification — the 5-tuple the paper's Algorithm 1 keys on.
+
+The flow-granularity buffer mechanism computes one ``buffer_id`` per flow
+"based on the tuple of (src_ip, src_port, dst_ip, dst_port, protocol)"
+(paper §V.A).  :class:`FiveTuple` is that key: hashable, immutable, and
+derivable from any packet carrying IP + L4 headers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from .ipv4 import proto_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .packet import Packet
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """The canonical (src_ip, src_port, dst_ip, dst_port, protocol) key."""
+
+    src_ip: str
+    src_port: int
+    dst_ip: str
+    dst_port: int
+    protocol: int
+
+    @classmethod
+    def from_packet(cls, packet: "Packet") -> Optional["FiveTuple"]:
+        """Extract the 5-tuple, or ``None`` for non-IP / portless packets."""
+        ip = packet.ip
+        l4 = packet.l4
+        if ip is None or l4 is None:
+            return None
+        return cls(src_ip=ip.src_ip, src_port=l4.src_port,
+                   dst_ip=ip.dst_ip, dst_port=l4.dst_port,
+                   protocol=ip.protocol)
+
+    def reversed(self) -> "FiveTuple":
+        """The key of the opposite direction of the same conversation."""
+        return FiveTuple(src_ip=self.dst_ip, src_port=self.dst_port,
+                         dst_ip=self.src_ip, dst_port=self.src_port,
+                         protocol=self.protocol)
+
+    def __str__(self) -> str:
+        return (f"{proto_name(self.protocol)} "
+                f"{self.src_ip}:{self.src_port} > "
+                f"{self.dst_ip}:{self.dst_port}")

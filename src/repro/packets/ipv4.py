@@ -1,0 +1,82 @@
+"""IPv4 header model with dotted-quad helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Bytes in an option-free IPv4 header.
+HEADER_LEN = 20
+
+#: IP protocol numbers used in this package.
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+_PROTO_NAMES = {PROTO_ICMP: "icmp", PROTO_TCP: "tcp", PROTO_UDP: "udp"}
+
+
+def ip_to_int(address: str) -> int:
+    """Parse dotted-quad ``a.b.c.d`` into a 32-bit integer."""
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address: {address!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise ValueError(f"malformed IPv4 address: {address!r}")
+        octet = int(part)
+        if octet > 255:
+            raise ValueError(f"IPv4 octet out of range in {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Render a 32-bit integer as dotted-quad."""
+    if not 0 <= value < (1 << 32):
+        raise ValueError(f"IPv4 integer out of range: {value!r}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def proto_name(protocol: int) -> str:
+    """Human-readable protocol name (falls back to the number)."""
+    return _PROTO_NAMES.get(protocol, str(protocol))
+
+
+@dataclass(frozen=True)
+class IPv4Header:
+    """Immutable IPv4 header (option-free)."""
+
+    src_ip: str
+    dst_ip: str
+    protocol: int
+    ttl: int = 64
+    dscp: int = 0
+    identification: int = 0
+
+    def __post_init__(self) -> None:
+        ip_to_int(self.src_ip)  # validation only
+        ip_to_int(self.dst_ip)
+        if not 0 <= self.protocol <= 255:
+            raise ValueError(f"protocol out of range: {self.protocol!r}")
+        if not 0 <= self.ttl <= 255:
+            raise ValueError(f"ttl out of range: {self.ttl!r}")
+        if not 0 <= self.dscp <= 63:
+            raise ValueError(f"dscp out of range: {self.dscp!r}")
+
+    @property
+    def header_len(self) -> int:
+        """Size of this header on the wire, in bytes."""
+        return HEADER_LEN
+
+    def decremented(self) -> "IPv4Header":
+        """Header with TTL reduced by one (as a router would emit)."""
+        if self.ttl <= 0:
+            raise ValueError("TTL already zero")
+        return IPv4Header(self.src_ip, self.dst_ip, self.protocol,
+                          ttl=self.ttl - 1, dscp=self.dscp,
+                          identification=self.identification)
+
+    def __str__(self) -> str:
+        return (f"ip {self.src_ip} > {self.dst_ip} "
+                f"proto {proto_name(self.protocol)} ttl {self.ttl}")

@@ -1,0 +1,113 @@
+"""The simulated packet — the unit that traverses hosts, links, switches.
+
+A :class:`Packet` is a mutable container of immutable headers plus a payload
+*length* (payload bytes are never materialized; only sizes matter to the
+testbed model).  It also carries measurement fields written by the metrics
+layer: when it was created, when it entered and left the switch — the raw
+material for the paper's flow-setup-delay and forwarding-delay definitions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .ethernet import MIN_FRAME, EthernetHeader
+from .flowkey import FiveTuple
+from .ipv4 import IPv4Header
+from .tcp import TCPHeader
+from .udp import UDPHeader
+
+#: Monotonic packet-id source; unique across all simulations in-process.
+_packet_ids = itertools.count(1)
+
+L4Header = Union[UDPHeader, TCPHeader]
+
+
+@dataclass
+class Packet:
+    """A frame on the wire.
+
+    ``payload_len`` is the application payload size in bytes; the wire size
+    adds the header stack and enforces the Ethernet minimum frame size.
+    """
+
+    eth: EthernetHeader
+    ip: Optional[IPv4Header] = None
+    l4: Optional[L4Header] = None
+    payload_len: int = 0
+    #: Workload bookkeeping: which generated flow this packet belongs to and
+    #: its position inside that flow (0-based).  ``None`` for control-plane
+    #: or hand-built packets.
+    flow_id: Optional[int] = None
+    seq_in_flow: Optional[int] = None
+    #: Measurement timestamps (seconds of simulated time), written by the
+    #: traffic generator and the switch ports respectively.
+    created_at: Optional[float] = None
+    switch_in_at: Optional[float] = None
+    switch_out_at: Optional[float] = None
+    #: Unique identity (assigned automatically).
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.payload_len < 0:
+            raise ValueError(f"payload_len must be >= 0, got {self.payload_len}")
+        if self.l4 is not None and self.ip is None:
+            raise ValueError("an L4 header requires an IP header")
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def header_len(self) -> int:
+        """Total header bytes across the stack."""
+        total = self.eth.header_len
+        if self.ip is not None:
+            total += self.ip.header_len
+        if self.l4 is not None:
+            total += self.l4.header_len
+        return total
+
+    @property
+    def wire_len(self) -> int:
+        """Frame size on the wire (headers + payload, >= Ethernet minimum)."""
+        return max(self.header_len + self.payload_len, MIN_FRAME)
+
+    def leading_bytes(self, count: int) -> int:
+        """Bytes actually available when truncating to ``count``.
+
+        Used to size the data portion of a ``packet_in`` under a
+        ``miss_send_len`` configuration: a request asking for 128 bytes of a
+        60-byte frame only gets 60.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return min(count, self.wire_len)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def five_tuple(self) -> Optional[FiveTuple]:
+        """The flow key, or ``None`` for non-IP traffic."""
+        return FiveTuple.from_packet(self)
+
+    @property
+    def is_udp(self) -> bool:
+        """True if this packet carries a UDP header."""
+        return isinstance(self.l4, UDPHeader)
+
+    @property
+    def is_tcp(self) -> bool:
+        """True if this packet carries a TCP header."""
+        return isinstance(self.l4, TCPHeader)
+
+    def __str__(self) -> str:
+        pieces = [f"#{self.uid}", str(self.eth)]
+        if self.ip is not None:
+            pieces.append(str(self.ip))
+        if self.l4 is not None:
+            pieces.append(str(self.l4))
+        pieces.append(f"len {self.wire_len}")
+        return " | ".join(pieces)

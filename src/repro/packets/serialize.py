@@ -1,0 +1,158 @@
+"""Byte-level packet serialization (RFC-faithful header layouts).
+
+The simulation itself only needs header *sizes*, but a library users can
+trust should also prove its header model is the real one: this module
+encodes packets into actual wire bytes (Ethernet II, IPv4 with a correct
+header checksum, UDP, TCP) and decodes them back.  The round-trip is
+exact for every field the model carries; payload bytes are zeros (the
+model tracks payload length, not content).
+
+Used by tests as an executable specification, and by anyone who wants to
+feed simulated traffic into real tooling (e.g. writing a pcap).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .ethernet import ETHERTYPE_IPV4, EthernetHeader, int_to_mac, mac_to_int
+from .ipv4 import PROTO_TCP, PROTO_UDP, IPv4Header, int_to_ip, ip_to_int
+from .packet import Packet
+from .tcp import TCPHeader
+from .udp import UDPHeader
+
+
+class DecodeError(Exception):
+    """The byte string is not a packet this model can represent."""
+
+
+# ---------------------------------------------------------------------------
+# Checksums
+# ---------------------------------------------------------------------------
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 ones-complement checksum."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+
+def encode_ethernet(header: EthernetHeader) -> bytes:
+    """14 bytes: dst MAC, src MAC, EtherType."""
+    return (mac_to_int(header.dst_mac).to_bytes(6, "big")
+            + mac_to_int(header.src_mac).to_bytes(6, "big")
+            + struct.pack("!H", header.ethertype))
+
+
+def encode_ipv4(header: IPv4Header, total_length: int) -> bytes:
+    """20 bytes with a valid header checksum."""
+    version_ihl = (4 << 4) | 5
+    tos = header.dscp << 2
+    without_checksum = struct.pack(
+        "!BBHHHBBH4s4s", version_ihl, tos, total_length,
+        header.identification, 0, header.ttl, header.protocol, 0,
+        ip_to_int(header.src_ip).to_bytes(4, "big"),
+        ip_to_int(header.dst_ip).to_bytes(4, "big"))
+    checksum = internet_checksum(without_checksum)
+    return without_checksum[:10] + struct.pack("!H", checksum) \
+        + without_checksum[12:]
+
+
+def encode_udp(header: UDPHeader, payload_len: int) -> bytes:
+    """8 bytes (checksum 0 = not computed, legal for IPv4 UDP)."""
+    return struct.pack("!HHHH", header.src_port, header.dst_port,
+                       8 + payload_len, 0)
+
+
+def encode_tcp(header: TCPHeader) -> bytes:
+    """20 option-free bytes (checksum left zero)."""
+    data_offset = (5 << 4)
+    return struct.pack("!HHIIBBHHH", header.src_port, header.dst_port,
+                       header.seq, header.ack, data_offset, header.flags,
+                       header.window, 0, 0)
+
+
+def encode_packet(packet: Packet) -> bytes:
+    """The full frame: header stack + zeroed payload, Ethernet-padded."""
+    if packet.ip is None:
+        frame = encode_ethernet(packet.eth) + b"\x00" * packet.payload_len
+        return frame.ljust(packet.wire_len, b"\x00")
+    if isinstance(packet.l4, UDPHeader):
+        l4 = encode_udp(packet.l4, packet.payload_len)
+    elif isinstance(packet.l4, TCPHeader):
+        l4 = encode_tcp(packet.l4)
+    elif packet.l4 is None:
+        l4 = b""
+    else:  # pragma: no cover - closed type union
+        raise TypeError(f"unknown L4 header {packet.l4!r}")
+    ip_total = packet.ip.header_len + len(l4) + packet.payload_len
+    frame = (encode_ethernet(packet.eth)
+             + encode_ipv4(packet.ip, ip_total)
+             + l4
+             + b"\x00" * packet.payload_len)
+    return frame.ljust(packet.wire_len, b"\x00")
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+
+def decode_packet(data: bytes) -> Packet:
+    """Rebuild a :class:`Packet` from wire bytes.
+
+    Raises :class:`DecodeError` on truncated input, bad IP checksums and
+    header layouts the model does not carry.
+    """
+    if len(data) < 14:
+        raise DecodeError(f"frame too short for Ethernet: {len(data)}B")
+    dst = int_to_mac(int.from_bytes(data[0:6], "big"))
+    src = int_to_mac(int.from_bytes(data[6:12], "big"))
+    (ethertype,) = struct.unpack("!H", data[12:14])
+    eth = EthernetHeader(src_mac=src, dst_mac=dst, ethertype=ethertype)
+    if ethertype != ETHERTYPE_IPV4:
+        return Packet(eth=eth, payload_len=len(data) - 14)
+
+    ip_bytes = data[14:34]
+    if len(ip_bytes) < 20:
+        raise DecodeError("frame truncated inside the IPv4 header")
+    (version_ihl, tos, total_length, identification, _flags, ttl,
+     protocol, checksum) = struct.unpack("!BBHHHBBH", ip_bytes[:12])
+    if version_ihl != ((4 << 4) | 5):
+        raise DecodeError(f"unsupported IPv4 version/IHL 0x{version_ihl:x}")
+    if internet_checksum(ip_bytes) != 0:
+        raise DecodeError("bad IPv4 header checksum")
+    src_ip = int_to_ip(int.from_bytes(ip_bytes[12:16], "big"))
+    dst_ip = int_to_ip(int.from_bytes(ip_bytes[16:20], "big"))
+    ip = IPv4Header(src_ip=src_ip, dst_ip=dst_ip, protocol=protocol,
+                    ttl=ttl, dscp=tos >> 2, identification=identification)
+
+    l4_bytes = data[34:]
+    if protocol == PROTO_UDP:
+        if len(l4_bytes) < 8:
+            raise DecodeError("frame truncated inside the UDP header")
+        sport, dport, udp_len, _cksum = struct.unpack("!HHHH", l4_bytes[:8])
+        l4 = UDPHeader(src_port=sport, dst_port=dport)
+        payload_len = udp_len - 8
+    elif protocol == PROTO_TCP:
+        if len(l4_bytes) < 20:
+            raise DecodeError("frame truncated inside the TCP header")
+        (sport, dport, seq, ack, offset, flags, window, _cksum,
+         _urgent) = struct.unpack("!HHIIBBHHH", l4_bytes[:20])
+        if offset != (5 << 4):
+            raise DecodeError("TCP options are not supported")
+        l4 = TCPHeader(src_port=sport, dst_port=dport, seq=seq, ack=ack,
+                       flags=flags, window=window)
+        payload_len = total_length - 20 - 20
+    else:
+        l4 = None
+        payload_len = total_length - 20
+    if payload_len < 0:
+        raise DecodeError(f"negative payload length {payload_len}")
+    return Packet(eth=eth, ip=ip, l4=l4, payload_len=payload_len)

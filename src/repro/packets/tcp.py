@@ -1,0 +1,80 @@
+"""TCP header model with the flag vocabulary the paper's §VI needs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Bytes in an option-free TCP header.
+HEADER_LEN = 20
+
+#: Flag bits (subset; matches the on-wire bit positions).
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_PSH = 0x08
+FLAG_ACK = 0x10
+
+_FLAG_NAMES = [(FLAG_SYN, "S"), (FLAG_FIN, "F"), (FLAG_RST, "R"),
+               (FLAG_PSH, "P"), (FLAG_ACK, ".")]
+
+
+def _check_port(port: int, label: str) -> None:
+    if not 0 <= port <= 0xFFFF:
+        raise ValueError(f"{label} out of range: {port!r}")
+
+
+def flags_to_str(flags: int) -> str:
+    """Render flags tcpdump-style, e.g. ``S.`` for SYN+ACK."""
+    return "".join(name for bit, name in _FLAG_NAMES if flags & bit) or "-"
+
+
+@dataclass(frozen=True)
+class TCPHeader:
+    """Immutable, option-free TCP header."""
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+    window: int = 65535
+
+    def __post_init__(self) -> None:
+        _check_port(self.src_port, "src_port")
+        _check_port(self.dst_port, "dst_port")
+        if not 0 <= self.seq < (1 << 32):
+            raise ValueError(f"seq out of range: {self.seq!r}")
+        if not 0 <= self.ack < (1 << 32):
+            raise ValueError(f"ack out of range: {self.ack!r}")
+        if not 0 <= self.flags <= 0xFF:
+            raise ValueError(f"flags out of range: {self.flags!r}")
+
+    @property
+    def header_len(self) -> int:
+        """Size of this header on the wire, in bytes."""
+        return HEADER_LEN
+
+    @property
+    def is_syn(self) -> bool:
+        """True for a pure SYN (connection open)."""
+        return bool(self.flags & FLAG_SYN) and not self.flags & FLAG_ACK
+
+    @property
+    def is_synack(self) -> bool:
+        """True for SYN+ACK."""
+        return bool(self.flags & FLAG_SYN) and bool(self.flags & FLAG_ACK)
+
+    @property
+    def is_fin(self) -> bool:
+        """True if FIN is set."""
+        return bool(self.flags & FLAG_FIN)
+
+    def reversed(self) -> "TCPHeader":
+        """Header with ports swapped (for replies); seq/ack not adjusted."""
+        return TCPHeader(src_port=self.dst_port, dst_port=self.src_port,
+                         seq=self.ack, ack=self.seq, flags=self.flags,
+                         window=self.window)
+
+    def __str__(self) -> str:
+        return (f"tcp {self.src_port} > {self.dst_port} "
+                f"[{flags_to_str(self.flags)}] seq {self.seq} ack {self.ack}")

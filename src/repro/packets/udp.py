@@ -1,0 +1,37 @@
+"""UDP header model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Bytes in a UDP header.
+HEADER_LEN = 8
+
+
+def _check_port(port: int, label: str) -> None:
+    if not 0 <= port <= 0xFFFF:
+        raise ValueError(f"{label} out of range: {port!r}")
+
+
+@dataclass(frozen=True)
+class UDPHeader:
+    """Immutable UDP header."""
+
+    src_port: int
+    dst_port: int
+
+    def __post_init__(self) -> None:
+        _check_port(self.src_port, "src_port")
+        _check_port(self.dst_port, "dst_port")
+
+    @property
+    def header_len(self) -> int:
+        """Size of this header on the wire, in bytes."""
+        return HEADER_LEN
+
+    def reversed(self) -> "UDPHeader":
+        """Header with ports swapped (for replies)."""
+        return UDPHeader(src_port=self.dst_port, dst_port=self.src_port)
+
+    def __str__(self) -> str:
+        return f"udp {self.src_port} > {self.dst_port}"

@@ -1,0 +1,48 @@
+"""Discrete-event simulation kernel used by every other subpackage.
+
+Public surface:
+
+* :class:`Simulator` — the clock and event heap.
+* :class:`Event`, :class:`Timeout`, :class:`AnyOf`, :class:`AllOf` —
+  process-style synchronization.
+* :class:`Process`, :class:`Interrupt` — generator-driven processes.
+* :class:`Resource`, :class:`Store`, :class:`TokenBucket` — shared
+  resources.
+* :class:`ServiceStation`, :class:`Job` — FIFO queueing stations with
+  busy-time (CPU-utilization) accounting.
+* :class:`RandomStreams` — deterministic named RNG substreams.
+* :class:`TraceLog`, :class:`TraceRecord` — structured tracing.
+* :mod:`units <repro.simkit.units>` helpers (``mbps``, ``msec``, ...).
+"""
+
+from .callbacks import EventEmitter
+from .errors import (DeadlockError, ProcessError, ResourceError,
+                     SchedulingError, SimkitError, SimulationFinished)
+from .events import AllOf, AnyOf, ConditionValue, Event, Timeout
+from .process import Interrupt, Process
+from .resources import Request, Resource, Store, StoreGet, StorePut, TokenBucket
+from .rng import RandomStreams
+from .simulator import (PRIORITY_LATE, PRIORITY_NORMAL, PRIORITY_URGENT,
+                        ScheduledCall, Simulator)
+from .stations import Job, ServiceStation
+from .tracing import TraceLog, TraceRecord
+from .units import (BITS_PER_BYTE, GBPS, KBPS, KBYTE, MBPS, MBYTE, MSEC,
+                    USEC, bits, gbps, kbps, mbps, msec, to_mbps, to_msec,
+                    transmission_delay, usec)
+
+__all__ = [
+    "EventEmitter",
+    "AllOf", "AnyOf", "ConditionValue", "Event", "Timeout",
+    "Interrupt", "Process",
+    "Request", "Resource", "Store", "StoreGet", "StorePut", "TokenBucket",
+    "RandomStreams",
+    "ScheduledCall", "Simulator",
+    "PRIORITY_LATE", "PRIORITY_NORMAL", "PRIORITY_URGENT",
+    "Job", "ServiceStation",
+    "TraceLog", "TraceRecord",
+    "SimkitError", "SchedulingError", "SimulationFinished", "ProcessError",
+    "ResourceError", "DeadlockError",
+    "BITS_PER_BYTE", "KBPS", "MBPS", "GBPS", "USEC", "MSEC", "KBYTE",
+    "MBYTE", "bits", "kbps", "mbps", "gbps", "usec", "msec", "to_mbps",
+    "to_msec", "transmission_delay",
+]

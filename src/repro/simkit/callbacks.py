@@ -1,0 +1,45 @@
+"""A minimal synchronous event emitter.
+
+Simulation components (switch, controller) publish named events —
+``packet_ingress``, ``packet_in_sent``, ... — and the metrics layer
+subscribes without the components knowing anything about metrics.  Emission
+is synchronous and allocation-free when nobody listens, so instrumentation
+costs nothing on unobserved runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+Listener = Callable[..., None]
+
+
+class EventEmitter:
+    """Named-event publish/subscribe with synchronous dispatch."""
+
+    def __init__(self) -> None:
+        self._listeners: Dict[str, List[Listener]] = {}
+
+    def on(self, event: str, listener: Listener) -> None:
+        """Subscribe ``listener`` to ``event``."""
+        self._listeners.setdefault(event, []).append(listener)
+
+    def off(self, event: str, listener: Listener) -> None:
+        """Unsubscribe; raises ``ValueError`` if not subscribed."""
+        self._listeners[event].remove(listener)
+
+    def emit(self, event: str, *args: Any) -> None:
+        """Invoke every listener of ``event`` in subscription order."""
+        listeners = self._listeners.get(event)
+        if not listeners:
+            return
+        for listener in listeners:
+            listener(*args)
+
+    def listener_count(self, event: str) -> int:
+        """Number of subscribers for ``event``."""
+        return len(self._listeners.get(event, ()))
+
+    def clear(self) -> None:
+        """Drop every subscription."""
+        self._listeners.clear()

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the simulation kernel.
+
+Keeping kernel errors in their own module lets higher layers catch precise
+failure classes (``except SchedulingError``) instead of broad ``Exception``
+clauses, and keeps import cycles out of :mod:`repro.simkit.simulator`.
+"""
+
+from __future__ import annotations
+
+
+class SimkitError(Exception):
+    """Base class for every error raised by the simulation kernel."""
+
+
+class SchedulingError(SimkitError):
+    """An event was scheduled at an invalid time (e.g. in the past)."""
+
+
+class SimulationFinished(SimkitError):
+    """Raised internally to stop a process when the simulation ends."""
+
+
+class ProcessError(SimkitError):
+    """A simulated process raised an exception; wraps the original."""
+
+    def __init__(self, process_name: str, original: BaseException):
+        super().__init__(f"process {process_name!r} failed: {original!r}")
+        self.process_name = process_name
+        self.original = original
+
+
+class ResourceError(SimkitError):
+    """Invalid operation on a simulated resource (e.g. double release)."""
+
+
+class DeadlockError(SimkitError):
+    """The event queue drained while processes were still waiting."""

@@ -1,0 +1,194 @@
+"""Events for process-style simulation code.
+
+An :class:`Event` is a one-shot promise living on a simulator clock.  It can
+*succeed* with a value or *fail* with an exception; callbacks attached to it
+fire when it is processed.  :class:`Timeout` succeeds after a fixed delay.
+:class:`AnyOf` / :class:`AllOf` compose events, which is how protocol code
+expresses "wait for a reply or a timeout, whichever comes first" — exactly
+the pattern Algorithm 1 of the paper needs for its re-request timer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from .errors import ResourceError
+from .simulator import PRIORITY_NORMAL, PRIORITY_URGENT, Simulator
+
+#: Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        #: Set by Process when a failure was delivered into a generator, so
+        #: unhandled failures of *unwaited* events can still be surfaced.
+        self.defused = False
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled for processing."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise ResourceError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception."""
+        if self._value is _PENDING:
+            raise ResourceError("event has not been triggered yet")
+        return self._value
+
+    # ------------------------------------------------------------------
+    # Triggering
+    # ------------------------------------------------------------------
+    def succeed(self, value: Any = None, *, urgent: bool = False) -> "Event":
+        """Mark the event successful; callbacks run at the current instant."""
+        if self._value is not _PENDING:
+            raise ResourceError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        priority = PRIORITY_URGENT if urgent else PRIORITY_NORMAL
+        self.sim.schedule(0.0, self._process, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Mark the event failed; waiting processes receive the exception."""
+        if self._value is not _PENDING:
+            raise ResourceError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.sim.schedule(0.0, self._process)
+        return self
+
+    def trigger(self, other: "Event") -> None:
+        """Copy the outcome of an already-triggered event onto this one."""
+        if other.ok:
+            self.succeed(other.value)
+        else:
+            self.fail(other.value)
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+
+    # ------------------------------------------------------------------
+    # Waiting
+    # ------------------------------------------------------------------
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Attach ``callback``; runs immediately-ish if already processed."""
+        if self.callbacks is None:
+            # Already processed: run at the current instant to preserve the
+            # invariant that callbacks never run synchronously inside the
+            # caller's frame.
+            self.sim.schedule(0.0, callback, self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._value is _PENDING:
+            state = "pending"
+        else:
+            state = "ok" if self._ok else f"failed({self._value!r})"
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that succeeds ``delay`` seconds after creation."""
+
+    def __init__(self, sim: Simulator, delay: float, value: Any = None):
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._handle = sim.schedule(delay, self._process)
+
+    def cancel(self) -> None:
+        """Cancel the pending timeout; callbacks will never run."""
+        self._handle.cancel()
+
+
+class ConditionValue:
+    """Mapping of the events that had fired when a condition triggered."""
+
+    def __init__(self, events: list[Event]):
+        self.events = events
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ConditionValue({self.events!r})"
+
+
+class _Condition(Event):
+    """Shared machinery for :class:`AnyOf` / :class:`AllOf`."""
+
+    def __init__(self, sim: Simulator, events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._fired: list[Event] = []
+        if not self._events:
+            self.succeed(ConditionValue([]))
+            return
+        for event in self._events:
+            if event.sim is not sim:
+                raise ValueError("all events must share one simulator")
+            event.add_callback(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defused = True
+            self.fail(event.value)
+            return
+        self._fired.append(event)
+        if self._satisfied():
+            self.succeed(ConditionValue(list(self._fired)))
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Succeeds as soon as any constituent event succeeds."""
+
+    def _satisfied(self) -> bool:
+        return len(self._fired) >= 1
+
+
+class AllOf(_Condition):
+    """Succeeds when every constituent event has succeeded."""
+
+    def _satisfied(self) -> bool:
+        return len(self._fired) == len(self._events)

@@ -1,0 +1,113 @@
+"""Generator-driven simulated processes.
+
+A process wraps a Python generator.  Each ``yield`` hands back an
+:class:`~repro.simkit.events.Event`; the process sleeps until that event
+triggers, then resumes with the event's value (or the event's exception is
+thrown into the generator).  A :class:`Process` is itself an event, so
+processes can wait on each other and be composed with ``AnyOf``/``AllOf``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .errors import ProcessError
+from .events import Event
+from .simulator import Simulator
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """Drives a generator of events; completes when the generator returns.
+
+    The process's own event succeeds with the generator's return value, or
+    fails with a :class:`~repro.simkit.errors.ProcessError` wrapping any
+    unhandled exception.
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator,
+                 name: Optional[str] = None):
+        super().__init__(sim)
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"expected a generator, got {generator!r}")
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on, if any.
+        self._waiting_on: Optional[Event] = None
+        # Kick off at the current instant rather than synchronously, so a
+        # process body never runs inside its creator's stack frame.
+        bootstrap = Event(sim)
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        A process blocked on an event stops waiting on it (the event itself
+        is unaffected and may still trigger later for other waiters).
+        """
+        if self.triggered:
+            return
+        self.sim.schedule(0.0, self._throw_interrupt, Interrupt(cause))
+
+    def _throw_interrupt(self, interrupt: Interrupt) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        self._step(throw=interrupt)
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if self._waiting_on is not None and event is not self._waiting_on:
+            # Stale wakeup from an event we stopped waiting on (interrupt).
+            return
+        self._waiting_on = None
+        if event.ok:
+            self._step(value=event.value)
+        else:
+            event.defused = True
+            self._step(throw=event.value)
+
+    def _step(self, value: Any = None,
+              throw: Optional[BaseException] = None) -> None:
+        try:
+            if throw is not None:
+                target = self._generator.throw(throw)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # An unhandled interrupt terminates the process "successfully
+            # cancelled" semantics would hide bugs; treat as failure.
+            self.fail(ProcessError(self.name, exc))
+            return
+        except BaseException as exc:  # noqa: BLE001 - deliberate broad catch
+            self.fail(ProcessError(self.name, exc))
+            return
+        if not isinstance(target, Event):
+            self.fail(ProcessError(
+                self.name,
+                TypeError(f"process yielded non-event {target!r}")))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else (
+            "waiting" if self._waiting_on is not None else "starting")
+        return f"<Process {self.name!r} {state}>"

@@ -1,0 +1,195 @@
+"""Shared resources for process-style code: counted resources and stores.
+
+These mirror the classic SimPy primitives but are deliberately small:
+
+* :class:`Resource` — ``capacity`` interchangeable slots with a FIFO wait
+  queue.  Used for things like "at most one outstanding barrier".
+* :class:`Store` — an unbounded-or-bounded FIFO of items with blocking
+  ``get``/``put``.  Used for message queues between protocol processes.
+* :class:`TokenBucket` — rate limiter used by traffic shaping extensions.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .errors import ResourceError
+from .events import Event
+from .simulator import Simulator
+
+
+class Request(Event):
+    """Pending acquisition of a :class:`Resource` slot."""
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+
+
+class Resource:
+    """``capacity`` interchangeable slots with FIFO granting."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use: set[Request] = set()
+        self._waiting: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._in_use)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Ask for a slot; the returned event succeeds when granted."""
+        req = Request(self)
+        if len(self._in_use) < self.capacity:
+            self._in_use.add(req)
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot."""
+        if request not in self._in_use:
+            raise ResourceError("releasing a slot that is not held")
+        self._in_use.discard(request)
+        while self._waiting and len(self._in_use) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._in_use.add(nxt)
+            nxt.succeed()
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw a waiting request (no-op if already granted)."""
+        try:
+            self._waiting.remove(request)
+        except ValueError:
+            pass
+
+
+class StoreGet(Event):
+    """Pending retrieval from a :class:`Store`."""
+
+
+class StorePut(Event):
+    """Pending insertion into a bounded :class:`Store`."""
+
+    def __init__(self, sim: Simulator, item: Any):
+        super().__init__(sim)
+        self.item = item
+
+
+class Store:
+    """FIFO item store with blocking ``get`` and (if bounded) ``put``."""
+
+    def __init__(self, sim: Simulator, capacity: float = math.inf):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[StoreGet] = deque()
+        self._putters: Deque[StorePut] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; blocks (as an event) when the store is full."""
+        put = StorePut(self.sim, item)
+        if len(self.items) < self.capacity:
+            self._admit(put)
+        else:
+            self._putters.append(put)
+        return put
+
+    def get(self) -> StoreGet:
+        """Take the oldest item; blocks (as an event) when empty."""
+        get = StoreGet(self.sim)
+        if self.items:
+            get.succeed(self.items.popleft())
+            self._drain_putters()
+        else:
+            self._getters.append(get)
+        return get
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking take; returns ``None`` when empty."""
+        if not self.items:
+            return None
+        item = self.items.popleft()
+        self._drain_putters()
+        return item
+
+    def _admit(self, put: StorePut) -> None:
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(put.item)
+        else:
+            self.items.append(put.item)
+        put.succeed()
+
+    def _drain_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            self._admit(self._putters.popleft())
+
+
+class TokenBucket:
+    """Token-bucket rate limiter (tokens are bytes by convention).
+
+    ``consume`` returns the simulated time at which the requested amount is
+    available, advancing the bucket state; callers schedule their sends for
+    that time.  This is a calculation helper, not an event source, which
+    keeps it allocation-free on the hot path.
+    """
+
+    def __init__(self, sim: Simulator, rate_bytes_per_s: float,
+                 burst_bytes: float):
+        if rate_bytes_per_s <= 0:
+            raise ValueError("rate must be positive")
+        if burst_bytes <= 0:
+            raise ValueError("burst must be positive")
+        self.sim = sim
+        self.rate = rate_bytes_per_s
+        self.burst = burst_bytes
+        self._tokens = burst_bytes
+        self._last_update = sim.now
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._last_update = now
+
+    def consume(self, amount: float) -> float:
+        """Reserve ``amount`` tokens; returns the time they are available."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        now = self.sim.now
+        self._refill(now)
+        if self._tokens >= amount:
+            self._tokens -= amount
+            return now
+        deficit = amount - self._tokens
+        wait = deficit / self.rate
+        self._tokens = 0.0
+        self._last_update = now + wait
+        return now + wait
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now (read-only view)."""
+        now = self.sim.now
+        self._refill(now)
+        return self._tokens

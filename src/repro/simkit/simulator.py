@@ -1,0 +1,198 @@
+"""Discrete-event simulation core.
+
+The :class:`Simulator` owns the virtual clock and the pending-event heap.
+Two programming styles are supported, and both are used by the higher
+layers of this package:
+
+* **Callback style** — ``sim.schedule(delay, fn, *args)`` runs ``fn`` at
+  ``sim.now + delay``.  The packet-level machinery (links, CPU stations,
+  switch datapath) is written this way because it is the hot path.
+* **Process style** — ``sim.process(generator)`` drives a generator that
+  ``yield``\\ s :class:`~repro.simkit.events.Event` objects (timeouts,
+  resource requests, store gets).  Traffic generators and protocol logic
+  with waiting/timeout behaviour are written this way.
+
+Determinism: events scheduled for the same instant fire in FIFO order of
+scheduling (stable sequence numbers break ties), so a simulation with a
+fixed RNG seed is exactly reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .errors import SchedulingError
+
+#: Priority levels for same-instant ordering.  Lower fires first.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+PRIORITY_LATE = 2
+
+
+class ScheduledCall:
+    """Handle for a scheduled callback; supports cancellation.
+
+    Cancellation is *lazy*: the heap entry stays in place but is skipped
+    when popped, which keeps :meth:`cancel` O(1).
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledCall") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time, other.priority, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return (f"ScheduledCall(t={self.time:.9f}, prio={self.priority}, "
+                f"seq={self.seq}, fn={getattr(self.fn, '__name__', self.fn)}, "
+                f"{state})")
+
+
+class Simulator:
+    """A discrete-event simulator with a float clock in seconds."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: list[ScheduledCall] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        #: Count of events executed; useful for tests and budget guards.
+        self.events_executed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any,
+                 priority: int = PRIORITY_NORMAL) -> ScheduledCall:
+        """Run ``fn(*args)`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SchedulingError(
+                f"cannot schedule {delay!r}s in the past at t={self._now}")
+        return self.schedule_at(self._now + delay, fn, *args,
+                                priority=priority)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any,
+                    priority: int = PRIORITY_NORMAL) -> ScheduledCall:
+        """Run ``fn(*args)`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at t={time} before now={self._now}")
+        if not math.isfinite(time):
+            raise SchedulingError(f"event time must be finite, got {time!r}")
+        self._seq += 1
+        call = ScheduledCall(time, priority, self._seq, fn, args)
+        heapq.heappush(self._heap, call)
+        return call
+
+    # ------------------------------------------------------------------
+    # Event / process factories (imported lazily to avoid cycles)
+    # ------------------------------------------------------------------
+    def event(self) -> "Any":
+        """Create a fresh, untriggered :class:`~repro.simkit.events.Event`."""
+        from .events import Event
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> "Any":
+        """Create an event that succeeds after ``delay`` seconds."""
+        from .events import Timeout
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> "Any":
+        """Start driving ``generator`` as a simulated process."""
+        from .process import Process
+        return Process(self, generator)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next pending event, or ``inf`` if none remain."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else math.inf
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue is empty.
+        """
+        while self._heap:
+            call = heapq.heappop(self._heap)
+            if call.cancelled:
+                continue
+            self._now = call.time
+            self.events_executed += 1
+            call.fn(*call.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or stopped.
+
+        ``until`` advances the clock to exactly that time even if the queue
+        drains earlier, mirroring SimPy semantics; this makes utilization
+        windows well defined.  ``max_events`` is a runaway guard for tests.
+        Returns the simulation time when the run stopped.
+        """
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while not self._stopped:
+                next_time = self.peek()
+                if next_time is math.inf:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+        return self._now
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the currently executing event."""
+        self._stopped = True
+
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for c in self._heap if not c.cancelled)
+
+    def drain(self, calls: Iterable[ScheduledCall]) -> None:
+        """Cancel a batch of scheduled calls (e.g. on component shutdown)."""
+        for call in calls:
+            call.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Simulator(now={self._now:.9f}, "
+                f"pending={self.pending_count()})")

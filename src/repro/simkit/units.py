@@ -1,0 +1,79 @@
+"""Unit helpers for the simulation.
+
+All simulation time is expressed in **seconds** (floats), all data sizes in
+**bytes** (ints) and all data rates in **bits per second** (floats).  These
+helpers exist so that experiment code can be written in the units the paper
+uses (Mbps sending rates, millisecond delays, 1000-byte Ethernet frames)
+without sprinkling magic conversion factors around.
+"""
+
+from __future__ import annotations
+
+#: Number of bits per byte; named to keep rate computations readable.
+BITS_PER_BYTE = 8
+
+#: One kilobit / megabit / gigabit per second, in bits per second.
+KBPS = 1_000.0
+MBPS = 1_000_000.0
+GBPS = 1_000_000_000.0
+
+#: One microsecond / millisecond, in seconds.
+USEC = 1e-6
+MSEC = 1e-3
+
+#: One kilobyte / megabyte, in bytes (decimal, matching pktgen/tcpdump usage).
+KBYTE = 1_000
+MBYTE = 1_000_000
+
+
+def mbps(value: float) -> float:
+    """Convert a rate given in megabits per second to bits per second."""
+    return value * MBPS
+
+
+def to_mbps(bits_per_second: float) -> float:
+    """Convert a rate in bits per second to megabits per second."""
+    return bits_per_second / MBPS
+
+
+def kbps(value: float) -> float:
+    """Convert a rate given in kilobits per second to bits per second."""
+    return value * KBPS
+
+
+def gbps(value: float) -> float:
+    """Convert a rate given in gigabits per second to bits per second."""
+    return value * GBPS
+
+
+def usec(value: float) -> float:
+    """Convert a duration given in microseconds to seconds."""
+    return value * USEC
+
+
+def msec(value: float) -> float:
+    """Convert a duration given in milliseconds to seconds."""
+    return value * MSEC
+
+
+def to_msec(seconds: float) -> float:
+    """Convert a duration in seconds to milliseconds."""
+    return seconds / MSEC
+
+
+def transmission_delay(size_bytes: int, rate_bps: float) -> float:
+    """Time to serialize ``size_bytes`` onto a link of ``rate_bps``.
+
+    Raises :class:`ValueError` for a non-positive rate because a zero-rate
+    link would silently stall the simulation forever.
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"link rate must be positive, got {rate_bps!r}")
+    if size_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {size_bytes!r}")
+    return (size_bytes * BITS_PER_BYTE) / rate_bps
+
+
+def bits(size_bytes: int) -> int:
+    """Size of ``size_bytes`` in bits."""
+    return size_bytes * BITS_PER_BYTE

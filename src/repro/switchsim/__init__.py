@@ -1,0 +1,22 @@
+"""OVS-like software switch model."""
+
+from .agent import BUS_DESCRIPTOR_LEN, OpenFlowAgent
+from .bus import AsicCpuBus
+from .cache import MicroflowCache
+from .config import SwitchConfig
+from .cpu import SwitchCpu
+from .datapath import Datapath
+from .ports import SwitchPort
+from .qos import (CLASS_ASSURED, CLASS_BEST_EFFORT, CLASS_EXPEDITED,
+                  ClassStats, DeficitRoundRobinScheduler,
+                  PriorityEgressScheduler, attach_scheduler, classify_dscp)
+from .switch import Switch
+
+__all__ = [
+    "Switch", "SwitchConfig", "SwitchCpu", "AsicCpuBus", "Datapath",
+    "SwitchPort", "OpenFlowAgent", "BUS_DESCRIPTOR_LEN",
+    "MicroflowCache",
+    "PriorityEgressScheduler", "DeficitRoundRobinScheduler",
+    "attach_scheduler", "classify_dscp",
+    "ClassStats", "CLASS_EXPEDITED", "CLASS_ASSURED", "CLASS_BEST_EFFORT",
+]

@@ -1,0 +1,89 @@
+"""Microflow cache: OVS's two-tier lookup, as an optional datapath layer.
+
+Real OVS splits forwarding between a kernel *microflow/megaflow cache*
+(exact-match, very cheap) and the userspace flow table (full semantics,
+expensive).  The paper's related work (CacheFlow, FlowShadow) studies
+exactly this structure.  With the cache enabled, repeat packets of a flow
+skip most of the per-packet datapath cost; only the first packet of a
+flow pays the full lookup.
+
+Correctness over cleverness: the cache is validated against a flow-table
+*generation* counter.  Any table mutation (install, delete, eviction,
+expiry) bumps the generation and implicitly invalidates every cached
+decision — the coarse analogue of OVS revalidation.  A stale hit is
+therefore impossible; the worst case is a redundant full lookup.
+
+Disabled by default (``microflow_cache_capacity = 0``) so the paper
+calibration is untouched; the ablation bench quantifies what it buys.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..openflow import FlowEntry
+from ..openflow.flowtable import _exact_key_from_packet
+from ..packets import Packet
+
+
+class MicroflowCache:
+    """Exact-match cache of flow-table decisions."""
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        #: key -> (generation, entry)
+        self._entries: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    @property
+    def enabled(self) -> bool:
+        """False for a zero-capacity cache (all lookups miss)."""
+        return self.capacity > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, packet: Packet, in_port: int, generation: int,
+               now: float) -> Optional[FlowEntry]:
+        """The cached entry, if present and still current."""
+        if not self.enabled:
+            return None
+        key = _exact_key_from_packet(packet, in_port)
+        cached = self._entries.get(key)
+        if cached is None:
+            self.misses += 1
+            return None
+        cached_generation, entry = cached
+        if cached_generation != generation or entry.is_expired(now):
+            del self._entries[key]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(self, packet: Packet, in_port: int, generation: int,
+              entry: FlowEntry) -> None:
+        """Remember the table's decision for this exact flow."""
+        if not self.enabled:
+            return
+        if len(self._entries) >= self.capacity:
+            # Simple clock-free eviction: drop an arbitrary old entry
+            # (cache misses are cheap; precision is not worth the state).
+            self._entries.pop(next(iter(self._entries)))
+        key = _exact_key_from_packet(packet, in_port)
+        self._entries[key] = (generation, entry)
+
+    def clear(self) -> None:
+        """Drop every cached decision."""
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over all lookups (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,163 @@
+"""Switch hardware/software model parameters.
+
+Defaults are calibrated against the paper's testbed (OVS on an Intel i3
+desktop, 100 Mbps interfaces — Table I) so the figure *shapes* reproduce:
+the ASIC↔CPU bus saturates when no-buffer control traffic approaches
+2× the sending rate (the >75 Mbps switch-delay blow-up of Fig. 7), buffer
+operations add a few percent of CPU (Fig. 4), and the packet-buffer unit
+recycling delay reproduces the buffer-16 exhaustion knee near 30–35 Mbps
+(Fig. 2/8).  All constants are plain dataclass fields so ablation benches
+can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simkit import mbps, msec, usec
+
+
+@dataclass(frozen=True)
+class SwitchConfig:
+    """Every knob of the simulated software switch."""
+
+    # -- CPU ------------------------------------------------------------
+    #: Physical cores available to the switch process.
+    cpu_cores: int = 4
+    #: Constant CPU load (percent) from the packet-polling threads; OVS
+    #: burns this whether or not traffic flows, which is why the paper's
+    #: switch-usage curves start high.
+    baseline_usage_percent: float = 180.0
+
+    # -- per-operation CPU costs (seconds) -------------------------------
+    #: Datapath lookup + forwarding decision per packet.
+    dp_cost_per_packet: float = usec(8)
+    #: Building a packet_in: fixed part.
+    pkt_in_cost_base: float = usec(15)
+    #: Building a packet_in: per enclosed byte (copy + checksum).
+    pkt_in_cost_per_byte: float = usec(0.004)
+    #: Executing a packet_out: fixed part.
+    pkt_out_cost_base: float = usec(12)
+    #: Executing a packet_out: per enclosed byte.
+    pkt_out_cost_per_byte: float = usec(0.004)
+    #: Installing a flow_mod into the flow table.
+    flow_mod_cost: float = usec(15)
+    #: One elementary buffer operation (map lookup/insert, unit store or
+    #: release) — the source of the paper's "+5.6 % switch overhead".
+    buffer_op_cost: float = usec(7)
+    #: Emitting one packet out an egress port.
+    egress_cost_per_packet: float = usec(5)
+    #: Datapath batching: when the CPU has a backlog, per-packet datapath
+    #: cost is discounted toward this floor (OVS processes upcalls in
+    #: batches) — the source of Fig. 4's concave usage curve.
+    dp_batch_floor: float = 0.5
+
+    # -- reply application (serialized, in connection order) -------------
+    #: Applying one flow_mod (rule insertion into the datapath tables).
+    #: Runs on the single connection-handler thread, so installs and
+    #: packet_out executions queue in order — the OVS behaviour behind the
+    #: paper's observation that rules "take effect" late under load.
+    apply_flow_mod_cost: float = usec(50)
+    #: Applying one packet_out: fixed part.
+    apply_pkt_out_cost_base: float = usec(18)
+    #: Applying one packet_out: per enclosed byte (frame copy back down).
+    apply_pkt_out_cost_per_byte: float = usec(0.008)
+
+    # -- pipeline latencies (seconds; latency, not CPU occupancy) --------
+    #: Kernel-to-userspace upcall latency for a miss-match packet.
+    upcall_latency: float = usec(150)
+    #: Userspace-to-datapath downcall latency for rule/packet application.
+    downcall_latency: float = usec(100)
+    #: Extra per-miss latency of the (prototype) flow-granularity buffer
+    #: path: the paper notes its mechanism "introduces extra operations to
+    #: the switch, which delays the generation of pkt_in messages"
+    #: (§V.B.4) — its unoptimized buffer_id-map implementation costs this
+    #: much additional pipeline latency per miss-match packet.
+    flow_buffer_miss_latency: float = usec(350)
+
+    # -- ASIC <-> CPU bus -------------------------------------------------
+    #: Shared management-bus bandwidth; no-buffer operation pushes ~2.2x
+    #: the sending rate across it (frame up in packet_in, frame down in
+    #: packet_out), so this saturates near a 75 Mbps sending rate.
+    bus_bandwidth_bps: float = mbps(145)
+
+    # -- microflow cache (two-tier lookup; 0 disables) --------------------
+    #: Exact-match decision cache in front of the flow table (OVS's
+    #: kernel-cache analogue).  Off by default to keep the paper
+    #: calibration; the ablation bench quantifies its effect.
+    microflow_cache_capacity: int = 0
+    #: Datapath cost of a cache-hit lookup (vs dp_cost_per_packet).
+    dp_cache_hit_cost: float = usec(2)
+
+    # -- flow table -------------------------------------------------------
+    flow_table_capacity: int = 4096
+    flow_table_eviction: str = "lru"
+    #: Period of the flow-entry expiry sweep.
+    expiry_sweep_interval: float = msec(100)
+
+    # -- packet buffer (packet granularity) -------------------------------
+    #: A released buffer unit only becomes allocatable again after this
+    #: delay, modelling OVS's ring-style pktbuf slot recycling.  This is
+    #: what exhausts buffer-16 near a 30-35 Mbps sending rate while mean
+    #: packet delays stay around a millisecond (paper Figs. 2, 5, 8).
+    buffer_reclaim_delay: float = msec(3.5)
+    #: Buffered packets whose packet_out never arrives are dropped after
+    #: this age (OVS uses ~1 s), so a dead controller cannot pin the
+    #: buffer forever.  0 disables age-out.
+    buffer_ageout: float = 1.0
+    #: Period of the age-out sweep.
+    buffer_ageout_interval: float = 0.25
+
+    # -- statistics --------------------------------------------------------
+    #: CPU time to serialize one rule's statistics into a stats reply.
+    flow_stats_cost_per_entry: float = usec(2)
+
+    # -- connection interruption (OpenFlow spec fail modes) ---------------
+    #: What to do with table misses while the controller is unreachable:
+    #: "secure" drops them (flow tables keep working); "standalone" floods
+    #: them like a learning switch.
+    fail_mode: str = "secure"
+    #: Switch-side keepalive probe period (0 disables monitoring).
+    connection_probe_interval: float = 0.5
+    #: Silence longer than this marks the controller disconnected.
+    connection_timeout: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.cpu_cores < 1:
+            raise ValueError("cpu_cores must be >= 1")
+        if self.bus_bandwidth_bps <= 0:
+            raise ValueError("bus bandwidth must be positive")
+        if not 0.0 <= self.dp_batch_floor <= 1.0:
+            raise ValueError("dp_batch_floor must be within [0, 1]")
+        if self.buffer_reclaim_delay < 0:
+            raise ValueError("buffer_reclaim_delay must be >= 0")
+        if self.buffer_ageout < 0:
+            raise ValueError("buffer_ageout must be >= 0")
+        if self.buffer_ageout_interval <= 0:
+            raise ValueError("buffer_ageout_interval must be positive")
+        if self.fail_mode not in ("secure", "standalone"):
+            raise ValueError(f"unknown fail_mode {self.fail_mode!r}")
+        if self.connection_probe_interval < 0:
+            raise ValueError("connection_probe_interval must be >= 0")
+        if self.connection_timeout <= 0:
+            raise ValueError("connection_timeout must be positive")
+        if self.microflow_cache_capacity < 0:
+            raise ValueError("microflow_cache_capacity must be >= 0")
+
+    # -- derived costs ----------------------------------------------------
+    def pkt_in_cost(self, data_len: int) -> float:
+        """CPU time to build a packet_in enclosing ``data_len`` bytes."""
+        return self.pkt_in_cost_base + self.pkt_in_cost_per_byte * data_len
+
+    def pkt_out_cost(self, data_len: int) -> float:
+        """CPU time to parse a packet_out enclosing ``data_len`` bytes."""
+        return self.pkt_out_cost_base + self.pkt_out_cost_per_byte * data_len
+
+    def apply_pkt_out_cost(self, data_len: int) -> float:
+        """Connection-thread time to apply one packet_out."""
+        return (self.apply_pkt_out_cost_base
+                + self.apply_pkt_out_cost_per_byte * data_len)
+
+    def buffer_ops_cost(self, op_count: int) -> float:
+        """CPU time for ``op_count`` elementary buffer operations."""
+        return self.buffer_op_cost * op_count

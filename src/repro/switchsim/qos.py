@@ -1,0 +1,277 @@
+"""Egress QoS scheduling — the paper's stated future work.
+
+The conclusion of the paper proposes to "design egress scheduling
+mechanisms combining with the ingress buffer mechanism proposed in this
+paper to provide QoS guarantee for different applications".  This module
+implements that extension: a strict-priority egress scheduler that sits
+between a switch port and its link.
+
+Packets are classified into service classes by their IP DSCP field (the
+standard mapping: higher DSCP → higher class).  The scheduler keeps one
+FIFO per class and hands the link exactly one frame at a time, always
+from the highest-priority non-empty queue, so expedited traffic overtakes
+best-effort traffic that is already queued — which a plain FIFO link
+cannot do.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ..netsim import Link
+from ..packets import Packet
+from ..simkit import Simulator
+
+#: Service classes, highest priority first.
+CLASS_EXPEDITED = 0     # DSCP >= 40 (EF and up)
+CLASS_ASSURED = 1       # DSCP 8-39 (AF classes)
+CLASS_BEST_EFFORT = 2   # DSCP 0-7
+
+CLASS_NAMES = {CLASS_EXPEDITED: "expedited", CLASS_ASSURED: "assured",
+               CLASS_BEST_EFFORT: "best-effort"}
+
+
+def classify_dscp(packet: Packet) -> int:
+    """Map a packet's DSCP to a service class (best effort if no IP)."""
+    if packet.ip is None:
+        return CLASS_BEST_EFFORT
+    dscp = packet.ip.dscp
+    if dscp >= 40:
+        return CLASS_EXPEDITED
+    if dscp >= 8:
+        return CLASS_ASSURED
+    return CLASS_BEST_EFFORT
+
+
+class ClassStats:
+    """Per-class accounting."""
+
+    def __init__(self) -> None:
+        self.enqueued = 0
+        self.transmitted = 0
+        self.dropped = 0
+        self.total_queueing_delay = 0.0
+        self.max_queue_length = 0
+
+    def mean_queueing_delay(self) -> float:
+        """Average time spent in the scheduler queue."""
+        if self.transmitted == 0:
+            return 0.0
+        return self.total_queueing_delay / self.transmitted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ClassStats(tx={self.transmitted}, "
+                f"dropped={self.dropped})")
+
+
+class PriorityEgressScheduler:
+    """Strict-priority egress scheduler feeding one link.
+
+    ``queue_limit`` bounds each class queue; overflowing packets are
+    tail-dropped (counted per class).  The scheduler owns the link's
+    transmit decisions: callers must send through :meth:`enqueue`, never
+    directly through the link.
+    """
+
+    def __init__(self, sim: Simulator, link: Link,
+                 queue_limit: int = 1024):
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.sim = sim
+        self.link = link
+        self.queue_limit = queue_limit
+        self._queues: Dict[int, Deque] = {
+            CLASS_EXPEDITED: deque(), CLASS_ASSURED: deque(),
+            CLASS_BEST_EFFORT: deque()}
+        self.stats: Dict[int, ClassStats] = {
+            cls: ClassStats() for cls in self._queues}
+        self._link_busy = False
+        link.add_idle_listener(self._on_link_idle)
+
+    # ------------------------------------------------------------------
+    # Enqueue / dispatch
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet,
+                service_class: Optional[int] = None) -> bool:
+        """Queue ``packet``; returns ``False`` if tail-dropped."""
+        cls = classify_dscp(packet) if service_class is None else service_class
+        if cls not in self._queues:
+            raise ValueError(f"unknown service class {cls!r}")
+        queue = self._queues[cls]
+        stats = self.stats[cls]
+        if len(queue) >= self.queue_limit:
+            stats.dropped += 1
+            return False
+        queue.append((self.sim.now, packet))
+        stats.enqueued += 1
+        if len(queue) > stats.max_queue_length:
+            stats.max_queue_length = len(queue)
+        self._pump()
+        return True
+
+    def _pump(self) -> None:
+        if self._link_busy:
+            return
+        for cls in (CLASS_EXPEDITED, CLASS_ASSURED, CLASS_BEST_EFFORT):
+            queue = self._queues[cls]
+            if queue:
+                enqueued_at, packet = queue.popleft()
+                stats = self.stats[cls]
+                stats.transmitted += 1
+                stats.total_queueing_delay += self.sim.now - enqueued_at
+                self._link_busy = True
+                self.link.send(packet, packet.wire_len)
+                return
+
+    def _on_link_idle(self) -> None:
+        self._link_busy = False
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def queue_length(self, service_class: int) -> int:
+        """Packets currently queued in one class."""
+        return len(self._queues[service_class])
+
+    @property
+    def backlog(self) -> int:
+        """Packets queued across all classes."""
+        return sum(len(q) for q in self._queues.values())
+
+    def summary(self) -> List[str]:
+        """Human-readable per-class stats lines."""
+        lines = []
+        for cls in (CLASS_EXPEDITED, CLASS_ASSURED, CLASS_BEST_EFFORT):
+            stats = self.stats[cls]
+            lines.append(
+                f"{CLASS_NAMES[cls]:<12} tx={stats.transmitted:<6} "
+                f"dropped={stats.dropped:<5} "
+                f"mean queue delay={stats.mean_queueing_delay() * 1e3:.3f}ms")
+        return lines
+
+
+class DeficitRoundRobinScheduler:
+    """Weighted fair egress scheduling (classic DRR).
+
+    Strict priority can starve best-effort traffic; DRR instead grants
+    each class bandwidth proportional to its weight.  Each round, a
+    class's deficit grows by ``weight x quantum_bytes``; it may transmit
+    while the head frame fits in the deficit.  With weights 4/2/1 the
+    expedited class gets ~4/7 of a saturated link instead of all of it.
+    """
+
+    def __init__(self, sim: Simulator, link: Link,
+                 weights: Optional[Dict[int, float]] = None,
+                 quantum_bytes: int = 1500, queue_limit: int = 1024):
+        if quantum_bytes < 1:
+            raise ValueError(f"quantum must be >= 1, got {quantum_bytes}")
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.sim = sim
+        self.link = link
+        self.quantum_bytes = quantum_bytes
+        self.queue_limit = queue_limit
+        self.weights = weights if weights is not None else {
+            CLASS_EXPEDITED: 4.0, CLASS_ASSURED: 2.0,
+            CLASS_BEST_EFFORT: 1.0}
+        if any(w <= 0 for w in self.weights.values()):
+            raise ValueError("weights must be positive")
+        self._classes = sorted(self.weights)
+        self._queues: Dict[int, Deque] = {c: deque() for c in self._classes}
+        self._deficits: Dict[int, float] = {c: 0.0 for c in self._classes}
+        self.stats: Dict[int, ClassStats] = {
+            c: ClassStats() for c in self._classes}
+        self._link_busy = False
+        self._round_index = 0
+        #: True when the current class's turn has not yet received its
+        #: per-visit quantum (classic DRR adds the quantum exactly once
+        #: per visit, then serves while the deficit lasts).
+        self._turn_fresh = True
+        link.add_idle_listener(self._on_link_idle)
+
+    def enqueue(self, packet: Packet,
+                service_class: Optional[int] = None) -> bool:
+        """Queue ``packet``; returns ``False`` if tail-dropped."""
+        cls = classify_dscp(packet) if service_class is None else service_class
+        if cls not in self._queues:
+            raise ValueError(f"unknown service class {cls!r}")
+        queue = self._queues[cls]
+        stats = self.stats[cls]
+        if len(queue) >= self.queue_limit:
+            stats.dropped += 1
+            return False
+        queue.append((self.sim.now, packet))
+        stats.enqueued += 1
+        if len(queue) > stats.max_queue_length:
+            stats.max_queue_length = len(queue)
+        self._pump()
+        return True
+
+    def _advance_turn(self) -> None:
+        self._round_index = (self._round_index + 1) % len(self._classes)
+        self._turn_fresh = True
+
+    def _pump(self) -> None:
+        if self._link_busy or self.backlog == 0:
+            return
+        # Enough visits for any frame to accumulate the deficit it needs,
+        # even at the smallest weight.
+        max_visits = 4 * len(self._classes) + 8
+        for _ in range(max_visits):
+            cls = self._classes[self._round_index]
+            queue = self._queues[cls]
+            if not queue:
+                self._deficits[cls] = 0.0
+                self._advance_turn()
+                continue
+            if self._turn_fresh:
+                self._deficits[cls] += (self.weights[cls]
+                                        * self.quantum_bytes)
+                self._turn_fresh = False
+            head_size = queue[0][1].wire_len
+            if self._deficits[cls] < head_size:
+                self._advance_turn()
+                continue
+            enqueued_at, packet = queue.popleft()
+            self._deficits[cls] -= head_size
+            stats = self.stats[cls]
+            stats.transmitted += 1
+            stats.total_queueing_delay += self.sim.now - enqueued_at
+            if not queue:
+                self._deficits[cls] = 0.0       # classic DRR reset
+                self._advance_turn()
+            self._link_busy = True
+            self.link.send(packet, packet.wire_len)
+            return
+
+    def _on_link_idle(self) -> None:
+        self._link_busy = False
+        self._pump()
+
+    @property
+    def backlog(self) -> int:
+        """Packets queued across all classes."""
+        return sum(len(q) for q in self._queues.values())
+
+    def queue_length(self, service_class: int) -> int:
+        """Packets currently queued in one class."""
+        return len(self._queues[service_class])
+
+
+def attach_scheduler(port, sim: Simulator,
+                     queue_limit: int = 1024) -> PriorityEgressScheduler:
+    """Put a priority scheduler on a
+    :class:`~repro.switchsim.ports.SwitchPort`'s egress.
+
+    After this call, everything the datapath transmits through the port
+    flows through the scheduler's class queues.  The scheduler must be
+    the link's only sender (the port guarantees this).
+    """
+    link = port.egress_link
+    if link is None:
+        raise RuntimeError(f"port {port.port_no} has no egress link")
+    scheduler = PriorityEgressScheduler(sim, link, queue_limit=queue_limit)
+    port.set_scheduler(scheduler)
+    return scheduler

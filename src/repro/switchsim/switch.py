@@ -1,0 +1,103 @@
+"""Assembly of the complete software switch (the testbed's OVS analogue)."""
+
+from __future__ import annotations
+
+from ..core import BufferMechanism
+from ..netsim import DuplexLink
+from ..openflow import ControlChannel
+from ..simkit import EventEmitter, Simulator
+from .agent import OpenFlowAgent
+from .bus import AsicCpuBus
+from .config import SwitchConfig
+from .cpu import SwitchCpu
+from .datapath import Datapath
+from .ports import SwitchPort
+
+
+class Switch:
+    """A software OpenFlow switch: CPU + bus + datapath + agent.
+
+    Wiring order matters: construct the switch, add ports with
+    :meth:`attach_port`, and hand it a control channel at construction.
+    The events emitter publishes every observable the metrics layer needs
+    (``packet_ingress``, ``table_miss``, ``packet_in_sent``,
+    ``reply_arrived``, ``packet_egress``, ``buffer_stored``, ...).
+    """
+
+    def __init__(self, sim: Simulator, config: SwitchConfig,
+                 mechanism: BufferMechanism, channel: ControlChannel,
+                 name: str = "ovs", datapath_id: int = 1):
+        self.sim = sim
+        self.config = config
+        self.name = name
+        self.mechanism = mechanism
+        self.events = EventEmitter()
+        self.cpu = SwitchCpu(sim, config, name=f"{name}-cpu")
+        self.bus = AsicCpuBus(sim, config.bus_bandwidth_bps,
+                              name=f"{name}-bus")
+        self.datapath = Datapath(sim, config, self.cpu, self.events)
+        self.agent = OpenFlowAgent(sim, config, self.cpu, self.bus,
+                                   self.datapath, mechanism, channel,
+                                   self.events, datapath_id=datapath_id)
+
+    def attach_port(self, port_no: int, cable: DuplexLink,
+                    switch_side_forward: bool = True) -> SwitchPort:
+        """Create port ``port_no`` on ``cable``.
+
+        ``switch_side_forward`` selects which direction of the duplex cable
+        carries switch-egress traffic: ``True`` means the switch transmits
+        on ``cable.forward`` and receives on ``cable.reverse``.
+        """
+        port = SwitchPort(self.sim, port_no, name=f"{self.name}-p{port_no}")
+        if switch_side_forward:
+            egress, ingress = cable.forward, cable.reverse
+        else:
+            egress, ingress = cable.reverse, cable.forward
+        port.attach_egress(egress)
+        port.wire_ingress(ingress, self.datapath.ingress)
+        self.datapath.add_port(port)
+        return port
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def usage_percent(self) -> float:
+        """CPU usage as the paper reports it (baseline + busy time).
+
+        Includes the connection-handler (apply) thread, which burns a core
+        like any other ovs-vswitchd thread.
+        """
+        return (self.cpu.usage_percent()
+                + self.agent.apply_station.utilization_percent())
+
+    @property
+    def cpu_stations(self) -> tuple:
+        """Every station whose busy time counts as switch CPU."""
+        return (self.cpu.station, self.agent.apply_station)
+
+    def buffer_occupancy(self, now: float) -> int:
+        """Buffer units unavailable at ``now``."""
+        return self.mechanism.occupancy(now)
+
+    @property
+    def flow_table(self):
+        """The datapath's flow table (convenience accessor)."""
+        return self.datapath.table
+
+    def reset_accounting(self) -> None:
+        """Restart CPU/bus/port accounting windows."""
+        self.cpu.reset_accounting()
+        self.agent.apply_station.reset_accounting()
+        self.bus.reset_accounting()
+        for port in self.datapath.ports.values():
+            port.reset_accounting()
+
+    def shutdown(self) -> None:
+        """Cancel periodic work and mechanism timers (end of run)."""
+        self.datapath.shutdown()
+        self.agent.shutdown()
+        self.mechanism.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Switch({self.name!r}, mechanism={self.mechanism.name}, "
+                f"ports={sorted(self.datapath.ports)})")

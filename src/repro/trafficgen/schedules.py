@@ -1,0 +1,70 @@
+"""Arrival-time schedule builders.
+
+A schedule is a list of send times (seconds from workload start).  The
+paper's workloads are constant-rate trains — pktgen paced so that frames of
+``frame_len`` bytes leave at the configured sending rate — optionally with
+small jitter and batch gaps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..simkit import RandomStreams, transmission_delay
+
+
+def constant_gap_times(count: int, frame_len: int, rate_bps: float,
+                       start: float = 0.0,
+                       jitter_fraction: float = 0.0,
+                       rng: Optional[RandomStreams] = None,
+                       stream: str = "pktgen-jitter") -> List[float]:
+    """``count`` sends paced so frames of ``frame_len`` flow at ``rate_bps``.
+
+    ``jitter_fraction`` adds uniform jitter of ±that fraction of the gap to
+    each send (pktgen's timer is not perfect); requires ``rng``.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    gap = transmission_delay(frame_len, rate_bps)
+    times = []
+    for i in range(count):
+        t = start + i * gap
+        if jitter_fraction > 0:
+            if rng is None:
+                raise ValueError("jitter requires an rng")
+            t += rng.uniform(stream, -jitter_fraction * gap,
+                             jitter_fraction * gap)
+            t = max(t, start)
+        times.append(t)
+    return times
+
+
+def poisson_times(count: int, rate_pps: float, rng: RandomStreams,
+                  start: float = 0.0,
+                  stream: str = "pktgen-poisson") -> List[float]:
+    """``count`` sends with exponential inter-arrivals at ``rate_pps``."""
+    if rate_pps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_pps}")
+    times = []
+    t = start
+    for _ in range(count):
+        t += rng.expovariate(stream, rate_pps)
+        times.append(t)
+    return times
+
+
+def cross_sequence(n_flows: int, packets_per_flow: int) -> List[tuple]:
+    """The paper's §V cross-sequence order for one batch of flows.
+
+    Yields ``(flow_index, seq_in_flow)`` pairs in the order
+    ``f0p0, f1p0, ..., f(n-1)p0, f0p1, f1p1, ...`` — every flow's packet
+    *k* is sent before any flow's packet *k+1*.
+    """
+    if n_flows < 1:
+        raise ValueError(f"n_flows must be >= 1, got {n_flows}")
+    if packets_per_flow < 1:
+        raise ValueError(
+            f"packets_per_flow must be >= 1, got {packets_per_flow}")
+    return [(flow, seq)
+            for seq in range(packets_per_flow)
+            for flow in range(n_flows)]

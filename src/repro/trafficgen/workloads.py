@@ -1,0 +1,334 @@
+"""The paper's workloads as declarative objects.
+
+* :func:`single_packet_flows` — §IV benefits analysis: 1000 new flows per
+  run, one packet each, forged source IPs, constant sending rate.
+* :func:`batched_multi_packet_flows` — §V mechanism evaluation: 50 flows of
+  20 packets, sent in cross-sequenced batches of 5 flows.
+* :func:`tcp_eviction_scenario` — §VI.B: a TCP connection whose rule is
+  idle-evicted mid-connection, followed by a data burst on resume.
+* :func:`recurring_flows` — a flow-reuse workload for flow-table eviction
+  ablations (not from the paper).
+
+A :class:`Workload` is a list of timed packets plus per-flow bookkeeping
+(how many packets each flow has), which the metrics layer needs to decide
+when a flow has fully arrived (flow forwarding delay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..packets import (FLAG_ACK, FLAG_SYN, FiveTuple, Packet,
+                       tcp_control_packet, tcp_packet, udp_packet)
+from ..simkit import RandomStreams, transmission_delay
+from .schedules import constant_gap_times, cross_sequence
+
+#: Default addressing of the Fig. 1 testbed.
+HOST1_MAC = "00:00:00:00:00:01"
+HOST2_MAC = "00:00:00:00:00:02"
+HOST1_IP = "10.0.0.1"
+HOST2_IP = "10.0.0.2"
+#: Base of the forged source-IP space (pktgen forges sources to create
+#: "new" flows — paper §IV).
+FORGED_NET = (10, 1)
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """Static description of one generated flow."""
+
+    flow_id: int
+    five_tuple: FiveTuple
+    n_packets: int
+
+
+@dataclass
+class Workload:
+    """A fully materialized, time-stamped packet train."""
+
+    name: str
+    entries: List[Tuple[float, Packet]] = field(default_factory=list)
+    flows: Dict[int, FlowSpec] = field(default_factory=dict)
+
+    @property
+    def n_packets(self) -> int:
+        """Total packets in the train."""
+        return len(self.entries)
+
+    @property
+    def n_flows(self) -> int:
+        """Distinct flows in the train."""
+        return len(self.flows)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total on-wire bytes of the train."""
+        return sum(p.wire_len for _, p in self.entries)
+
+    @property
+    def duration(self) -> float:
+        """Time of the last send (seconds from workload start)."""
+        return self.entries[-1][0] if self.entries else 0.0
+
+    def schedule_on(self, sim, host, start: float = 0.0) -> None:
+        """Schedule every send on ``host`` relative to ``start``."""
+        for offset, packet in self.entries:
+            sim.schedule_at(start + offset, host.send, packet)
+
+
+def _forged_source_ip(index: int) -> str:
+    """Distinct source IP for flow ``index`` (pktgen-style forging)."""
+    if index < 0 or index >= 65536 * 250:
+        raise ValueError(f"flow index out of forging range: {index}")
+    a, b = FORGED_NET
+    return f"{a}.{b + index // 65536}.{(index // 256) % 256}.{index % 256}"
+
+
+def single_packet_flows(rate_bps: float, n_flows: int = 1000,
+                        frame_len: int = 1000, dst_port: int = 9,
+                        rng: Optional[RandomStreams] = None,
+                        jitter_fraction: float = 0.02) -> Workload:
+    """§IV workload: ``n_flows`` single-packet UDP flows at ``rate_bps``.
+
+    Every packet has a distinct forged source IP, so every packet is the
+    first (and only) packet of a new flow and therefore a guaranteed
+    table miss.
+    """
+    if n_flows < 1:
+        raise ValueError(f"n_flows must be >= 1, got {n_flows}")
+    times = constant_gap_times(n_flows, frame_len, rate_bps,
+                               jitter_fraction=jitter_fraction if rng else 0.0,
+                               rng=rng)
+    workload = Workload(name=f"single-packet-flows-{n_flows}")
+    for i in range(n_flows):
+        src_ip = _forged_source_ip(i)
+        src_port = 1024 + (i % 50000)
+        packet = udp_packet(src_mac=HOST1_MAC, dst_mac=HOST2_MAC,
+                            src_ip=src_ip, dst_ip=HOST2_IP,
+                            src_port=src_port, dst_port=dst_port,
+                            frame_len=frame_len, flow_id=i, seq_in_flow=0)
+        workload.entries.append((times[i], packet))
+        workload.flows[i] = FlowSpec(flow_id=i,
+                                     five_tuple=packet.five_tuple,
+                                     n_packets=1)
+    return workload
+
+
+def batched_multi_packet_flows(rate_bps: float, n_flows: int = 50,
+                               packets_per_flow: int = 20,
+                               batch_size: int = 5,
+                               batch_gap: float = 0.005,
+                               frame_len: int = 1000, dst_port: int = 9,
+                               rng: Optional[RandomStreams] = None,
+                               jitter_fraction: float = 0.02) -> Workload:
+    """§V workload: flows sent in cross-sequenced batches.
+
+    ``batch_size`` flows (the paper uses 5) are interleaved packet-by-
+    packet at the sending rate; after a batch completes, the next batch
+    starts ``batch_gap`` later, until ``n_flows`` flows have been sent.
+    """
+    if n_flows % batch_size != 0:
+        raise ValueError(
+            f"n_flows ({n_flows}) must be a multiple of batch_size "
+            f"({batch_size})")
+    gap = transmission_delay(frame_len, rate_bps)
+    workload = Workload(
+        name=f"batched-flows-{n_flows}x{packets_per_flow}")
+    order = cross_sequence(batch_size, packets_per_flow)
+    batch_start = 0.0
+    for batch_index in range(n_flows // batch_size):
+        for slot, (flow_in_batch, seq) in enumerate(order):
+            flow_id = batch_index * batch_size + flow_in_batch
+            t = batch_start + slot * gap
+            if rng is not None and jitter_fraction > 0:
+                t += rng.uniform("pktgen-jitter",
+                                 -jitter_fraction * gap,
+                                 jitter_fraction * gap)
+                t = max(t, batch_start)
+            src_ip = _forged_source_ip(flow_id)
+            packet = udp_packet(src_mac=HOST1_MAC, dst_mac=HOST2_MAC,
+                                src_ip=src_ip, dst_ip=HOST2_IP,
+                                src_port=2000 + flow_id, dst_port=dst_port,
+                                frame_len=frame_len, flow_id=flow_id,
+                                seq_in_flow=seq)
+            workload.entries.append((t, packet))
+            if flow_id not in workload.flows:
+                workload.flows[flow_id] = FlowSpec(
+                    flow_id=flow_id, five_tuple=packet.five_tuple,
+                    n_packets=packets_per_flow)
+        batch_start += len(order) * gap + batch_gap
+    workload.entries.sort(key=lambda entry: entry[0])
+    return workload
+
+
+def tcp_eviction_scenario(rate_bps: float, initial_packets: int = 10,
+                          idle_gap: float = 1.0, burst_packets: int = 50,
+                          frame_len: int = 1000, src_port: int = 45000,
+                          dst_port: int = 80) -> Workload:
+    """§VI.B scenario: a TCP flow goes idle, its rule is evicted, then a
+    large burst resumes on the still-open connection.
+
+    Timeline (one 5-tuple throughout):
+
+    1. SYN + ACK control segments, then ``initial_packets`` data segments
+       paced at ``rate_bps`` — the rule is installed on the SYN miss and
+       everything after it hits.
+    2. ``idle_gap`` seconds of silence.  Choose it longer than the
+       installed rule's idle timeout so the switch evicts the rule while
+       the connection stays open.
+    3. ``burst_packets`` data segments paced at ``rate_bps`` — all arrive
+       on a missing rule, which is exactly where the paper argues the
+       buffer helps TCP flows too.
+    """
+    if initial_packets < 0 or burst_packets < 1:
+        raise ValueError("need a non-negative setup and a non-empty burst")
+    if idle_gap <= 0:
+        raise ValueError("idle_gap must be positive")
+    workload = Workload(name="tcp-eviction")
+    gap = transmission_delay(frame_len, rate_bps)
+    seq = 0
+    t = 0.0
+
+    def add(packet: Packet, at: float) -> None:
+        nonlocal seq
+        packet.flow_id = 0
+        packet.seq_in_flow = seq
+        seq += 1
+        workload.entries.append((at, packet))
+
+    # Handshake (client side): SYN, then the final ACK.  These are
+    # minimum-size control segments, as the paper's §VI.B describes.
+    add(tcp_control_packet(HOST1_MAC, HOST2_MAC, HOST1_IP, HOST2_IP,
+                           src_port, dst_port, flags=FLAG_SYN), t)
+    t += gap
+    add(tcp_control_packet(HOST1_MAC, HOST2_MAC, HOST1_IP, HOST2_IP,
+                           src_port, dst_port, flags=FLAG_ACK), t)
+    t += gap
+    for _ in range(initial_packets):
+        add(tcp_packet(HOST1_MAC, HOST2_MAC, HOST1_IP, HOST2_IP,
+                       src_port, dst_port, flags=FLAG_ACK,
+                       frame_len=frame_len), t)
+        t += gap
+    #: The data burst resumes after the idle gap.
+    t += idle_gap
+    burst_start = t
+    for _ in range(burst_packets):
+        add(tcp_packet(HOST1_MAC, HOST2_MAC, HOST1_IP, HOST2_IP,
+                       src_port, dst_port, flags=FLAG_ACK,
+                       frame_len=frame_len), t)
+        t += gap
+
+    five_tuple = workload.entries[0][1].five_tuple
+    workload.flows[0] = FlowSpec(flow_id=0, five_tuple=five_tuple,
+                                 n_packets=seq)
+    #: Stash phase boundaries for analysis (duck-typed attribute).
+    workload.burst_start = burst_start  # type: ignore[attr-defined]
+    return workload
+
+
+def recurring_flows(rate_bps: float, n_flows: int = 20,
+                    rounds: int = 5, frame_len: int = 1000,
+                    dst_port: int = 9) -> Workload:
+    """A flow-reuse workload: the same ``n_flows`` recur ``rounds`` times.
+
+    Not a paper workload — used by the flow-table eviction ablation: with
+    a table smaller than ``n_flows``, LRU/FIFO choices change how many
+    recurrences hit.  Flows are revisited round-robin, so each flow sends
+    one packet per round.
+    """
+    if n_flows < 1 or rounds < 1:
+        raise ValueError("need at least one flow and one round")
+    workload = Workload(name=f"recurring-{n_flows}x{rounds}")
+    gap = transmission_delay(frame_len, rate_bps)
+    slot = 0
+    for round_index in range(rounds):
+        for flow_id in range(n_flows):
+            packet = udp_packet(src_mac=HOST1_MAC, dst_mac=HOST2_MAC,
+                                src_ip=_forged_source_ip(flow_id),
+                                dst_ip=HOST2_IP, src_port=3000 + flow_id,
+                                dst_port=dst_port, frame_len=frame_len,
+                                flow_id=flow_id, seq_in_flow=round_index)
+            workload.entries.append((slot * gap, packet))
+            slot += 1
+            if flow_id not in workload.flows:
+                workload.flows[flow_id] = FlowSpec(
+                    flow_id=flow_id, five_tuple=packet.five_tuple,
+                    n_packets=rounds)
+    return workload
+
+
+def mixed_tcp_udp(rate_bps: float, n_tcp_flows: int = 10,
+                  packets_per_tcp: int = 20, n_udp_flows: int = 100,
+                  frame_len: int = 1000,
+                  rng: Optional[RandomStreams] = None) -> Workload:
+    """§VI.A mix: a few long TCP connections among many small UDP flows.
+
+    Mirrors the traffic mix the paper cites ([27]): TCP dominates bytes
+    (few flows, many packets each) while UDP dominates *flow count* (many
+    single-packet flows, each a guaranteed miss).  TCP flows open with a
+    SYN, then stream data; their packets are spread across the run so the
+    installed rules stay warm.  The aggregate is paced at ``rate_bps``.
+    """
+    if n_tcp_flows < 0 or n_udp_flows < 1:
+        raise ValueError("need non-negative TCP and at least one UDP flow")
+    if packets_per_tcp < 2:
+        raise ValueError("TCP flows need at least SYN + one data packet")
+    workload = Workload(name="mixed-tcp-udp")
+    gap = transmission_delay(frame_len, rate_bps)
+    total_packets = n_tcp_flows * packets_per_tcp + n_udp_flows
+
+    # Interleave: spread each TCP flow's packets evenly across all send
+    # slots; fill the remaining slots with UDP flows.
+    slots: List[Optional[tuple]] = [None] * total_packets
+    for tcp_index in range(n_tcp_flows):
+        stride = total_packets // packets_per_tcp
+        offset = (tcp_index * stride) // max(n_tcp_flows, 1)
+        seq = 0
+        for packet_index in range(packets_per_tcp):
+            slot = (offset + packet_index * stride) % total_packets
+            while slots[slot] is not None:
+                slot = (slot + 1) % total_packets
+            slots[slot] = ("tcp", tcp_index, seq)
+            seq += 1
+    udp_index = 0
+    for slot in range(total_packets):
+        if slots[slot] is None:
+            slots[slot] = ("udp", udp_index, 0)
+            udp_index += 1
+
+    tcp_seq_seen: Dict[int, int] = {}
+    for slot, (kind, index, seq) in enumerate(slots):
+        t = slot * gap
+        if rng is not None:
+            t = max(0.0, t + rng.uniform("pktgen-jitter", -0.02 * gap,
+                                         0.02 * gap))
+        if kind == "tcp":
+            flow_id = index
+            src_port = 40000 + index
+            if seq == 0:
+                packet = tcp_control_packet(
+                    HOST1_MAC, HOST2_MAC, HOST1_IP, HOST2_IP,
+                    src_port, 80, flags=FLAG_SYN,
+                    flow_id=flow_id, seq_in_flow=seq)
+            else:
+                packet = tcp_packet(
+                    HOST1_MAC, HOST2_MAC, HOST1_IP, HOST2_IP,
+                    src_port, 80, flags=FLAG_ACK, frame_len=frame_len,
+                    flow_id=flow_id, seq_in_flow=seq)
+            tcp_seq_seen[flow_id] = seq
+            if flow_id not in workload.flows:
+                workload.flows[flow_id] = FlowSpec(
+                    flow_id=flow_id, five_tuple=packet.five_tuple,
+                    n_packets=packets_per_tcp)
+        else:
+            flow_id = n_tcp_flows + index
+            packet = udp_packet(
+                HOST1_MAC, HOST2_MAC, _forged_source_ip(index), HOST2_IP,
+                5000 + index % 1000, 9, frame_len=frame_len,
+                flow_id=flow_id, seq_in_flow=0)
+            workload.flows[flow_id] = FlowSpec(
+                flow_id=flow_id, five_tuple=packet.five_tuple, n_packets=1)
+        workload.entries.append((t, packet))
+    workload.entries.sort(key=lambda entry: entry[0])
+    return workload

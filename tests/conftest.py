@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import buffer_256, no_buffer
+from repro.experiments import build_testbed
+from repro.simkit import RandomStreams, Simulator, mbps
+from repro.trafficgen import batched_multi_packet_flows, single_packet_flows
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> RandomStreams:
+    """Deterministic random streams."""
+    return RandomStreams(42)
+
+
+@pytest.fixture
+def small_workload_a(rng):
+    """A small §IV-style workload (fast to run)."""
+    return single_packet_flows(mbps(50), n_flows=40, rng=rng)
+
+
+@pytest.fixture
+def small_workload_b(rng):
+    """A small §V-style workload (fast to run)."""
+    return batched_multi_packet_flows(mbps(50), n_flows=10,
+                                      packets_per_flow=6, batch_size=5,
+                                      rng=rng)
+
+
+@pytest.fixture
+def testbed_buffered(small_workload_a):
+    """A wired testbed with the buffer-256 mechanism."""
+    return build_testbed(buffer_256(), small_workload_a, seed=7)
+
+
+@pytest.fixture
+def testbed_no_buffer(small_workload_a):
+    """A wired testbed with buffering disabled."""
+    return build_testbed(no_buffer(), small_workload_a, seed=7)

@@ -1,0 +1,152 @@
+"""Tests for the flow-granularity buffer data structure (Algorithms 1-2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import FlowBufferFullError, FlowPacketBuffer
+from repro.packets import udp_packet
+
+
+def _packet(flow=0, seq=0):
+    return udp_packet("00:00:00:00:00:01", "00:00:00:00:00:02",
+                      f"10.0.0.{flow + 1}", "10.0.0.2", 1000 + flow, 2000,
+                      flow_id=flow, seq_in_flow=seq)
+
+
+def _flow_key(flow=0):
+    return _packet(flow).five_tuple
+
+
+def test_get_buffer_id_returns_minus_one_for_unknown_flow():
+    buffer = FlowPacketBuffer(capacity=4)
+    assert buffer.get_buffer_id(_flow_key()) == -1
+
+
+def test_first_packet_allocates_unit_and_shared_id():
+    buffer = FlowPacketBuffer(capacity=4)
+    key = _flow_key()
+    buffer_id = buffer.buffer_first_packet(key, _packet(0, 0), now=0.0)
+    assert buffer.get_buffer_id(key) == buffer_id
+    assert buffer.units_in_use == 1
+    assert buffer.packets_stored == 1
+
+
+def test_subsequent_packets_share_the_unit():
+    buffer = FlowPacketBuffer(capacity=4)
+    key = _flow_key()
+    buffer_id = buffer.buffer_first_packet(key, _packet(0, 0), now=0.0)
+    for seq in range(1, 5):
+        assert buffer.buffer_subsequent_packet(buffer_id, _packet(0, seq))
+    assert buffer.units_in_use == 1          # still ONE unit
+    assert buffer.packets_stored == 5
+    assert buffer.queue_length(buffer_id) == 5
+
+
+def test_release_all_returns_packets_in_arrival_order():
+    buffer = FlowPacketBuffer(capacity=4)
+    key = _flow_key()
+    packets = [_packet(0, seq) for seq in range(4)]
+    buffer_id = buffer.buffer_first_packet(key, packets[0], now=0.0)
+    for packet in packets[1:]:
+        buffer.buffer_subsequent_packet(buffer_id, packet)
+    released = buffer.release_all(buffer_id)
+    assert released == packets
+    assert buffer.units_in_use == 0
+    assert buffer.packets_stored == 0
+    assert buffer.get_buffer_id(key) == -1
+
+
+def test_release_all_unknown_id_is_empty():
+    buffer = FlowPacketBuffer(capacity=4)
+    assert buffer.release_all(424242) == []
+    assert buffer.unknown_releases == 1
+
+
+def test_duplicate_first_packet_rejected():
+    buffer = FlowPacketBuffer(capacity=4)
+    key = _flow_key()
+    buffer.buffer_first_packet(key, _packet(0, 0), now=0.0)
+    with pytest.raises(ValueError):
+        buffer.buffer_first_packet(key, _packet(0, 1), now=0.0)
+
+
+def test_capacity_counts_flows_not_packets():
+    buffer = FlowPacketBuffer(capacity=2)
+    id0 = buffer.buffer_first_packet(_flow_key(0), _packet(0), now=0.0)
+    buffer.buffer_first_packet(_flow_key(1), _packet(1), now=0.0)
+    for seq in range(1, 10):
+        buffer.buffer_subsequent_packet(id0, _packet(0, seq))
+    assert buffer.packets_stored == 11
+    assert buffer.is_full
+    with pytest.raises(FlowBufferFullError):
+        buffer.buffer_first_packet(_flow_key(2), _packet(2), now=0.0)
+    assert buffer.full_rejections == 1
+
+
+def test_per_flow_packet_cap():
+    buffer = FlowPacketBuffer(capacity=4, max_packets_per_flow=2)
+    buffer_id = buffer.buffer_first_packet(_flow_key(), _packet(0, 0),
+                                           now=0.0)
+    assert buffer.buffer_subsequent_packet(buffer_id, _packet(0, 1))
+    assert not buffer.buffer_subsequent_packet(buffer_id, _packet(0, 2))
+    assert buffer.overflow_drops == 1
+
+
+def test_subsequent_on_unknown_unit_fails():
+    buffer = FlowPacketBuffer(capacity=4)
+    assert not buffer.buffer_subsequent_packet(999, _packet())
+
+
+def test_expire_older_than_frees_unit():
+    buffer = FlowPacketBuffer(capacity=4)
+    buffer_id = buffer.buffer_first_packet(_flow_key(), _packet(), now=0.0)
+    buffer.buffer_subsequent_packet(buffer_id, _packet(0, 1))
+    expired = buffer.expire_older_than(cutoff=1.0)
+    assert expired == [buffer_id]
+    assert buffer.units_in_use == 0
+    assert buffer.overflow_drops == 2      # expired packets count as drops
+
+
+def test_peaks_track_units_and_packets():
+    buffer = FlowPacketBuffer(capacity=8)
+    id0 = buffer.buffer_first_packet(_flow_key(0), _packet(0), now=0.0)
+    buffer.buffer_first_packet(_flow_key(1), _packet(1), now=0.0)
+    buffer.buffer_subsequent_packet(id0, _packet(0, 1))
+    buffer.release_all(id0)
+    assert buffer.peak_units == 2
+    assert buffer.peak_packets == 3
+    assert buffer.units_in_use == 1
+
+
+def test_flow_of_maps_id_back():
+    buffer = FlowPacketBuffer(capacity=4)
+    key = _flow_key()
+    buffer_id = buffer.buffer_first_packet(key, _packet(), now=0.0)
+    assert buffer.flow_of(buffer_id) == key
+    assert buffer.flow_of(12345) is None
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FlowPacketBuffer(capacity=-1)
+    with pytest.raises(ValueError):
+        FlowPacketBuffer(capacity=1, max_packets_per_flow=0)
+
+
+@given(st.lists(st.tuples(st.integers(0, 4), st.booleans()), max_size=50))
+def test_units_always_equal_distinct_pending_flows(events):
+    """Property: unit count == number of flows with buffered packets."""
+    buffer = FlowPacketBuffer(capacity=10)
+    pending = {}
+    for flow, release in events:
+        key = _flow_key(flow)
+        if release and flow in pending:
+            buffer.release_all(pending.pop(flow))
+        elif flow not in pending:
+            pending[flow] = buffer.buffer_first_packet(key, _packet(flow),
+                                                       now=0.0)
+        else:
+            buffer.buffer_subsequent_packet(pending[flow], _packet(flow, 1))
+        assert buffer.units_in_use == len(pending)

@@ -1,0 +1,64 @@
+"""Tests for CSV export of sweep results."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.core import buffer_256
+from repro.experiments import (experiment_to_csv, run_benefits_experiment,
+                               save_experiment_csv, sweep, sweep_rows,
+                               sweep_to_csv, workload_a_factory)
+from repro.experiments.cli import main as cli_main
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return sweep(buffer_256(), workload_a_factory(n_flows=20), (20, 60),
+                 repetitions=1, base_seed=2)
+
+
+@pytest.fixture(scope="module")
+def small_experiment():
+    return run_benefits_experiment(rates_mbps=(20,), repetitions=1,
+                                   n_flows=20)
+
+
+def test_sweep_rows_structure(small_sweep):
+    rows = sweep_rows(small_sweep)
+    assert len(rows) == 2
+    assert rows[0]["rate_mbps"] == 20
+    assert rows[1]["rate_mbps"] == 60
+    assert rows[0]["completed_flows"] == 20
+    assert rows[0]["setup_delay_ms"] > 0
+
+
+def test_sweep_to_csv_parses_back(small_sweep):
+    text = sweep_to_csv(small_sweep)
+    parsed = list(csv.DictReader(io.StringIO(text)))
+    assert len(parsed) == 2
+    assert float(parsed[1]["load_up_mbps"]) > float(
+        parsed[0]["load_up_mbps"])
+
+
+def test_experiment_csv_has_mechanism_column(small_experiment):
+    parsed = list(csv.DictReader(io.StringIO(
+        experiment_to_csv(small_experiment))))
+    mechanisms = {row["mechanism"] for row in parsed}
+    assert mechanisms == {"no-buffer", "buffer-16", "buffer-256"}
+    assert len(parsed) == 3      # one rate x three mechanisms
+
+
+def test_save_experiment_csv(tmp_path, small_experiment):
+    target = save_experiment_csv(small_experiment, str(tmp_path))
+    assert target.name == "benefits.csv"
+    assert "no-buffer" in target.read_text()
+
+
+def test_cli_csv_flag(tmp_path, capsys):
+    code = cli_main(["fig2a", "--rates", "20", "--reps", "1",
+                     "--flows", "15", "--csv", str(tmp_path)])
+    assert code == 0
+    assert (tmp_path / "benefits.csv").exists()

@@ -1,0 +1,188 @@
+"""Tests for aggregation, sweeps and the figure registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import buffer_256, flow_buffer_256
+from repro.experiments import (FIGURES, ExperimentData, aggregate,
+                               figure_series, format_figure,
+                               format_headlines, format_table_1,
+                               headline_claims, run_benefits_experiment,
+                               run_mechanism_experiment, sweep,
+                               workload_a_factory, workload_b_factory)
+from repro.experiments.cli import main as cli_main
+
+_TINY_RATES = (20, 80)
+
+
+def _tiny_sweep(config=None):
+    return sweep(config or buffer_256(),
+                 workload_a_factory(n_flows=30), _TINY_RATES,
+                 repetitions=2, base_seed=1)
+
+
+# ---------------------------------------------------------------------------
+# sweep / aggregate
+# ---------------------------------------------------------------------------
+
+def test_sweep_produces_row_per_rate():
+    result = _tiny_sweep()
+    assert result.rates == [20, 80]
+    assert all(row.repetitions == 2 for row in result.rows)
+    assert result.label == "buffer-256"
+
+
+def test_sweep_is_deterministic():
+    first = _tiny_sweep()
+    second = _tiny_sweep()
+    for a, b in zip(first.rows, second.rows):
+        assert a.load_up_mbps == b.load_up_mbps
+        assert a.setup_delay.mean == b.setup_delay.mean
+
+
+def test_sweep_pools_delays_across_repetitions():
+    result = _tiny_sweep()
+    # 30 flows x 2 repetitions pooled.
+    assert result.rows[0].setup_delay.count == 60
+
+
+def test_row_at_and_series():
+    result = _tiny_sweep()
+    assert result.row_at(80).rate_mbps == 80
+    with pytest.raises(KeyError):
+        result.row_at(33)
+    series = result.series(lambda row: row.load_up_mbps)
+    assert len(series) == 2
+
+
+def test_aggregate_requires_runs():
+    with pytest.raises(ValueError):
+        aggregate(10.0, "x", [])
+
+
+def test_sweep_validation():
+    with pytest.raises(ValueError):
+        sweep(buffer_256(), workload_a_factory(10), (10,), repetitions=0)
+
+
+# ---------------------------------------------------------------------------
+# experiments / figures
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def tiny_benefits():
+    return run_benefits_experiment(rates_mbps=_TINY_RATES, repetitions=1,
+                                   n_flows=30)
+
+
+@pytest.fixture(scope="module")
+def tiny_mechanism():
+    return run_mechanism_experiment(rates_mbps=_TINY_RATES, repetitions=1,
+                                    n_flows=10, packets_per_flow=6)
+
+
+def test_benefits_experiment_has_three_sweeps(tiny_benefits):
+    assert set(tiny_benefits.sweeps) == {"no-buffer", "buffer-16",
+                                         "buffer-256"}
+    assert tiny_benefits.name == "benefits"
+
+
+def test_mechanism_experiment_has_two_sweeps(tiny_mechanism):
+    assert set(tiny_mechanism.sweeps) == {"buffer-256", "flow-buffer-256"}
+
+
+def test_every_paper_figure_is_registered():
+    expected = {"fig2a", "fig2b", "fig3", "fig4", "fig5", "fig6", "fig7",
+                "fig8", "fig9a", "fig9b", "fig10", "fig11", "fig12a",
+                "fig12b", "fig13a", "fig13b"}
+    assert set(FIGURES) == expected
+
+
+def test_figure_specs_reference_valid_experiments():
+    for spec in FIGURES.values():
+        assert spec.experiment in ("benefits", "mechanism")
+        assert spec.unit in ("Mbps", "%", "ms", "units")
+        assert spec.labels
+
+
+def test_figure_series_extraction(tiny_benefits):
+    spec = FIGURES["fig2a"]
+    series = figure_series(spec, tiny_benefits)
+    assert set(series) == set(spec.labels)
+    assert all(len(values) == 2 for values in series.values())
+
+
+def test_figure_series_wrong_experiment_rejected(tiny_benefits):
+    with pytest.raises(ValueError):
+        figure_series(FIGURES["fig9a"], tiny_benefits)
+
+
+def test_format_figure_renders_rows(tiny_benefits):
+    text = format_figure(FIGURES["fig3"], tiny_benefits)
+    assert "fig3" in text
+    assert "no-buffer" in text
+    assert "20" in text and "80" in text
+
+
+def test_headline_claims_cover_both_experiments(tiny_benefits,
+                                                tiny_mechanism):
+    claims = headline_claims(tiny_benefits, tiny_mechanism)
+    assert len(claims) == 12
+    text = format_headlines(claims)
+    assert "paper" in text and "measured" in text
+
+
+def test_headline_claims_partial_data(tiny_benefits):
+    claims = headline_claims(benefits=tiny_benefits)
+    assert len(claims) == 7
+
+
+def test_format_table_1_lists_devices():
+    table = format_table_1()
+    assert "Open vSwitch" in table
+    assert "Floodlight" in table
+    assert "pktgen" in table
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_table1(capsys):
+    assert cli_main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+
+
+def test_cli_rejects_unknown_target(capsys):
+    assert cli_main(["fig99"]) == 2
+
+
+def test_cli_runs_tiny_figure(capsys):
+    code = cli_main(["fig2a", "--rates", "20", "--reps", "1",
+                     "--flows", "20"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fig2a" in out
+    assert "buffer-256" in out
+
+
+def test_cli_json_output(capsys):
+    import json
+    code = cli_main(["fig2a", "headline", "--rates", "20", "--reps", "1",
+                     "--flows", "20", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {"fig2a", "headline"}
+    assert payload["fig2a"]["rates_mbps"] == [20.0]
+    assert set(payload["fig2a"]["series"]) == {"no-buffer", "buffer-16",
+                                               "buffer-256"}
+    assert len(payload["headline"]) == 12
+
+
+def test_cli_json_table1(capsys):
+    import json
+    assert cli_main(["table1", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["table1"][0][0] == "Device"

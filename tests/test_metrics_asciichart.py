@@ -1,0 +1,64 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import render_chart
+
+
+def test_single_series_renders_marks_and_axes():
+    chart = render_chart([0, 50, 100], {"line": [0.0, 5.0, 10.0]},
+                         width=30, height=8)
+    plot_rows = [line for line in chart.splitlines() if "|" in line]
+    assert sum(row.count("*") for row in plot_rows) == 3
+    assert "10" in chart                 # y max label
+    assert "0" in chart                  # y min / x min
+    assert "* line" in chart
+
+
+def test_multiple_series_get_distinct_marks():
+    chart = render_chart([0, 1], {"a": [0, 1], "b": [1, 0],
+                                  "c": [0.5, 0.5]}, width=20, height=6)
+    assert "* a" in chart and "o b" in chart and "+ c" in chart
+    assert "o" in chart.splitlines()[0]  # b starts at the top
+
+
+def test_monotone_series_is_monotone_on_the_grid():
+    values = [float(v) for v in range(10)]
+    chart = render_chart(list(range(10)), {"up": values},
+                         width=40, height=10)
+    rows = [line.split("|", 1)[1] for line in chart.splitlines()
+            if "|" in line]
+    columns = {}
+    for row_index, row in enumerate(rows):
+        for col, char in enumerate(row):
+            if char == "*":
+                columns[col] = row_index
+    ordered = [columns[c] for c in sorted(columns)]
+    assert ordered == sorted(ordered, reverse=True)   # up and to the right
+
+
+def test_flat_series_renders_on_one_row():
+    chart = render_chart([0, 1, 2], {"flat": [5.0, 5.0, 5.0]},
+                         width=20, height=6)
+    rows_with_marks = [line for line in chart.splitlines() if "*" in line
+                       and "|" in line]
+    assert len(rows_with_marks) == 1
+
+
+def test_labels_rendered():
+    chart = render_chart([0, 1], {"s": [0, 1]}, y_label="Mbps",
+                         x_label="rate")
+    assert "y: Mbps" in chart and "x: rate" in chart
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        render_chart([0, 1], {})
+    with pytest.raises(ValueError):
+        render_chart([0, 1], {"s": [1]})
+    with pytest.raises(ValueError):
+        render_chart([], {"s": []})
+    with pytest.raises(ValueError):
+        render_chart([0], {"s": [1]}, width=5)

@@ -1,0 +1,70 @@
+"""Tests for the MetricsSuite snapshot windows and report formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import buffer_256
+from repro.experiments import (build_testbed, format_experiment,
+                               run_benefits_experiment)
+from repro.simkit import RandomStreams, mbps
+from repro.trafficgen import single_packet_flows
+
+
+def _run_testbed(n_flows=10, rate=40, seed=80):
+    workload = single_packet_flows(mbps(rate), n_flows=n_flows,
+                                   rng=RandomStreams(seed))
+    testbed = build_testbed(buffer_256(), workload, seed=seed)
+    testbed.controller.start_handshake()
+    testbed.pktgen.start(at=0.02)
+    testbed.sim.run(until=1.0)
+    return testbed, workload
+
+
+def test_snapshot_rejects_empty_window():
+    testbed, _ = _run_testbed()
+    with pytest.raises(ValueError):
+        testbed.metrics.snapshot(0.5, 0.5)
+    testbed.shutdown()
+
+
+def test_snapshot_load_window_excludes_late_traffic():
+    testbed, workload = _run_testbed()
+    send_end = 0.02 + workload.duration
+    full = testbed.metrics.snapshot(0.02, 1.0, load_end=1.0)
+    tight = testbed.metrics.snapshot(0.02, 1.0, load_end=send_end + 0.05)
+    # The tight window normalizes over the send period: a higher rate.
+    assert tight.control_load_up_mbps > full.control_load_up_mbps
+    # But the same message counts (counts are not windowed).
+    assert tight.packet_in_count == full.packet_in_count
+    testbed.shutdown()
+
+
+def test_snapshot_usage_is_windowed_mean():
+    testbed, workload = _run_testbed()
+    active = testbed.metrics.snapshot(0.02, 0.02 + workload.duration + 0.02)
+    idle = testbed.metrics.snapshot(0.9, 1.0)
+    # The active window shows real work; the idle tail only baseline.
+    assert (active.switch_usage_percent
+            > idle.switch_usage_percent)
+    assert idle.switch_usage_percent == pytest.approx(
+        testbed.switch.config.baseline_usage_percent, abs=1.0)
+    testbed.shutdown()
+
+
+def test_redundant_packet_in_ratio():
+    testbed, _ = _run_testbed()
+    snapshot = testbed.metrics.snapshot(0.02, 1.0)
+    assert snapshot.redundant_packet_in_ratio == pytest.approx(1.0)
+    testbed.shutdown()
+
+
+def test_format_experiment_renders_all_benefit_figures():
+    data = run_benefits_experiment(rates_mbps=(30,), repetitions=1,
+                                   n_flows=15)
+    text = format_experiment(data)
+    for figure_id in ("fig2a", "fig2b", "fig3", "fig4", "fig5", "fig6",
+                      "fig7", "fig8"):
+        assert figure_id in text
+    filtered = format_experiment(data, figure_ids=("fig3",))
+    assert "fig3" in filtered and "fig2a" not in filtered

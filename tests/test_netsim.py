@@ -1,0 +1,191 @@
+"""Tests for links, hosts and topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim import DuplexLink, Host, Link, Topology
+from repro.packets import udp_packet
+from repro.simkit import mbps, usec
+
+
+def _packet(frame_len=1000):
+    return udp_packet("00:00:00:00:00:01", "00:00:00:00:00:02",
+                      "10.0.0.1", "10.0.0.2", 1, 2, frame_len=frame_len)
+
+
+# ---------------------------------------------------------------------------
+# Link
+# ---------------------------------------------------------------------------
+
+def test_link_delivers_after_tx_plus_propagation(sim):
+    link = Link(sim, "l", bandwidth_bps=mbps(100),
+                propagation_delay=usec(5))
+    arrivals = []
+    link.connect(lambda item: arrivals.append((item, sim.now)))
+    link.send("frame", 1000)      # 80 us serialization + 5 us propagation
+    sim.run()
+    assert arrivals == [("frame", pytest.approx(usec(85)))]
+
+
+def test_link_serializes_fifo(sim):
+    link = Link(sim, "l", bandwidth_bps=mbps(100), propagation_delay=0.0)
+    arrivals = []
+    link.connect(lambda item: arrivals.append((item, sim.now)))
+    link.send("a", 1000)
+    link.send("b", 1000)
+    sim.run()
+    assert arrivals[0] == ("a", pytest.approx(usec(80)))
+    assert arrivals[1] == ("b", pytest.approx(usec(160)))
+
+
+def test_link_counts_bytes_and_items(sim):
+    link = Link(sim, "l", bandwidth_bps=mbps(10))
+    link.connect(lambda item: None)
+    link.send("x", 500)
+    link.send("y", 700)
+    assert link.bytes_sent == 1200
+    assert link.items_sent == 2
+    sim.run()
+
+
+def test_link_taps_observe_transmissions(sim):
+    link = Link(sim, "l", bandwidth_bps=mbps(10))
+    link.connect(lambda item: None)
+    seen = []
+    link.add_tap(lambda t, item, size: seen.append((t, item, size)))
+    link.send("x", 500)
+    assert seen == [(0.0, "x", 500)]
+    sim.run()
+
+
+def test_link_requires_receiver(sim):
+    link = Link(sim, "l", bandwidth_bps=mbps(10))
+    with pytest.raises(RuntimeError):
+        link.send("x", 100)
+
+
+def test_link_validation(sim):
+    with pytest.raises(ValueError):
+        Link(sim, "l", bandwidth_bps=0)
+    with pytest.raises(ValueError):
+        Link(sim, "l", bandwidth_bps=1, propagation_delay=-1)
+    link = Link(sim, "l", bandwidth_bps=mbps(10))
+    link.connect(lambda item: None)
+    with pytest.raises(ValueError):
+        link.send("x", 0)
+
+
+def test_link_utilization_and_reset(sim):
+    link = Link(sim, "l", bandwidth_bps=mbps(8))   # 1 byte per microsecond
+    link.connect(lambda item: None)
+    link.send("x", 1_000_000)                      # 1 second of tx
+    sim.run(until=2.0)
+    assert link.utilization_percent() == pytest.approx(50.0)
+    link.reset_accounting()
+    assert link.bytes_sent == 0
+
+
+def test_duplex_link_directions_are_independent(sim):
+    cable = DuplexLink(sim, "cable", bandwidth_bps=mbps(100))
+    forward, reverse = [], []
+    cable.connect(forward.append, reverse.append)
+    cable.forward.send("f", 100)
+    cable.reverse.send("r", 100)
+    sim.run()
+    assert forward == ["f"]
+    assert reverse == ["r"]
+
+
+# ---------------------------------------------------------------------------
+# Host
+# ---------------------------------------------------------------------------
+
+def test_host_send_stamps_created_at(sim):
+    host = Host(sim, "h", "00:00:00:00:00:01", "10.0.0.1")
+    link = Link(sim, "l", bandwidth_bps=mbps(100))
+    link.connect(lambda item: None)
+    host.attach(link)
+    packet = _packet()
+    sim.schedule(1.0, host.send, packet)
+    sim.run()
+    assert packet.created_at == 1.0
+    assert host.packets_sent == 1
+
+
+def test_host_receive_records_and_hooks(sim):
+    host = Host(sim, "h", "00:00:00:00:00:02", "10.0.0.2")
+    seen = []
+    host.add_receive_hook(lambda t, p: seen.append((t, p.uid)))
+    packet = _packet()
+    host.receive(packet)
+    assert host.received == [packet]
+    assert host.bytes_received == packet.wire_len
+    assert seen == [(0.0, packet.uid)]
+
+
+def test_host_send_unattached_raises(sim):
+    host = Host(sim, "h", "00:00:00:00:00:01", "10.0.0.1")
+    with pytest.raises(RuntimeError):
+        host.send(_packet())
+
+
+def test_host_reset_accounting(sim):
+    host = Host(sim, "h", "00:00:00:00:00:02", "10.0.0.2")
+    host.receive(_packet())
+    host.reset_accounting()
+    assert host.received == []
+    assert host.bytes_received == 0
+
+
+# ---------------------------------------------------------------------------
+# Topology
+# ---------------------------------------------------------------------------
+
+def test_topology_registers_and_looks_up_nodes(sim):
+    topo = Topology(sim)
+    host = topo.add_node("h1", Host(sim, "h1", "00:00:00:00:00:01",
+                                    "10.0.0.1"))
+    assert topo.node("h1") is host
+    assert "h1" in topo
+    assert "h2" not in topo
+
+
+def test_topology_duplicate_node_rejected(sim):
+    topo = Topology(sim)
+    topo.add_node("h1", object())
+    with pytest.raises(ValueError):
+        topo.add_node("h1", object())
+
+
+def test_topology_unknown_node_lookup_raises(sim):
+    topo = Topology(sim)
+    with pytest.raises(KeyError):
+        topo.node("ghost")
+
+
+def test_topology_cable_requires_registered_nodes(sim):
+    topo = Topology(sim)
+    topo.add_node("a", object())
+    with pytest.raises(KeyError):
+        topo.add_cable("a", "b", mbps(100))
+
+
+def test_topology_cable_order_insensitive_lookup(sim):
+    topo = Topology(sim)
+    topo.add_node("a", object())
+    topo.add_node("b", object())
+    cable = topo.add_cable("a", "b", mbps(100))
+    assert topo.cable("b", "a") is cable
+    with pytest.raises(ValueError):
+        topo.add_cable("b", "a", mbps(100))
+
+
+def test_topology_replace_node(sim):
+    topo = Topology(sim)
+    topo.add_node("x", None)
+    replacement = object()
+    topo.replace_node("x", replacement)
+    assert topo.node("x") is replacement
+    with pytest.raises(KeyError):
+        topo.replace_node("ghost", object())

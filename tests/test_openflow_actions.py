@@ -1,0 +1,59 @@
+"""Tests for actions and protocol constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.openflow import (ControllerAction, DropAction, ErrorType,
+                            FlowModCommand, OutputAction, PacketInReason,
+                            PortNo, actions_wire_len, OFP_NO_BUFFER)
+
+
+def test_output_action_wire_len():
+    assert OutputAction(2).wire_len == 8
+    assert actions_wire_len((OutputAction(1), OutputAction(2))) == 16
+
+
+def test_output_action_validation():
+    with pytest.raises(ValueError):
+        OutputAction(-1)
+
+
+def test_output_action_renders_reserved_ports():
+    assert str(OutputAction(int(PortNo.FLOOD))) == "output:FLOOD"
+    assert str(OutputAction(7)) == "output:7"
+
+
+def test_drop_action_is_zero_bytes():
+    assert DropAction().wire_len == 0
+    assert actions_wire_len((DropAction(),)) == 0
+    assert str(DropAction()) == "drop"
+
+
+def test_controller_action():
+    action = ControllerAction(max_len=64)
+    assert action.wire_len == 8
+    assert "max_len=64" in str(action)
+    with pytest.raises(ValueError):
+        ControllerAction(max_len=-1)
+
+
+def test_actions_are_hashable_and_comparable():
+    assert OutputAction(2) == OutputAction(2)
+    assert OutputAction(2) != OutputAction(3)
+    assert len({OutputAction(2), OutputAction(2), DropAction()}) == 2
+
+
+def test_no_buffer_sentinel_is_spec_value():
+    assert OFP_NO_BUFFER == 0xFFFFFFFF
+
+
+def test_enum_values_match_spec():
+    assert PacketInReason.NO_MATCH == 0
+    assert PacketInReason.ACTION == 1
+    assert FlowModCommand.ADD == 0
+    assert FlowModCommand.DELETE == 3
+    assert FlowModCommand.DELETE_STRICT == 4
+    assert PortNo.FLOOD == 0xFFFB
+    assert PortNo.CONTROLLER == 0xFFFD
+    assert ErrorType.BUFFER_UNKNOWN.value == 5

@@ -1,0 +1,178 @@
+"""Tests for the flow table: lookup, timeouts, eviction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.openflow import FlowEntry, FlowTable, Match, OutputAction
+from repro.packets import udp_packet
+
+
+def _packet(i=0):
+    return udp_packet("00:00:00:00:00:01", "00:00:00:00:00:02",
+                      f"10.0.{i // 256}.{i % 256}", "10.0.0.2", 1000 + i, 2000)
+
+
+def _exact_entry(packet, in_port=1, **kwargs):
+    return FlowEntry(match=Match.exact_from_packet(packet, in_port=in_port),
+                     actions=(OutputAction(2),), **kwargs)
+
+
+def test_lookup_miss_on_empty_table():
+    table = FlowTable()
+    assert table.lookup(_packet(), in_port=1, now=0.0) is None
+    assert table.miss_count == 1
+
+
+def test_exact_insert_and_hit():
+    table = FlowTable()
+    packet = _packet()
+    table.insert(_exact_entry(packet), now=0.0)
+    entry = table.lookup(packet, in_port=1, now=1.0)
+    assert entry is not None
+    assert entry.packet_count == 1
+    assert entry.byte_count == packet.wire_len
+    assert entry.last_used == 1.0
+
+
+def test_hit_requires_matching_in_port():
+    table = FlowTable()
+    packet = _packet()
+    table.insert(_exact_entry(packet, in_port=1), now=0.0)
+    assert table.lookup(packet, in_port=2, now=1.0) is None
+
+
+def test_wildcard_entry_matches():
+    table = FlowTable()
+    table.insert(FlowEntry(match=Match(ip_dst="10.0.0.2"),
+                           actions=(OutputAction(2),)), now=0.0)
+    assert table.lookup(_packet(5), in_port=9, now=1.0) is not None
+
+
+def test_higher_priority_wildcard_beats_lower():
+    table = FlowTable()
+    low = FlowEntry(match=Match(ip_dst="10.0.0.2"),
+                    actions=(OutputAction(1),), priority=10)
+    high = FlowEntry(match=Match(tp_dst=2000),
+                     actions=(OutputAction(2),), priority=20)
+    table.insert(low, now=0.0)
+    table.insert(high, now=0.0)
+    entry = table.lookup(_packet(), in_port=1, now=1.0)
+    assert entry is high
+
+
+def test_exact_entry_and_higher_priority_wildcard():
+    table = FlowTable()
+    packet = _packet()
+    exact = _exact_entry(packet, priority=10)
+    wildcard = FlowEntry(match=Match(), actions=(OutputAction(9),),
+                         priority=100)
+    table.insert(exact, now=0.0)
+    table.insert(wildcard, now=0.0)
+    assert table.lookup(packet, in_port=1, now=1.0) is wildcard
+
+
+def test_idle_timeout_expires_entry():
+    table = FlowTable()
+    packet = _packet()
+    table.insert(_exact_entry(packet, idle_timeout=5.0), now=0.0)
+    assert table.lookup(packet, in_port=1, now=4.0) is not None
+    # Last use at t=4; idle expires at t=9.
+    assert table.lookup(packet, in_port=1, now=9.5) is None
+
+
+def test_hard_timeout_expires_despite_use():
+    table = FlowTable()
+    packet = _packet()
+    table.insert(_exact_entry(packet, hard_timeout=10.0), now=0.0)
+    assert table.lookup(packet, in_port=1, now=9.0) is not None
+    assert table.lookup(packet, in_port=1, now=10.5) is None
+
+
+def test_zero_timeouts_never_expire():
+    table = FlowTable()
+    packet = _packet()
+    table.insert(_exact_entry(packet), now=0.0)
+    assert table.lookup(packet, in_port=1, now=1e9) is not None
+
+
+def test_expire_sweep_returns_expired_entries():
+    table = FlowTable()
+    table.insert(_exact_entry(_packet(1), hard_timeout=1.0), now=0.0)
+    table.insert(_exact_entry(_packet(2), hard_timeout=100.0), now=0.0)
+    expired = table.expire(now=50.0)
+    assert len(expired) == 1
+    assert len(table) == 1
+
+
+def test_reinsert_same_match_replaces():
+    table = FlowTable(capacity=10)
+    packet = _packet()
+    table.insert(_exact_entry(packet), now=0.0)
+    replacement = _exact_entry(packet)
+    evicted = table.insert(replacement, now=1.0)
+    assert evicted is None
+    assert len(table) == 1
+
+
+def test_lru_eviction_at_capacity():
+    table = FlowTable(capacity=2, eviction="lru")
+    p1, p2, p3 = _packet(1), _packet(2), _packet(3)
+    table.insert(_exact_entry(p1), now=0.0)
+    table.insert(_exact_entry(p2), now=1.0)
+    table.lookup(p1, in_port=1, now=2.0)   # p1 is now most recently used
+    evicted = table.insert(_exact_entry(p3), now=3.0)
+    assert evicted is not None
+    assert table.lookup(p2, in_port=1, now=4.0) is None   # p2 was evicted
+    assert table.lookup(p1, in_port=1, now=4.0) is not None
+    assert table.evictions == 1
+
+
+def test_fifo_eviction_ignores_recency():
+    table = FlowTable(capacity=2, eviction="fifo")
+    p1, p2, p3 = _packet(1), _packet(2), _packet(3)
+    table.insert(_exact_entry(p1), now=0.0)
+    table.insert(_exact_entry(p2), now=1.0)
+    table.lookup(p1, in_port=1, now=2.0)
+    table.insert(_exact_entry(p3), now=3.0)
+    assert table.lookup(p1, in_port=1, now=4.0) is None   # oldest evicted
+
+
+def test_remove_covered_entries():
+    table = FlowTable()
+    table.insert(_exact_entry(_packet(1)), now=0.0)
+    table.insert(_exact_entry(_packet(2)), now=0.0)
+    removed = table.remove(Match(ip_dst="10.0.0.2"))
+    assert removed == 2
+    assert len(table) == 0
+
+
+def test_remove_strict_requires_identical_match_and_priority():
+    table = FlowTable()
+    packet = _packet()
+    entry = _exact_entry(packet, priority=7)
+    table.insert(entry, now=0.0)
+    assert table.remove(entry.match, strict_priority=8) == 0
+    assert table.remove(entry.match, strict_priority=7) == 1
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        FlowTable(capacity=0)
+    with pytest.raises(ValueError):
+        FlowTable(eviction="random")
+
+
+def test_clear_empties_table():
+    table = FlowTable()
+    table.insert(_exact_entry(_packet(1)), now=0.0)
+    table.clear()
+    assert len(table) == 0
+
+
+def test_entries_lists_all():
+    table = FlowTable()
+    table.insert(_exact_entry(_packet(1)), now=0.0)
+    table.insert(FlowEntry(match=Match(), actions=(OutputAction(1),)),
+                 now=0.0)
+    assert len(table.entries()) == 2

@@ -1,0 +1,86 @@
+"""Tests for the match structure."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.openflow import Match
+from repro.packets import udp_packet
+
+
+def _packet(src_ip="10.0.0.1", dst_ip="10.0.0.2", src_port=1000,
+            dst_port=2000):
+    return udp_packet("00:00:00:00:00:01", "00:00:00:00:00:02",
+                      src_ip, dst_ip, src_port, dst_port)
+
+
+def test_match_all_matches_everything():
+    match = Match()
+    assert match.is_match_all
+    assert match.matches(_packet(), in_port=1)
+    assert match.matches(_packet("1.2.3.4", "5.6.7.8", 9, 10), in_port=99)
+
+
+def test_exact_match_matches_only_its_packet():
+    packet = _packet()
+    match = Match.exact_from_packet(packet, in_port=1)
+    assert match.matches(packet, in_port=1)
+    assert not match.matches(packet, in_port=2)
+    assert not match.matches(_packet(src_ip="10.0.0.99"), in_port=1)
+    assert not match.matches(_packet(src_port=1001), in_port=1)
+
+
+def test_single_field_match():
+    match = Match(ip_dst="10.0.0.2")
+    assert match.matches(_packet(), in_port=5)
+    assert not match.matches(_packet(dst_ip="10.0.0.3"), in_port=5)
+
+
+def test_port_only_match():
+    match = Match(tp_dst=2000)
+    assert match.matches(_packet(), in_port=1)
+    assert not match.matches(_packet(dst_port=2001), in_port=1)
+
+
+def test_wildcard_count():
+    assert Match().wildcard_count == 9
+    packet = _packet()
+    assert Match.exact_from_packet(packet, in_port=1).wildcard_count == 0
+    assert Match(ip_src="10.0.0.1").wildcard_count == 8
+
+
+def test_covers_relation():
+    packet = _packet()
+    exact = Match.exact_from_packet(packet, in_port=1)
+    wide = Match(ip_dst="10.0.0.2")
+    assert Match().covers(exact)
+    assert wide.covers(exact)
+    assert not exact.covers(wide)
+    assert exact.covers(exact)
+
+
+def test_covers_with_differing_values():
+    a = Match(ip_src="10.0.0.1")
+    b = Match(ip_src="10.0.0.2")
+    assert not a.covers(b)
+    assert not b.covers(a)
+
+
+def test_str_rendering():
+    assert str(Match()) == "Match(*)"
+    assert "ip_src=10.0.0.1" in str(Match(ip_src="10.0.0.1"))
+
+
+@given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF),
+       st.integers(0, 64), st.integers(0, 64))
+def test_exact_from_packet_always_matches_its_packet(sport, dport, a, b):
+    packet = _packet(src_ip=f"10.0.{a}.{b}", src_port=sport, dst_port=dport)
+    match = Match.exact_from_packet(packet, in_port=3)
+    assert match.matches(packet, in_port=3)
+
+
+@given(st.integers(0, 255))
+def test_wildcarded_field_never_blocks(octet):
+    packet = _packet(src_ip=f"10.9.9.{octet}")
+    match = Match(ip_dst="10.0.0.2")   # src wildcarded
+    assert match.matches(packet, in_port=1)

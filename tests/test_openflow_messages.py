@@ -1,0 +1,122 @@
+"""Tests for OpenFlow message wire sizes and invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.openflow import (OFP_HEADER_LEN, OFP_NO_BUFFER, BarrierReply,
+                            BarrierRequest, EchoReply, EchoRequest,
+                            ErrorMsg, FeaturesReply, FlowMod, Hello, Match,
+                            OutputAction, PacketIn, PacketOut, next_xid)
+from repro.packets import udp_packet
+
+
+def _packet(frame_len=1000):
+    return udp_packet("00:00:00:00:00:01", "00:00:00:00:00:02",
+                      "10.0.0.1", "10.0.0.2", 1, 2, frame_len=frame_len)
+
+
+def test_xids_are_unique_and_increasing():
+    first = next_xid()
+    second = next_xid()
+    assert second > first
+
+
+def test_every_message_gets_distinct_xid():
+    a, b = Hello(), Hello()
+    assert a.xid != b.xid
+
+
+def test_hello_is_bare_header():
+    assert Hello().wire_len == OFP_HEADER_LEN
+
+
+def test_echo_carries_payload():
+    assert EchoRequest(payload_len=16).wire_len == OFP_HEADER_LEN + 16
+    assert EchoReply(payload_len=16).wire_len == OFP_HEADER_LEN + 16
+
+
+def test_packet_in_unbuffered_carries_full_frame():
+    packet = _packet(1000)
+    message = PacketIn(packet=packet, buffer_id=OFP_NO_BUFFER,
+                       data_len=packet.wire_len)
+    assert message.data_len == 1000
+    assert message.wire_len > 1000
+    assert not message.is_buffered
+    assert message.total_len == 1000
+
+
+def test_packet_in_buffered_carries_fragment():
+    packet = _packet(1000)
+    buffered = PacketIn(packet=packet, buffer_id=77, data_len=128)
+    unbuffered = PacketIn(packet=packet, buffer_id=OFP_NO_BUFFER,
+                          data_len=packet.wire_len)
+    assert buffered.is_buffered
+    assert buffered.wire_len < unbuffered.wire_len / 4
+
+
+def test_packet_in_requires_packet():
+    with pytest.raises(ValueError):
+        PacketIn(packet=None)
+
+
+def test_packet_out_buffered_must_not_enclose_data():
+    with pytest.raises(ValueError):
+        PacketOut(buffer_id=5, data_len=100)
+
+
+def test_packet_out_unbuffered_must_enclose_packet():
+    with pytest.raises(ValueError):
+        PacketOut(buffer_id=OFP_NO_BUFFER, packet=None)
+
+
+def test_packet_out_sizes():
+    packet = _packet(1000)
+    buffered = PacketOut(actions=(OutputAction(2),), buffer_id=9)
+    unbuffered = PacketOut(actions=(OutputAction(2),),
+                           buffer_id=OFP_NO_BUFFER,
+                           data_len=packet.wire_len, packet=packet)
+    assert buffered.wire_len < 40
+    assert unbuffered.wire_len > 1000
+    assert buffered.is_buffered and not unbuffered.is_buffered
+
+
+def test_flow_mod_size_includes_actions():
+    bare = FlowMod(match=Match())
+    with_actions = FlowMod(match=Match(), actions=(OutputAction(1),
+                                                   OutputAction(2)))
+    assert with_actions.wire_len == bare.wire_len + 16
+
+
+def test_flow_mod_is_much_smaller_than_full_frame_packet_out():
+    packet = _packet(1000)
+    flow_mod = FlowMod(match=Match.exact_from_packet(packet),
+                       actions=(OutputAction(2),))
+    assert flow_mod.wire_len < 100
+
+
+def test_barrier_messages_are_bare_headers():
+    assert BarrierRequest().wire_len == OFP_HEADER_LEN
+    assert BarrierReply().wire_len == OFP_HEADER_LEN
+
+
+def test_features_reply_scales_with_ports():
+    small = FeaturesReply(ports=(1,))
+    large = FeaturesReply(ports=(1, 2, 3))
+    assert large.wire_len == small.wire_len + 2 * 48
+
+
+def test_error_message_has_context():
+    assert ErrorMsg().wire_len > OFP_HEADER_LEN
+
+
+def test_in_reply_to_defaults_none():
+    assert Hello().in_reply_to is None
+    assert FlowMod(in_reply_to=4).in_reply_to == 4
+
+
+def test_kind_labels_are_lowercase_names():
+    packet = _packet()
+    assert PacketIn(packet=packet).kind == "packetin"
+    assert FlowMod().kind == "flowmod"
+    assert PacketOut(buffer_id=1).kind == "packetout"

@@ -1,0 +1,205 @@
+"""Round-trip tests for the OpenFlow 1.0 wire codec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.openflow import (BarrierReply, BarrierRequest, EchoReply,
+                            EchoRequest, ErrorMsg, ErrorType, FeaturesReply,
+                            FeaturesRequest, FlowMod, FlowModCommand,
+                            FlowRemoved, GetConfigReply, GetConfigRequest,
+                            Hello, Match, OutputAction, PacketIn, PacketOut,
+                            SetConfig, WireError, OFP_NO_BUFFER,
+                            decode_match, decode_message, encode_match,
+                            encode_message)
+from repro.packets import udp_packet
+
+
+def _packet(frame_len=1000):
+    return udp_packet("aa:bb:cc:dd:ee:01", "aa:bb:cc:dd:ee:02",
+                      "10.0.0.1", "10.0.0.2", 1234, 80,
+                      frame_len=frame_len)
+
+
+_SIMPLE = [Hello(), EchoRequest(payload_len=16), EchoReply(payload_len=4),
+           FeaturesRequest(), GetConfigRequest(), BarrierRequest(),
+           BarrierReply(), SetConfig(miss_send_len=200, flags=1),
+           GetConfigReply(miss_send_len=128)]
+
+
+@pytest.mark.parametrize("message", _SIMPLE,
+                         ids=[type(m).__name__ for m in _SIMPLE])
+def test_simple_messages_round_trip(message):
+    wire = encode_message(message)
+    assert len(wire) == message.wire_len
+    decoded = decode_message(wire)
+    assert type(decoded) is type(message)
+    assert decoded.xid == message.xid
+
+
+def test_set_config_fields_survive():
+    decoded = decode_message(encode_message(
+        SetConfig(miss_send_len=77, flags=3)))
+    assert decoded.miss_send_len == 77
+    assert decoded.flags == 3
+
+
+def test_features_reply_round_trip():
+    message = FeaturesReply(datapath_id=42, n_buffers=256, n_tables=1,
+                            ports=(1, 2, 7))
+    wire = encode_message(message)
+    assert len(wire) == message.wire_len
+    decoded = decode_message(wire)
+    assert decoded.datapath_id == 42
+    assert decoded.n_buffers == 256
+    assert decoded.ports == (1, 2, 7)
+
+
+def test_packet_in_round_trip_reconstructs_packet():
+    packet = _packet()
+    message = PacketIn(packet=packet, in_port=3, buffer_id=99,
+                       data_len=128)
+    wire = encode_message(message)
+    assert len(wire) == message.wire_len
+    decoded = decode_message(wire)
+    assert decoded.buffer_id == 99
+    assert decoded.in_port == 3
+    assert decoded.data_len == 128
+    # The reconstructed packet has the original headers AND the original
+    # full frame size (from the embedded IP total_length).
+    assert decoded.packet.five_tuple == packet.five_tuple
+    assert decoded.packet.wire_len == packet.wire_len
+
+
+def test_packet_out_buffered_round_trip():
+    message = PacketOut(actions=(OutputAction(2),), buffer_id=7, in_port=1)
+    wire = encode_message(message)
+    assert len(wire) == message.wire_len
+    decoded = decode_message(wire)
+    assert decoded.buffer_id == 7
+    assert decoded.actions == (OutputAction(2),)
+    assert decoded.packet is None
+
+
+def test_packet_out_unbuffered_carries_frame():
+    packet = _packet(500)
+    message = PacketOut(actions=(OutputAction(2),),
+                        buffer_id=OFP_NO_BUFFER,
+                        data_len=packet.wire_len, packet=packet)
+    wire = encode_message(message)
+    assert len(wire) == message.wire_len
+    decoded = decode_message(wire)
+    assert decoded.packet.five_tuple == packet.five_tuple
+    assert decoded.data_len == 500
+
+
+def test_flow_mod_round_trip():
+    packet = _packet()
+    message = FlowMod(match=Match.exact_from_packet(packet, in_port=1),
+                      actions=(OutputAction(2),),
+                      command=FlowModCommand.ADD, priority=0x8000,
+                      idle_timeout=5.0, hard_timeout=30.0, cookie=1234,
+                      send_flow_removed=True)
+    wire = encode_message(message)
+    assert len(wire) == message.wire_len
+    decoded = decode_message(wire)
+    assert decoded.match == message.match
+    assert decoded.actions == message.actions
+    assert decoded.idle_timeout == 5.0
+    assert decoded.hard_timeout == 30.0
+    assert decoded.cookie == 1234
+    assert decoded.send_flow_removed
+
+
+def test_flow_removed_round_trip():
+    message = FlowRemoved(match=Match(ip_dst="10.0.0.2"), cookie=5,
+                          priority=10, reason=1, duration=12.25,
+                          packet_count=1000, byte_count=1_000_000)
+    wire = encode_message(message)
+    assert len(wire) == message.wire_len
+    decoded = decode_message(wire)
+    assert decoded.match == message.match
+    assert decoded.duration == pytest.approx(12.25)
+    assert decoded.packet_count == 1000
+    assert decoded.reason == 1
+
+
+def test_error_round_trip():
+    message = ErrorMsg(error_type=ErrorType.BUFFER_UNKNOWN, code=2,
+                       context_len=32)
+    wire = encode_message(message)
+    assert len(wire) == message.wire_len
+    decoded = decode_message(wire)
+    assert decoded.error_type == ErrorType.BUFFER_UNKNOWN
+    assert decoded.code == 2
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(WireError):
+        decode_message(b"\x01\x00")                 # short header
+    with pytest.raises(WireError):
+        decode_message(b"\x04\x00\x00\x08" + b"\x00" * 4)   # wrong version
+    valid = encode_message(Hello())
+    with pytest.raises(WireError):
+        decode_message(valid[:-1] + b"\x00\x00")    # bad length field
+    bad_type = bytearray(valid)
+    bad_type[1] = 99
+    with pytest.raises(WireError):
+        decode_message(bytes(bad_type))
+
+
+def test_truncated_packet_in_fragment_rejected():
+    packet = _packet()
+    message = PacketIn(packet=packet, in_port=1, buffer_id=1, data_len=20)
+    with pytest.raises(WireError):
+        decode_message(encode_message(message))
+
+
+# ---------------------------------------------------------------------------
+# ofp_match properties
+# ---------------------------------------------------------------------------
+
+_MATCH_FIELDS = st.fixed_dictionaries({
+    "in_port": st.none() | st.integers(0, 0xFFFF),
+    "eth_type": st.none() | st.integers(0, 0xFFFF),
+    "ip_src": st.none() | st.integers(0, (1 << 32) - 1),
+    "ip_dst": st.none() | st.integers(0, (1 << 32) - 1),
+    "ip_proto": st.none() | st.integers(0, 255),
+    "tp_src": st.none() | st.integers(0, 0xFFFF),
+    "tp_dst": st.none() | st.integers(0, 0xFFFF),
+})
+
+
+@given(fields=_MATCH_FIELDS)
+def test_match_round_trip_property(fields):
+    from repro.packets import int_to_ip
+    match = Match(
+        in_port=fields["in_port"],
+        eth_type=fields["eth_type"],
+        ip_src=(int_to_ip(fields["ip_src"])
+                if fields["ip_src"] is not None else None),
+        ip_dst=(int_to_ip(fields["ip_dst"])
+                if fields["ip_dst"] is not None else None),
+        ip_proto=fields["ip_proto"],
+        tp_src=fields["tp_src"],
+        tp_dst=fields["tp_dst"])
+    encoded = encode_match(match)
+    assert len(encoded) == 40
+    assert decode_match(encoded) == match
+
+
+def test_match_all_round_trip():
+    assert decode_match(encode_match(Match())) == Match()
+
+
+def test_exact_match_round_trip():
+    match = Match.exact_from_packet(_packet(), in_port=2)
+    assert decode_match(encode_match(match)) == match
+
+
+@given(payload=st.integers(0, 64))
+def test_echo_payload_length_preserved(payload):
+    decoded = decode_message(encode_message(
+        EchoRequest(payload_len=payload)))
+    assert decoded.payload_len == payload

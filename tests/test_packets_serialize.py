@@ -1,0 +1,125 @@
+"""Round-trip tests for byte-level packet serialization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.packets import (DecodeError, EthernetHeader, Packet,
+                           decode_packet, encode_packet,
+                           internet_checksum, tcp_packet, udp_packet,
+                           tcp_control_packet, FLAG_SYN, FLAG_ACK)
+
+
+def test_checksum_known_vector():
+    # Classic RFC 1071 example data.
+    data = bytes.fromhex("45000073000040004011b861c0a80001c0a800c7")
+    # A header with a correct checksum sums to zero.
+    assert internet_checksum(data) == 0
+
+
+def test_checksum_odd_length_padding():
+    assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+
+def test_udp_packet_round_trip():
+    original = udp_packet("aa:bb:cc:dd:ee:01", "aa:bb:cc:dd:ee:02",
+                          "192.168.1.10", "10.20.30.40", 1234, 53,
+                          frame_len=500)
+    wire = encode_packet(original)
+    assert len(wire) == original.wire_len
+    decoded = decode_packet(wire)
+    assert decoded.eth == original.eth
+    assert decoded.ip == original.ip
+    assert decoded.l4 == original.l4
+    assert decoded.payload_len == original.payload_len
+
+
+def test_tcp_packet_round_trip():
+    original = tcp_packet("aa:bb:cc:dd:ee:01", "aa:bb:cc:dd:ee:02",
+                          "1.2.3.4", "5.6.7.8", 40000, 443,
+                          flags=FLAG_SYN | FLAG_ACK, seq=12345, ack=999,
+                          frame_len=900)
+    decoded = decode_packet(encode_packet(original))
+    assert decoded.l4 == original.l4
+    assert decoded.ip == original.ip
+
+
+def test_minimum_frame_is_padded():
+    original = tcp_control_packet("aa:bb:cc:dd:ee:01", "aa:bb:cc:dd:ee:02",
+                                  "1.2.3.4", "5.6.7.8", 1, 2,
+                                  flags=FLAG_ACK)
+    wire = encode_packet(original)
+    assert len(wire) == 60          # Ethernet minimum
+    decoded = decode_packet(wire)
+    assert decoded.payload_len == 0  # padding is not payload
+    assert decoded.l4 == original.l4
+
+
+def test_non_ip_frame_round_trip():
+    eth = EthernetHeader("aa:bb:cc:dd:ee:01", "aa:bb:cc:dd:ee:02",
+                         ethertype=0x0806)
+    original = Packet(eth=eth, payload_len=46)
+    decoded = decode_packet(encode_packet(original))
+    assert decoded.eth == original.eth
+    assert decoded.ip is None
+
+
+def test_truncated_frames_rejected():
+    original = udp_packet("aa:bb:cc:dd:ee:01", "aa:bb:cc:dd:ee:02",
+                          "1.2.3.4", "5.6.7.8", 1, 2)
+    wire = encode_packet(original)
+    with pytest.raises(DecodeError):
+        decode_packet(wire[:10])
+    with pytest.raises(DecodeError):
+        decode_packet(wire[:20])
+    with pytest.raises(DecodeError):
+        decode_packet(wire[:38])
+
+
+def test_corrupted_ip_header_rejected():
+    wire = bytearray(encode_packet(udp_packet(
+        "aa:bb:cc:dd:ee:01", "aa:bb:cc:dd:ee:02",
+        "1.2.3.4", "5.6.7.8", 1, 2)))
+    wire[22] ^= 0xFF          # flip TTL: checksum now wrong
+    with pytest.raises(DecodeError):
+        decode_packet(bytes(wire))
+
+
+@given(src=st.integers(0, (1 << 32) - 1), dst=st.integers(0, (1 << 32) - 1),
+       sport=st.integers(0, 0xFFFF), dport=st.integers(0, 0xFFFF),
+       frame_len=st.integers(60, 1514), dscp=st.integers(0, 63),
+       ttl=st.integers(1, 255))
+def test_udp_round_trip_property(src, dst, sport, dport, frame_len, dscp,
+                                 ttl):
+    from repro.packets import IPv4Header, UDPHeader, int_to_ip
+    eth = EthernetHeader("aa:bb:cc:dd:ee:01", "aa:bb:cc:dd:ee:02")
+    ip = IPv4Header(int_to_ip(src), int_to_ip(dst), protocol=17,
+                    ttl=ttl, dscp=dscp)
+    l4 = UDPHeader(sport, dport)
+    original = Packet(eth=eth, ip=ip, l4=l4, payload_len=frame_len - 42)
+    decoded = decode_packet(encode_packet(original))
+    assert decoded.eth == original.eth
+    assert decoded.ip == original.ip
+    assert decoded.l4 == original.l4
+    assert decoded.payload_len == original.payload_len
+
+
+@given(seq=st.integers(0, (1 << 32) - 1), ack=st.integers(0, (1 << 32) - 1),
+       flags=st.integers(0, 0xFF), window=st.integers(0, 0xFFFF))
+def test_tcp_round_trip_property(seq, ack, flags, window):
+    from repro.packets import IPv4Header, TCPHeader
+    eth = EthernetHeader("aa:bb:cc:dd:ee:01", "aa:bb:cc:dd:ee:02")
+    ip = IPv4Header("9.9.9.9", "8.8.8.8", protocol=6)
+    l4 = TCPHeader(5, 6, seq=seq, ack=ack, flags=flags, window=window)
+    original = Packet(eth=eth, ip=ip, l4=l4, payload_len=100)
+    decoded = decode_packet(encode_packet(original))
+    assert decoded.l4 == original.l4
+
+
+@given(payload=st.integers(0, 1460))
+def test_encoded_length_always_matches_wire_len(payload):
+    original = udp_packet("aa:bb:cc:dd:ee:01", "aa:bb:cc:dd:ee:02",
+                          "1.2.3.4", "5.6.7.8", 1, 2,
+                          frame_len=max(60, 42 + payload))
+    assert len(encode_packet(original)) == original.wire_len

@@ -1,0 +1,100 @@
+"""Tests for the quoted-statistics comparison module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (FIGURES, PAPER_QUOTED, compare_quoted,
+                               format_quoted, run_benefits_experiment,
+                               run_mechanism_experiment)
+from repro.experiments.paper_data import QuotedValue, _measured_statistic
+
+
+def test_quoted_values_reference_registered_figures():
+    for quoted in PAPER_QUOTED:
+        assert quoted.figure_id in FIGURES
+        spec = FIGURES[quoted.figure_id]
+        assert quoted.label in spec.labels, (
+            f"{quoted.figure_id}: {quoted.label} not in {spec.labels}")
+
+
+def test_quoted_units_match_figure_units():
+    for quoted in PAPER_QUOTED:
+        assert quoted.unit == FIGURES[quoted.figure_id].unit
+
+
+def test_quoted_corpus_covers_both_experiments():
+    experiments = {FIGURES[q.figure_id].experiment for q in PAPER_QUOTED}
+    assert experiments == {"benefits", "mechanism"}
+    assert len(PAPER_QUOTED) >= 40
+
+
+def test_measured_statistic_extractors():
+    series = [1.0, 3.0, 2.0]
+    rates = [10.0, 20.0, 30.0]
+    assert _measured_statistic(series, rates, "mean") == pytest.approx(2.0)
+    assert _measured_statistic(series, rates, "max") == 3.0
+    assert _measured_statistic(series, rates, "at:20") == 3.0
+    with pytest.raises(ValueError):
+        _measured_statistic(series, rates, "median")
+    with pytest.raises(ValueError):
+        _measured_statistic(series, rates, "at:99")
+
+
+@pytest.fixture(scope="module")
+def tiny_data():
+    benefits = run_benefits_experiment(rates_mbps=(35, 95), repetitions=1,
+                                       n_flows=40)
+    mechanism = run_mechanism_experiment(rates_mbps=(35, 95),
+                                         repetitions=1, n_flows=10,
+                                         packets_per_flow=6)
+    return benefits, mechanism
+
+
+def test_compare_quoted_full_coverage(tiny_data):
+    benefits, mechanism = tiny_data
+    comparisons = compare_quoted(benefits, mechanism)
+    assert len(comparisons) == len(PAPER_QUOTED)
+    # Every quote resolvable at this sweep gets a measurement.
+    measured = [c for c in comparisons if c.measured is not None]
+    assert len(measured) == len(PAPER_QUOTED)
+    for comparison in measured:
+        assert comparison.ratio is not None
+
+
+def test_compare_quoted_partial_data(tiny_data):
+    benefits, _ = tiny_data
+    comparisons = compare_quoted(benefits=benefits, mechanism=None)
+    benefit_quotes = [c for c in comparisons
+                      if FIGURES[c.quoted.figure_id].experiment
+                      == "benefits"]
+    mechanism_quotes = [c for c in comparisons
+                        if FIGURES[c.quoted.figure_id].experiment
+                        == "mechanism"]
+    assert all(c.measured is not None for c in benefit_quotes)
+    assert all(c.measured is None for c in mechanism_quotes)
+
+
+def test_compare_quoted_missing_rate(tiny_data):
+    benefits, mechanism = tiny_data
+    # A sweep without 95 Mbps cannot answer the "at:95" quotes.
+    partial = run_benefits_experiment(rates_mbps=(35,), repetitions=1,
+                                      n_flows=20)
+    comparisons = compare_quoted(partial, None)
+    at95 = [c for c in comparisons if c.quoted.statistic == "at:95"
+            and FIGURES[c.quoted.figure_id].experiment == "benefits"]
+    assert at95 and all(c.measured is None for c in at95)
+
+
+def test_format_quoted_renders_all_rows(tiny_data):
+    benefits, mechanism = tiny_data
+    text = format_quoted(compare_quoted(benefits, mechanism))
+    assert text.count("\n") == len(PAPER_QUOTED)   # header + one per quote
+    assert "IV.D" in text and "V.B.5" in text
+
+
+def test_ratio_semantics():
+    from repro.experiments.paper_data import QuotedComparison
+    quoted = QuotedValue("fig5", "no-buffer", "mean", 2.0, "ms", "IV.D")
+    assert QuotedComparison(quoted, 1.0).ratio == pytest.approx(0.5)
+    assert QuotedComparison(quoted, None).ratio is None

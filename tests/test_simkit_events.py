@@ -1,0 +1,161 @@
+"""Tests for events, timeouts and conditions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simkit import (AllOf, AnyOf, ResourceError, Simulator, Timeout)
+
+
+def test_event_initially_pending(sim):
+    event = sim.event()
+    assert not event.triggered
+    assert not event.processed
+
+
+def test_succeed_delivers_value(sim):
+    event = sim.event()
+    event.succeed("value")
+    sim.run()
+    assert event.ok
+    assert event.value == "value"
+    assert event.processed
+
+
+def test_fail_delivers_exception(sim):
+    event = sim.event()
+    error = RuntimeError("boom")
+    event.defused = True
+    event.fail(error)
+    sim.run()
+    assert not event.ok
+    assert event.value is error
+
+
+def test_double_trigger_rejected(sim):
+    event = sim.event()
+    event.succeed()
+    with pytest.raises(ResourceError):
+        event.succeed()
+    with pytest.raises(ResourceError):
+        event.fail(RuntimeError())
+    sim.run()
+
+
+def test_fail_requires_exception(sim):
+    event = sim.event()
+    with pytest.raises(TypeError):
+        event.fail("not an exception")
+
+
+def test_value_before_trigger_raises(sim):
+    event = sim.event()
+    with pytest.raises(ResourceError):
+        _ = event.value
+    with pytest.raises(ResourceError):
+        _ = event.ok
+
+
+def test_callbacks_run_on_processing(sim):
+    event = sim.event()
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    event.succeed(7)
+    sim.run()
+    assert seen == [7]
+
+
+def test_callback_added_after_processing_still_runs(sim):
+    event = sim.event()
+    event.succeed(1)
+    sim.run()
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    sim.run()
+    assert seen == [1]
+
+
+def test_callbacks_never_run_synchronously(sim):
+    event = sim.event()
+    seen = []
+    event.add_callback(lambda e: seen.append(True))
+    event.succeed()
+    assert seen == []  # not yet - runs at the scheduled instant
+    sim.run()
+    assert seen == [True]
+
+
+def test_timeout_fires_after_delay(sim):
+    timeout = Timeout(sim, 2.0, value="done")
+    fired = []
+    timeout.add_callback(lambda e: fired.append(sim.now))
+    sim.run()
+    assert fired == [2.0]
+    assert timeout.value == "done"
+
+
+def test_timeout_cancel(sim):
+    timeout = sim.timeout(1.0)
+    fired = []
+    timeout.add_callback(lambda e: fired.append(True))
+    timeout.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_trigger_copies_outcome(sim):
+    source = sim.event()
+    target = sim.event()
+    source.succeed("copied")
+    sim.run()
+    target.trigger(source)
+    sim.run()
+    assert target.ok and target.value == "copied"
+
+
+def test_anyof_fires_on_first(sim):
+    slow = sim.timeout(5.0, value="slow")
+    fast = sim.timeout(1.0, value="fast")
+    condition = AnyOf(sim, [slow, fast])
+    fired = []
+    condition.add_callback(lambda e: fired.append(sim.now))
+    sim.run()
+    assert fired == [1.0]
+    assert fast in condition.value
+    assert slow not in condition.value
+
+
+def test_allof_waits_for_every_event(sim):
+    first = sim.timeout(1.0)
+    second = sim.timeout(3.0)
+    condition = AllOf(sim, [first, second])
+    fired = []
+    condition.add_callback(lambda e: fired.append(sim.now))
+    sim.run()
+    assert fired == [3.0]
+    assert len(condition.value) == 2
+
+
+def test_empty_condition_succeeds_immediately(sim):
+    condition = AllOf(sim, [])
+    sim.run()
+    assert condition.triggered
+    assert len(condition.value) == 0
+
+
+def test_condition_fails_when_member_fails(sim):
+    good = sim.timeout(2.0)
+    bad = sim.event()
+    condition = AllOf(sim, [good, bad])
+    sim.schedule(1.0, lambda: bad.fail(ValueError("nope")))
+    condition.add_callback(lambda e: None)
+    sim.run()
+    assert condition.triggered
+    assert not condition.ok
+    assert isinstance(condition.value, ValueError)
+
+
+def test_condition_rejects_mixed_simulators(sim):
+    other = Simulator()
+    with pytest.raises(ValueError):
+        AnyOf(sim, [sim.timeout(1.0), other.timeout(1.0)])

@@ -1,0 +1,147 @@
+"""Tests for generator-driven processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simkit import Interrupt, ProcessError, Simulator
+
+
+def test_process_runs_and_returns_value(sim):
+    def body():
+        yield sim.timeout(1.0)
+        return "finished"
+    process = sim.process(body())
+    sim.run()
+    assert process.triggered and process.ok
+    assert process.value == "finished"
+
+
+def test_process_receives_event_values(sim):
+    def body():
+        value = yield sim.timeout(1.0, value=41)
+        return value + 1
+    process = sim.process(body())
+    sim.run()
+    assert process.value == 42
+
+
+def test_process_advances_clock_through_waits(sim):
+    times = []
+    def body():
+        for _ in range(3):
+            yield sim.timeout(1.0)
+            times.append(sim.now)
+    sim.process(body())
+    sim.run()
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_process_body_does_not_run_synchronously(sim):
+    seen = []
+    def body():
+        seen.append("started")
+        yield sim.timeout(1.0)
+    sim.process(body())
+    assert seen == []  # starts at the current instant, not inside creator
+    sim.run()
+    assert seen == ["started"]
+
+
+def test_process_failure_wraps_exception(sim):
+    def body():
+        yield sim.timeout(1.0)
+        raise ValueError("inner")
+    process = sim.process(body())
+    process.add_callback(lambda e: None)
+    sim.run()
+    assert not process.ok
+    assert isinstance(process.value, ProcessError)
+    assert isinstance(process.value.original, ValueError)
+
+
+def test_failed_event_is_thrown_into_process(sim):
+    source = sim.event()
+    caught = []
+    def body():
+        try:
+            yield source
+        except RuntimeError as exc:
+            caught.append(str(exc))
+        return "survived"
+    process = sim.process(body())
+    sim.schedule(1.0, lambda: source.fail(RuntimeError("from event")))
+    sim.run()
+    assert caught == ["from event"]
+    assert process.value == "survived"
+
+
+def test_process_waits_on_other_process(sim):
+    def child():
+        yield sim.timeout(2.0)
+        return "child-result"
+    def parent():
+        result = yield sim.process(child())
+        return f"got {result}"
+    process = sim.process(parent())
+    sim.run()
+    assert process.value == "got child-result"
+
+
+def test_interrupt_wakes_blocked_process(sim):
+    progress = []
+    def body():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as interrupt:
+            progress.append((sim.now, interrupt.cause))
+        return "done"
+    process = sim.process(body())
+    sim.schedule(1.0, process.interrupt, "hurry")
+    sim.run()
+    assert progress == [(1.0, "hurry")]
+    assert process.value == "done"
+
+
+def test_interrupt_after_completion_is_noop(sim):
+    def body():
+        yield sim.timeout(1.0)
+    process = sim.process(body())
+    sim.run()
+    process.interrupt()
+    sim.run()
+    assert process.ok
+
+
+def test_unhandled_interrupt_fails_process(sim):
+    def body():
+        yield sim.timeout(100.0)
+    process = sim.process(body())
+    process.add_callback(lambda e: None)
+    sim.schedule(1.0, process.interrupt)
+    sim.run()
+    assert not process.ok
+    assert isinstance(process.value, ProcessError)
+
+
+def test_yielding_non_event_fails_process(sim):
+    def body():
+        yield 42
+    process = sim.process(body())
+    process.add_callback(lambda e: None)
+    sim.run()
+    assert not process.ok
+
+
+def test_non_generator_rejected(sim):
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)
+
+
+def test_is_alive_tracks_lifecycle(sim):
+    def body():
+        yield sim.timeout(1.0)
+    process = sim.process(body())
+    assert process.is_alive
+    sim.run()
+    assert not process.is_alive

@@ -1,0 +1,163 @@
+"""Tests for Resource, Store and TokenBucket."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simkit import Resource, ResourceError, Store, TokenBucket
+
+
+# ---------------------------------------------------------------------------
+# Resource
+# ---------------------------------------------------------------------------
+
+def test_resource_grants_up_to_capacity(sim):
+    resource = Resource(sim, capacity=2)
+    first = resource.request()
+    second = resource.request()
+    third = resource.request()
+    sim.run()
+    assert first.triggered and second.triggered
+    assert not third.triggered
+    assert resource.count == 2
+    assert resource.queue_length == 1
+
+
+def test_resource_release_grants_next_waiter(sim):
+    resource = Resource(sim, capacity=1)
+    first = resource.request()
+    second = resource.request()
+    sim.run()
+    resource.release(first)
+    sim.run()
+    assert second.triggered
+    assert resource.count == 1
+
+
+def test_resource_release_unheld_raises(sim):
+    resource = Resource(sim, capacity=1)
+    pending = resource.request()
+    waiting = resource.request()
+    sim.run()
+    with pytest.raises(ResourceError):
+        resource.release(waiting)
+    resource.release(pending)
+
+
+def test_resource_fifo_order(sim):
+    resource = Resource(sim, capacity=1)
+    held = resource.request()
+    waiters = [resource.request() for _ in range(3)]
+    sim.run()
+    granted = []
+    for i, waiter in enumerate(waiters):
+        waiter.add_callback(lambda e, i=i: granted.append(i))
+    resource.release(held)
+    sim.run()
+    resource.release(waiters[0])
+    sim.run()
+    assert granted == [0, 1]
+
+
+def test_resource_cancel_waiting_request(sim):
+    resource = Resource(sim, capacity=1)
+    held = resource.request()
+    waiting = resource.request()
+    resource.cancel(waiting)
+    sim.run()
+    resource.release(held)
+    sim.run()
+    assert not waiting.triggered
+
+
+def test_resource_capacity_validation(sim):
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+
+def test_store_get_returns_put_items_in_order(sim):
+    store = Store(sim)
+    store.put("a")
+    store.put("b")
+    first = store.get()
+    second = store.get()
+    sim.run()
+    assert first.value == "a"
+    assert second.value == "b"
+
+
+def test_store_get_blocks_until_put(sim):
+    store = Store(sim)
+    get = store.get()
+    sim.run()
+    assert not get.triggered
+    store.put("late")
+    sim.run()
+    assert get.value == "late"
+
+
+def test_store_bounded_put_blocks_when_full(sim):
+    store = Store(sim, capacity=1)
+    first = store.put("a")
+    second = store.put("b")
+    sim.run()
+    assert first.triggered
+    assert not second.triggered
+    got = store.get()
+    sim.run()
+    assert got.value == "a"
+    assert second.triggered
+    assert list(store.items) == ["b"]
+
+
+def test_store_try_get(sim):
+    store = Store(sim)
+    assert store.try_get() is None
+    store.put("x")
+    sim.run()
+    assert store.try_get() == "x"
+    assert len(store) == 0
+
+
+def test_store_capacity_validation(sim):
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# TokenBucket
+# ---------------------------------------------------------------------------
+
+def test_token_bucket_immediate_when_tokens_available(sim):
+    bucket = TokenBucket(sim, rate_bytes_per_s=1000, burst_bytes=500)
+    assert bucket.consume(300) == 0.0
+    assert bucket.tokens == pytest.approx(200)
+
+
+def test_token_bucket_defers_when_exhausted(sim):
+    bucket = TokenBucket(sim, rate_bytes_per_s=1000, burst_bytes=100)
+    bucket.consume(100)
+    # 200 more bytes need 0.2s of refill.
+    assert bucket.consume(200) == pytest.approx(0.2)
+
+
+def test_token_bucket_refills_over_time(sim):
+    bucket = TokenBucket(sim, rate_bytes_per_s=100, burst_bytes=100)
+    bucket.consume(100)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert bucket.tokens == pytest.approx(100)  # capped at burst
+
+
+def test_token_bucket_validation(sim):
+    with pytest.raises(ValueError):
+        TokenBucket(sim, rate_bytes_per_s=0, burst_bytes=10)
+    with pytest.raises(ValueError):
+        TokenBucket(sim, rate_bytes_per_s=10, burst_bytes=0)
+    bucket = TokenBucket(sim, rate_bytes_per_s=10, burst_bytes=10)
+    with pytest.raises(ValueError):
+        bucket.consume(-1)

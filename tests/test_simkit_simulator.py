@@ -1,0 +1,195 @@
+"""Tests for the discrete-event simulator core."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.simkit import (PRIORITY_LATE, PRIORITY_URGENT, SchedulingError,
+                          Simulator)
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_clock_starts_at_custom_time():
+    assert Simulator(start_time=5.0).now == 5.0
+
+
+def test_schedule_runs_callback_at_correct_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.5]
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(2.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.0]
+
+
+def test_callbacks_receive_arguments():
+    sim = Simulator()
+    seen = []
+    sim.schedule(0.1, seen.append, "payload")
+    sim.run()
+    assert seen == ["payload"]
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, order.append, "c")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(2.0, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_fifo_order():
+    sim = Simulator()
+    order = []
+    for i in range(10):
+        sim.schedule(1.0, order.append, i)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_priority_breaks_ties():
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, order.append, "late", priority=PRIORITY_LATE)
+    sim.schedule(1.0, order.append, "normal")
+    sim.schedule(1.0, order.append, "urgent", priority=PRIORITY_URGENT)
+    sim.run()
+    assert order == ["urgent", "normal", "late"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SchedulingError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_scheduling_in_the_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SchedulingError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_non_finite_time_rejected():
+    sim = Simulator()
+    with pytest.raises(SchedulingError):
+        sim.schedule_at(math.inf, lambda: None)
+    with pytest.raises(SchedulingError):
+        sim.schedule_at(math.nan, lambda: None)
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    seen = []
+    handle = sim.schedule(1.0, seen.append, "x")
+    handle.cancel()
+    sim.run()
+    assert seen == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+
+
+def test_run_until_advances_clock_even_without_events():
+    sim = Simulator()
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+
+
+def test_run_until_does_not_execute_later_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "early")
+    sim.schedule(5.0, seen.append, "late")
+    sim.run(until=2.0)
+    assert seen == ["early"]
+    assert sim.now == 2.0
+    sim.run()
+    assert seen == ["early", "late"]
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, 1)
+    sim.schedule(2.0, sim.stop)
+    sim.schedule(3.0, seen.append, 3)
+    sim.run()
+    assert seen == [1]
+    assert sim.now == 2.0
+
+
+def test_events_scheduled_during_execution_run():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: sim.schedule(1.0, seen.append, "nested"))
+    sim.run()
+    assert seen == ["nested"]
+    assert sim.now == 2.0
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == math.inf
+    sim.schedule(2.5, lambda: None)
+    assert sim.peek() == 2.5
+
+
+def test_peek_skips_cancelled_events():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    handle.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_pending_count_ignores_cancelled():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_count() == 2
+    handle.cancel()
+    assert sim.pending_count() == 1
+
+
+def test_max_events_guard():
+    sim = Simulator()
+    def reschedule():
+        sim.schedule(1.0, reschedule)
+    sim.schedule(1.0, reschedule)
+    sim.run(max_events=5)
+    assert sim.events_executed == 5
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+
+
+def test_drain_cancels_batch():
+    sim = Simulator()
+    seen = []
+    handles = [sim.schedule(1.0, seen.append, i) for i in range(3)]
+    sim.drain(handles)
+    sim.run()
+    assert seen == []

@@ -1,0 +1,99 @@
+"""Tests for the deficit-round-robin egress scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim import Link
+from repro.packets import (EthernetHeader, IPv4Header, PROTO_UDP, Packet,
+                           UDPHeader)
+from repro.simkit import mbps
+from repro.switchsim import CLASS_BEST_EFFORT, CLASS_EXPEDITED
+from repro.switchsim.qos import DeficitRoundRobinScheduler, classify_dscp
+
+
+def _packet(dscp=0, frame_len=1000, tag=0):
+    eth = EthernetHeader("00:00:00:00:00:01", "00:00:00:00:00:02")
+    ip = IPv4Header("10.0.0.1", "10.0.0.2", protocol=PROTO_UDP, dscp=dscp)
+    l4 = UDPHeader(1000 + tag % 1000, 2000)
+    return Packet(eth=eth, ip=ip, l4=l4, payload_len=frame_len - 42)
+
+
+def _scheduler(sim, weights=None, bandwidth=mbps(8)):
+    link = Link(sim, "egress", bandwidth, propagation_delay=0.0)
+    delivered = []
+    link.connect(lambda p: delivered.append(p))
+    scheduler = DeficitRoundRobinScheduler(sim, link, weights=weights)
+    return scheduler, delivered
+
+
+def test_single_class_behaves_fifo(sim):
+    scheduler, delivered = _scheduler(sim)
+    packets = [_packet(dscp=0, tag=i) for i in range(5)]
+    for packet in packets:
+        scheduler.enqueue(packet)
+    sim.run(until=1.0)
+    assert delivered == packets
+
+
+def test_bandwidth_shared_by_weight(sim):
+    """With 3:1 weights and saturation, service is ~3:1 over a window."""
+    scheduler, delivered = _scheduler(
+        sim, weights={CLASS_EXPEDITED: 3.0, CLASS_BEST_EFFORT: 1.0})
+    for tag in range(60):
+        scheduler.enqueue(_packet(dscp=46, tag=tag))
+        scheduler.enqueue(_packet(dscp=0, tag=tag))
+    # 1 ms per frame at 8 Mbps: inspect the first 40 transmissions.
+    sim.run(until=0.0405)
+    classes = [classify_dscp(p) for p in delivered]
+    expedited_share = classes.count(CLASS_EXPEDITED) / len(classes)
+    assert expedited_share == pytest.approx(0.75, abs=0.08)
+
+
+def test_no_starvation_under_high_priority_flood(sim):
+    """Unlike strict priority, the low class keeps making progress."""
+    scheduler, delivered = _scheduler(
+        sim, weights={CLASS_EXPEDITED: 4.0, CLASS_BEST_EFFORT: 1.0})
+    for tag in range(50):
+        scheduler.enqueue(_packet(dscp=46, tag=tag))
+    scheduler.enqueue(_packet(dscp=0, tag=99))
+    sim.run(until=0.015)        # ~15 transmissions
+    classes = [classify_dscp(p) for p in delivered]
+    assert CLASS_BEST_EFFORT in classes   # served long before the flood ends
+
+
+def test_deficit_accumulates_for_large_frames(sim):
+    """A frame bigger than one quantum still goes out after a few rounds."""
+    scheduler, delivered = _scheduler(
+        sim, weights={CLASS_EXPEDITED: 1.0, CLASS_BEST_EFFORT: 1.0})
+    big = _packet(dscp=0, frame_len=1400, tag=1)
+    scheduler.enqueue(big)
+    for tag in range(3):
+        scheduler.enqueue(_packet(dscp=46, frame_len=100, tag=tag))
+    sim.run(until=1.0)
+    assert big in delivered
+    assert len(delivered) == 4
+
+
+def test_queue_limit_and_stats(sim):
+    scheduler, delivered = _scheduler(sim)
+    scheduler.queue_limit = 2
+    outcomes = [scheduler.enqueue(_packet(dscp=0, tag=i)) for i in range(5)]
+    assert outcomes.count(False) == 2
+    assert scheduler.stats[CLASS_BEST_EFFORT].dropped == 2
+    sim.run(until=1.0)
+
+
+def test_validation(sim):
+    link = Link(sim, "l", mbps(8))
+    link.connect(lambda p: None)
+    with pytest.raises(ValueError):
+        DeficitRoundRobinScheduler(sim, link, quantum_bytes=0)
+    with pytest.raises(ValueError):
+        DeficitRoundRobinScheduler(sim, link, queue_limit=0)
+    with pytest.raises(ValueError):
+        DeficitRoundRobinScheduler(sim, link,
+                                   weights={CLASS_EXPEDITED: 0.0})
+    scheduler = DeficitRoundRobinScheduler(sim, link)
+    with pytest.raises(ValueError):
+        scheduler.enqueue(_packet(), service_class=1234)

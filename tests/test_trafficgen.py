@@ -1,0 +1,197 @@
+"""Tests for schedules, workloads and the pktgen driver."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim import Host, Link
+from repro.simkit import RandomStreams, Simulator, mbps, transmission_delay
+from repro.trafficgen import (PacketGenerator, batched_multi_packet_flows,
+                              constant_gap_times, cross_sequence,
+                              poisson_times, single_packet_flows)
+
+
+# ---------------------------------------------------------------------------
+# Schedules
+# ---------------------------------------------------------------------------
+
+def test_constant_gap_times_paced_at_rate():
+    times = constant_gap_times(4, frame_len=1000, rate_bps=mbps(100))
+    gap = transmission_delay(1000, mbps(100))
+    assert times == pytest.approx([0.0, gap, 2 * gap, 3 * gap])
+
+
+def test_constant_gap_jitter_requires_rng():
+    with pytest.raises(ValueError):
+        constant_gap_times(2, 1000, mbps(100), jitter_fraction=0.1)
+
+
+def test_constant_gap_jitter_bounded():
+    rng = RandomStreams(1)
+    gap = transmission_delay(1000, mbps(100))
+    times = constant_gap_times(100, 1000, mbps(100), jitter_fraction=0.1,
+                               rng=rng)
+    for i, t in enumerate(times):
+        assert abs(t - i * gap) <= 0.1 * gap + 1e-12
+        assert t >= 0.0
+
+
+def test_poisson_times_monotone():
+    rng = RandomStreams(2)
+    times = poisson_times(50, rate_pps=1000, rng=rng)
+    assert all(b > a for a, b in zip(times, times[1:]))
+
+
+def test_cross_sequence_order():
+    order = cross_sequence(3, 2)
+    assert order == [(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)]
+
+
+def test_cross_sequence_validation():
+    with pytest.raises(ValueError):
+        cross_sequence(0, 1)
+    with pytest.raises(ValueError):
+        cross_sequence(1, 0)
+
+
+# ---------------------------------------------------------------------------
+# Workload A (single-packet flows)
+# ---------------------------------------------------------------------------
+
+def test_single_packet_flows_structure():
+    workload = single_packet_flows(mbps(50), n_flows=100)
+    assert workload.n_packets == 100
+    assert workload.n_flows == 100
+    assert all(spec.n_packets == 1 for spec in workload.flows.values())
+
+
+def test_single_packet_flows_all_sources_distinct():
+    workload = single_packet_flows(mbps(50), n_flows=300)
+    sources = {p.ip.src_ip for _, p in workload.entries}
+    assert len(sources) == 300
+
+
+def test_single_packet_flows_frame_size():
+    workload = single_packet_flows(mbps(50), n_flows=10, frame_len=1000)
+    assert all(p.wire_len == 1000 for _, p in workload.entries)
+    assert workload.total_bytes == 10_000
+
+
+def test_single_packet_flows_five_tuples_match_specs():
+    workload = single_packet_flows(mbps(50), n_flows=20)
+    for _, packet in workload.entries:
+        spec = workload.flows[packet.flow_id]
+        assert packet.five_tuple == spec.five_tuple
+
+
+# ---------------------------------------------------------------------------
+# Workload B (batched flows)
+# ---------------------------------------------------------------------------
+
+def test_batched_flows_structure():
+    workload = batched_multi_packet_flows(mbps(50), n_flows=10,
+                                          packets_per_flow=4, batch_size=5)
+    assert workload.n_flows == 10
+    assert workload.n_packets == 40
+    assert all(spec.n_packets == 4 for spec in workload.flows.values())
+
+
+def test_batched_flows_cross_sequencing_within_batch():
+    workload = batched_multi_packet_flows(mbps(50), n_flows=5,
+                                          packets_per_flow=3, batch_size=5,
+                                          rng=None, jitter_fraction=0.0)
+    first_five = [p.flow_id for _, p in workload.entries[:5]]
+    assert first_five == [0, 1, 2, 3, 4]
+    seqs = [p.seq_in_flow for _, p in workload.entries]
+    assert seqs == [0] * 5 + [1] * 5 + [2] * 5
+
+
+def test_batched_flows_batch_gap_separates_batches():
+    gap = 0.5
+    workload = batched_multi_packet_flows(mbps(100), n_flows=10,
+                                          packets_per_flow=2, batch_size=5,
+                                          batch_gap=gap)
+    batch1_end = max(t for t, p in workload.entries if p.flow_id < 5)
+    batch2_start = min(t for t, p in workload.entries if p.flow_id >= 5)
+    assert batch2_start - batch1_end >= gap * 0.99
+
+
+def test_batched_flows_entries_sorted():
+    rng = RandomStreams(3)
+    workload = batched_multi_packet_flows(mbps(95), rng=rng)
+    times = [t for t, _ in workload.entries]
+    assert times == sorted(times)
+
+
+def test_batched_flows_validation():
+    with pytest.raises(ValueError):
+        batched_multi_packet_flows(mbps(50), n_flows=7, batch_size=5)
+
+
+@given(st.integers(1, 4), st.integers(1, 6))
+def test_batched_flows_packet_accounting(batches, packets_per_flow):
+    workload = batched_multi_packet_flows(mbps(50), n_flows=batches * 5,
+                                          packets_per_flow=packets_per_flow)
+    assert workload.n_packets == batches * 5 * packets_per_flow
+    per_flow = {}
+    for _, packet in workload.entries:
+        per_flow[packet.flow_id] = per_flow.get(packet.flow_id, 0) + 1
+    assert all(count == packets_per_flow for count in per_flow.values())
+
+
+# ---------------------------------------------------------------------------
+# PacketGenerator
+# ---------------------------------------------------------------------------
+
+def _wired_host(sim):
+    host = Host(sim, "h", "00:00:00:00:00:01", "10.0.0.1")
+    link = Link(sim, "l", mbps(100))
+    sent = []
+    link.connect(sent.append)
+    host.attach(link)
+    return host, sent
+
+
+def test_pktgen_replays_whole_workload(sim):
+    host, sent = _wired_host(sim)
+    workload = single_packet_flows(mbps(100), n_flows=25)
+    generator = PacketGenerator(sim, host, workload)
+    generator.start()
+    sim.run()
+    assert generator.finished
+    assert len(sent) == 25
+
+
+def test_pktgen_fresh_packets_per_run():
+    """Stamps from one repetition must not leak into the next."""
+    workload = single_packet_flows(mbps(100), n_flows=5)
+    for _ in range(2):
+        sim = Simulator()
+        host, sent = _wired_host(sim)
+        generator = PacketGenerator(sim, host, workload)
+        generator.start()
+        sim.run()
+        assert all(p.created_at is not None for p in sent)
+        assert all(p.switch_in_at is None for p in sent)
+    # The template packets themselves were never stamped.
+    assert all(p.created_at is None for _, p in workload.entries)
+
+
+def test_pktgen_start_offset(sim):
+    host, sent = _wired_host(sim)
+    workload = single_packet_flows(mbps(100), n_flows=1)
+    PacketGenerator(sim, host, workload).start(at=0.5)
+    sim.run()
+    assert sent[0].created_at == pytest.approx(0.5)
+
+
+def test_pktgen_stop_cancels_remaining(sim):
+    host, sent = _wired_host(sim)
+    workload = single_packet_flows(mbps(100), n_flows=100)
+    generator = PacketGenerator(sim, host, workload)
+    generator.start()
+    sim.schedule(workload.duration / 2, generator.stop)
+    sim.run()
+    assert 0 < generator.packets_sent < 100
+    assert not generator.finished

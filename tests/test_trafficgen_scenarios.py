@@ -1,0 +1,128 @@
+"""Tests for the extension workloads: TCP eviction and recurring flows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controllersim import ControllerConfig
+from repro.core import buffer_256, flow_buffer_256, no_buffer
+from repro.experiments import TestbedCalibration, run_once
+from repro.simkit import mbps
+from repro.switchsim import SwitchConfig
+from repro.trafficgen import recurring_flows, tcp_eviction_scenario
+
+
+# ---------------------------------------------------------------------------
+# tcp_eviction_scenario structure
+# ---------------------------------------------------------------------------
+
+def test_tcp_scenario_is_one_flow():
+    workload = tcp_eviction_scenario(mbps(50))
+    assert workload.n_flows == 1
+    assert workload.flows[0].n_packets == workload.n_packets
+    keys = {p.five_tuple for _, p in workload.entries}
+    assert len(keys) == 1
+
+
+def test_tcp_scenario_starts_with_handshake():
+    workload = tcp_eviction_scenario(mbps(50))
+    first, second = workload.entries[0][1], workload.entries[1][1]
+    assert first.l4.is_syn
+    assert not second.l4.is_syn
+    # Handshake segments are minimum-size frames.
+    assert first.wire_len == 60
+
+
+def test_tcp_scenario_idle_gap_present():
+    workload = tcp_eviction_scenario(mbps(50), initial_packets=5,
+                                     idle_gap=2.0, burst_packets=10)
+    times = [t for t, _ in workload.entries]
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert max(gaps) >= 2.0
+    assert workload.n_packets == 2 + 5 + 10
+
+
+def test_tcp_scenario_burst_start_marker():
+    workload = tcp_eviction_scenario(mbps(50), idle_gap=1.5)
+    burst_entries = [t for t, _ in workload.entries
+                     if t >= workload.burst_start]
+    assert len(burst_entries) == 50
+
+
+def test_tcp_scenario_validation():
+    with pytest.raises(ValueError):
+        tcp_eviction_scenario(mbps(50), idle_gap=0.0)
+    with pytest.raises(ValueError):
+        tcp_eviction_scenario(mbps(50), burst_packets=0)
+
+
+# ---------------------------------------------------------------------------
+# tcp_eviction_scenario end to end (the paper's §VI.B argument)
+# ---------------------------------------------------------------------------
+
+def _eviction_calibration():
+    return TestbedCalibration(
+        switch=SwitchConfig(),
+        controller=ControllerConfig(flow_idle_timeout=0.3))
+
+
+def test_rule_evicted_while_idle_causes_second_miss():
+    workload = tcp_eviction_scenario(mbps(50), idle_gap=1.0,
+                                     burst_packets=20)
+    result = run_once(flow_buffer_256(), workload,
+                      calibration=_eviction_calibration())
+    # Exactly two requests over the connection's lifetime: the SYN and
+    # the first burst segment after the rule was idle-evicted.
+    assert result.packet_in_count == 2
+    assert result.completed_flows == 1
+
+
+def test_no_buffer_ships_every_burst_miss_in_full():
+    workload = tcp_eviction_scenario(mbps(80), idle_gap=1.0)
+    buffered = run_once(flow_buffer_256(), workload,
+                        calibration=_eviction_calibration())
+    bare = run_once(no_buffer(), workload,
+                    calibration=_eviction_calibration())
+    assert bare.packet_in_count > buffered.packet_in_count
+    assert bare.control_load_up_mbps > 5 * buffered.control_load_up_mbps
+
+
+def test_idle_timeout_longer_than_gap_means_no_second_miss():
+    calibration = TestbedCalibration(
+        switch=SwitchConfig(),
+        controller=ControllerConfig(flow_idle_timeout=30.0))
+    workload = tcp_eviction_scenario(mbps(50), idle_gap=1.0)
+    result = run_once(flow_buffer_256(), workload, calibration=calibration)
+    assert result.packet_in_count == 1      # rule survived the idle gap
+
+
+# ---------------------------------------------------------------------------
+# recurring_flows
+# ---------------------------------------------------------------------------
+
+def test_recurring_flows_structure():
+    workload = recurring_flows(mbps(50), n_flows=4, rounds=3)
+    assert workload.n_packets == 12
+    assert workload.n_flows == 4
+    assert all(spec.n_packets == 3 for spec in workload.flows.values())
+
+
+def test_recurring_flows_round_robin_order():
+    workload = recurring_flows(mbps(50), n_flows=3, rounds=2)
+    order = [p.flow_id for _, p in workload.entries]
+    assert order == [0, 1, 2, 0, 1, 2]
+
+
+def test_recurring_flows_validation():
+    with pytest.raises(ValueError):
+        recurring_flows(mbps(50), n_flows=0)
+    with pytest.raises(ValueError):
+        recurring_flows(mbps(50), rounds=0)
+
+
+def test_recurring_flows_hit_after_first_round():
+    """With a big enough table, only the first round misses."""
+    workload = recurring_flows(mbps(10), n_flows=5, rounds=4)
+    result = run_once(buffer_256(), workload)
+    assert result.packet_in_count == 5
+    assert result.completed_flows == 5
