@@ -17,6 +17,8 @@ The package layers, bottom-up:
   delay tracking.
 * :mod:`repro.experiments` — the harness regenerating every table and
   figure.
+* :mod:`repro.parallel` — multi-core sweep execution with an on-disk
+  result cache and progress telemetry (bit-identical to serial runs).
 
 Quickstart::
 
@@ -36,6 +38,7 @@ from .core import (BufferConfig, BufferMechanism, FlowGranularityBuffer,
 from .experiments import (FIGURES, build_testbed, run_benefits_experiment,
                           run_mechanism_experiment, run_once, sweep)
 from .metrics import RunMetrics
+from .parallel import ResultCache, derive_seed, parallel_sweep
 from .trafficgen import batched_multi_packet_flows, single_packet_flows
 
 __version__ = "1.0.0"
@@ -48,6 +51,7 @@ __all__ = [
     "build_testbed", "run_once", "sweep", "FIGURES",
     "run_benefits_experiment", "run_mechanism_experiment",
     "RunMetrics",
+    "parallel_sweep", "derive_seed", "ResultCache",
     "single_packet_flows", "batched_multi_packet_flows",
     "__version__",
 ]

@@ -16,7 +16,8 @@ from .paper_data import (PAPER_QUOTED, QuotedComparison, QuotedValue,
                          compare_quoted, format_quoted)
 from .report import (format_experiment, format_figure, format_headlines,
                      headline_claims, headline_series)
-from .runner import (RateAggregate, SweepResult, aggregate, run_once, sweep)
+from .runner import (RateAggregate, SweepResult, aggregate, derive_seed,
+                     run_once, sweep)
 from .testbed import PORT_HOST1, PORT_HOST2, Testbed, build_testbed
 
 __all__ = [
@@ -29,7 +30,8 @@ __all__ = [
     "MultiSwitchTestbed", "build_line_testbed",
     "sweep_to_csv", "experiment_to_csv", "save_experiment_csv",
     "sweep_rows",
-    "run_once", "sweep", "aggregate", "RateAggregate", "SweepResult",
+    "run_once", "sweep", "aggregate", "derive_seed", "RateAggregate",
+    "SweepResult",
     "FIGURES", "FigureSpec", "ExperimentData", "figure_series",
     "run_benefits_experiment", "run_mechanism_experiment",
     "workload_a_factory", "workload_b_factory",

@@ -12,10 +12,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Optional, Sequence
 
+from .. import __version__
 from .calibration import format_table_1
 from .figures import (FIGURES, run_benefits_experiment,
                       run_mechanism_experiment)
@@ -48,6 +50,17 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
                         help="draw each figure as an ASCII chart too")
     parser.add_argument("--csv", metavar="DIR", default=None,
                         help="also write per-experiment CSVs into DIR")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker processes for sweep execution "
+                             "(default: all cores)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every run instead of reusing the "
+                             "on-disk result cache")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="result-cache directory (default: "
+                             "~/.cache/repro-sdn-buffer, or $REPRO_CACHE_DIR)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     return parser.parse_args(argv)
 
 
@@ -73,9 +86,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         or (t in FIGURES and FIGURES[t].experiment == "mechanism")
         for t in targets)
 
+    from ..parallel import ResultCache
+    workers = (args.workers if args.workers is not None
+               else (os.cpu_count() or 1))
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
     benefits = mechanism = None
     kwargs = dict(rates_mbps=args.rates, repetitions=args.reps,
-                  quick=quick, base_seed=args.seed)
+                  quick=quick, base_seed=args.seed, workers=workers,
+                  cache=cache, progress=True)
     if need_benefits:
         print("# running benefits experiment (workload A)...",
               file=sys.stderr)
@@ -83,14 +102,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         a_kwargs = dict(kwargs)
         if args.flows is not None:
             a_kwargs["n_flows"] = args.flows
-        benefits = run_benefits_experiment(**a_kwargs)
+        try:
+            benefits = run_benefits_experiment(**a_kwargs)
+        except Exception as exc:
+            print(f"# benefits experiment failed: {exc}", file=sys.stderr)
+            return 1
         print(f"# done in {time.time() - start:.1f}s", file=sys.stderr)
     if need_mechanism:
         print("# running mechanism experiment (workload B)...",
               file=sys.stderr)
         start = time.time()
-        mechanism = run_mechanism_experiment(**kwargs)
+        try:
+            mechanism = run_mechanism_experiment(**kwargs)
+        except Exception as exc:
+            print(f"# mechanism experiment failed: {exc}", file=sys.stderr)
+            return 1
         print(f"# done in {time.time() - start:.1f}s", file=sys.stderr)
+    if cache is not None and (need_benefits or need_mechanism):
+        print(f"# cache: {cache.stats()}", file=sys.stderr)
+
+    # Partial failure (a repetition exhausted its retry budget) is a
+    # non-zero exit even though the surviving rows are still printed.
+    exit_code = 0
+    for data in (benefits, mechanism):
+        if data is not None and data.report is not None \
+                and not data.report.ok:
+            print(data.report.format(), file=sys.stderr)
+            exit_code = 1
 
     if args.csv is not None:
         from .export import save_experiment_csv
@@ -102,7 +140,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.json:
         print(json.dumps(_json_payload(targets, benefits, mechanism),
                          indent=2))
-        return 0
+        return exit_code
 
     blocks = []
     for target in targets:
@@ -131,7 +169,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     y_label=spec.unit, x_label="sending rate (Mbps)")
             blocks.append(block)
     print("\n\n".join(blocks))
-    return 0
+    return exit_code
 
 
 def _json_payload(targets, benefits, mechanism) -> dict:

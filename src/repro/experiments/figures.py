@@ -61,6 +61,9 @@ class ExperimentData:
 
     name: str
     sweeps: Dict[str, SweepResult] = field(default_factory=dict)
+    #: Engine telemetry when the run went through :mod:`repro.parallel`
+    #: (an :class:`~repro.parallel.EngineReport`); None for serial runs.
+    report: Optional[object] = None
 
     @property
     def rates(self) -> Sequence[float]:
@@ -73,25 +76,53 @@ class ExperimentData:
         return self.sweeps[label].series(getter)
 
 
+def _run_experiment_sweeps(name, configs, factory, rates_mbps, repetitions,
+                           calibration, base_seed, workers, cache,
+                           progress) -> ExperimentData:
+    """Run one experiment's sweeps, serially or on the parallel engine.
+
+    The engine path shards *all* mechanisms' (rates × repetitions) tasks
+    into one worker pool, so e.g. the three §IV sweeps interleave instead
+    of running back-to-back; results are bit-identical either way.
+    """
+    data = ExperimentData(name=name)
+    if workers is None and cache is None and progress is None:
+        for config in configs:
+            data.sweeps[config.label] = sweep(
+                config, factory, rates_mbps, repetitions,
+                calibration=calibration, base_seed=base_seed)
+        return data
+    from ..parallel import SweepJob, run_sweep_jobs
+    jobs = [SweepJob(config=config, factory=factory,
+                     rates_mbps=tuple(rates_mbps), repetitions=repetitions,
+                     calibration=calibration, base_seed=base_seed)
+            for config in configs]
+    sweeps, report = run_sweep_jobs(jobs, workers=workers, cache=cache,
+                                    progress=progress)
+    for config in configs:
+        data.sweeps[config.label] = sweeps[config.label]
+    data.report = report
+    return data
+
+
 def run_benefits_experiment(
         rates_mbps: Optional[Sequence[float]] = None,
         repetitions: Optional[int] = None,
         calibration: Optional[TestbedCalibration] = None,
         n_flows: int = WORKLOAD_A_FLOWS,
-        quick: bool = True, base_seed: int = 0) -> ExperimentData:
+        quick: bool = True, base_seed: int = 0,
+        workers: Optional[int] = None, cache=None,
+        progress=None) -> ExperimentData:
     """§IV: the three buffer settings over the sending-rate sweep."""
     if rates_mbps is None:
         rates_mbps = QUICK_RATE_SWEEP_MBPS if quick else FULL_RATE_SWEEP_MBPS
     if repetitions is None:
         repetitions = QUICK_REPETITIONS if quick else FULL_REPETITIONS
     factory = workload_a_factory(n_flows=n_flows)
-    data = ExperimentData(name="benefits")
-    for config in (no_buffer(), buffer_16(), buffer_256()):
-        data.sweeps[config.label] = sweep(config, factory, rates_mbps,
-                                          repetitions,
-                                          calibration=calibration,
-                                          base_seed=base_seed)
-    return data
+    return _run_experiment_sweeps(
+        "benefits", (no_buffer(), buffer_16(), buffer_256()), factory,
+        rates_mbps, repetitions, calibration, base_seed, workers, cache,
+        progress)
 
 
 def run_mechanism_experiment(
@@ -100,7 +131,9 @@ def run_mechanism_experiment(
         calibration: Optional[TestbedCalibration] = None,
         n_flows: int = WORKLOAD_B_FLOWS,
         packets_per_flow: int = WORKLOAD_B_PACKETS_PER_FLOW,
-        quick: bool = True, base_seed: int = 0) -> ExperimentData:
+        quick: bool = True, base_seed: int = 0,
+        workers: Optional[int] = None, cache=None,
+        progress=None) -> ExperimentData:
     """§V: packet-granularity vs flow-granularity, both at 256 units.
 
     Runs on :func:`~repro.experiments.calibration.prototype_calibration`
@@ -115,13 +148,10 @@ def run_mechanism_experiment(
         calibration = prototype_calibration()
     factory = workload_b_factory(n_flows=n_flows,
                                  packets_per_flow=packets_per_flow)
-    data = ExperimentData(name="mechanism")
-    for config in (buffer_256(), flow_buffer_256()):
-        data.sweeps[config.label] = sweep(config, factory, rates_mbps,
-                                          repetitions,
-                                          calibration=calibration,
-                                          base_seed=base_seed)
-    return data
+    return _run_experiment_sweeps(
+        "mechanism", (buffer_256(), flow_buffer_256()), factory,
+        rates_mbps, repetitions, calibration, base_seed, workers, cache,
+        progress)
 
 
 # ---------------------------------------------------------------------------

@@ -8,8 +8,9 @@ repetition on a fresh testbed; :func:`sweep` maps a workload factory over
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 from ..core import BufferConfig
 from ..metrics import RunMetrics, Summary, summarize
@@ -18,8 +19,28 @@ from ..trafficgen import Workload
 from .calibration import TestbedCalibration
 from .testbed import build_testbed
 
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..parallel import ProgressTracker, ResultCache
+
 #: Factory signature: (rate_bps, rng) -> Workload.
 WorkloadFactory = Callable[[float, RandomStreams], Workload]
+
+
+def derive_seed(base_seed: int, rate_mbps: float, rep: int) -> int:
+    """Seed of one repetition — a pure function of its grid coordinates.
+
+    The parallel engine (:mod:`repro.parallel`) leans on this: seeds may
+    depend only on ``(base_seed, rate_mbps, rep)``, never on scheduling
+    or completion order, so any execution order reproduces the serial
+    sweep bit-for-bit.
+    """
+    return base_seed * 100_003 + int(rate_mbps) * 1_009 + rep
+
+
+_INCOMPLETE_WARNING = (
+    "run_once: flows were still incomplete when the extend budget ran "
+    "out; the snapshot's `incomplete` flag is set and delay statistics "
+    "cover completed flows only (this warning is shown once)")
 
 
 def run_once(buffer_config: BufferConfig, workload: Workload,
@@ -66,6 +87,8 @@ def run_once(buffer_config: BufferConfig, workload: Workload,
     snapshot = testbed.metrics.snapshot(settle, min(active_end, sim.now),
                                         load_end=load_end)
     testbed.shutdown()
+    if snapshot.incomplete:
+        warnings.warn(_INCOMPLETE_WARNING, RuntimeWarning, stacklevel=2)
     return snapshot
 
 
@@ -166,15 +189,38 @@ class SweepResult:
 def sweep(buffer_config: BufferConfig, workload_factory: WorkloadFactory,
           rates_mbps: Sequence[float], repetitions: int,
           calibration: Optional[TestbedCalibration] = None,
-          base_seed: int = 0) -> SweepResult:
-    """The paper's method: repetitions at every sending rate."""
+          base_seed: int = 0, workers: Optional[int] = None,
+          cache: Optional["ResultCache"] = None,
+          progress: "None | bool | ProgressTracker" = None) -> SweepResult:
+    """The paper's method: repetitions at every sending rate.
+
+    ``workers``/``cache``/``progress`` hand the sweep to the
+    :mod:`repro.parallel` engine (multi-core execution, on-disk result
+    cache, telemetry) — output is bit-identical either way.  The default
+    (all three None/1) runs serially in-process.
+    """
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    if ((workers is not None and workers != 1) or cache is not None
+            or progress is not None):
+        from ..parallel import parallel_sweep
+        return parallel_sweep(buffer_config, workload_factory, rates_mbps,
+                              repetitions, calibration=calibration,
+                              base_seed=base_seed, workers=workers,
+                              cache=cache, progress=progress)
+    # The seed table is computed up front from grid coordinates alone;
+    # the in-loop assertion guards the determinism invariant the parallel
+    # engine's bit-identical guarantee rests on.
+    seed_table = {(rate, rep): derive_seed(base_seed, rate, rep)
+                  for rate in rates_mbps for rep in range(repetitions)}
     result = SweepResult(label=buffer_config.label)
     for rate in rates_mbps:
         runs = []
         for rep in range(repetitions):
-            seed = base_seed * 100_003 + int(rate) * 1_009 + rep
+            seed = derive_seed(base_seed, rate, rep)
+            assert seed == seed_table[(rate, rep)], (
+                "repetition seed must be a pure function of "
+                "(base_seed, rate, rep), independent of execution order")
             rng = RandomStreams(seed)
             workload = workload_factory(mbps(rate), rng)
             runs.append(run_once(buffer_config, workload,

@@ -54,6 +54,10 @@ class RunMetrics:
     completed_flows: int
     total_flows: int
     packets_dropped: int
+    #: True when the run ended with flows still incomplete (the runner's
+    #: extend budget ran out or progress stalled): delay statistics then
+    #: cover completed flows only.
+    incomplete: bool = False
 
     # -- summaries --------------------------------------------------------
     def setup_delay_summary(self) -> Summary:
@@ -188,4 +192,6 @@ class MetricsSuite:
             completed_flows=self.delay_tracker.completed_flows,
             total_flows=self.delay_tracker.total_flows,
             packets_dropped=self.switch.datapath.packets_dropped,
+            incomplete=(self.delay_tracker.completed_flows
+                        < self.delay_tracker.total_flows),
         )

@@ -1,0 +1,131 @@
+"""On-disk result cache for sweep tasks.
+
+Each completed repetition's :class:`~repro.metrics.RunMetrics` is stored
+under a content hash of everything that determines it: the buffer
+config, the calibration, the workload-factory identity, the task's
+(rate, rep, seed) coordinates, the runner knobs, and the repro version.
+Re-running ``repro-sdn-buffer all`` after editing one figure's settings
+then only recomputes the runs whose inputs actually changed; everything
+else is a hit.
+
+Entries are written atomically (temp file + ``os.replace``) so parallel
+workers and concurrent CLI invocations can share one cache directory,
+and a corrupted or truncated entry degrades to a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+from pathlib import Path
+from typing import Optional, Union
+
+from ..metrics import RunMetrics
+from .tasks import SweepJob, SweepTask, factory_fingerprint
+
+#: Bump when the cached payload's meaning changes.
+CACHE_SCHEMA = 1
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR``, else XDG, else ``~/.cache``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-sdn-buffer"
+
+
+def _canonical(obj: object) -> str:
+    """Deterministic textual form of configs (dataclasses, containers)."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = ", ".join(
+            f"{f.name}={_canonical(getattr(obj, f.name))}"
+            for f in dataclasses.fields(obj))
+        return f"{type(obj).__name__}({fields})"
+    if isinstance(obj, (list, tuple)):
+        return "[" + ", ".join(_canonical(item) for item in obj) + "]"
+    if isinstance(obj, dict):
+        items = sorted(obj.items(), key=lambda kv: repr(kv[0]))
+        return "{" + ", ".join(f"{_canonical(k)}: {_canonical(v)}"
+                               for k, v in items) + "}"
+    return repr(obj)
+
+
+def task_key(job: SweepJob, task: SweepTask) -> str:
+    """Content hash identifying one repetition's full input set.
+
+    Deliberately excludes ``job_id`` (a process-local counter) and
+    anything about scheduling, so the same logical run hits the same
+    entry across processes, worker counts and sessions.
+    """
+    from .. import __version__
+    payload = "|".join((
+        f"schema={CACHE_SCHEMA}",
+        f"repro={__version__}",
+        f"config={_canonical(job.config)}",
+        f"calibration={_canonical(job.calibration)}",
+        f"factory={factory_fingerprint(job.factory)}",
+        f"rate={task.rate_mbps!r}",
+        f"rep={task.rep}",
+        f"seed={task.seed}",
+        f"settle={job.settle!r}",
+        f"drain={job.drain!r}",
+        f"max_extends={job.max_extends}",
+    ))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Pickle-per-entry cache of :class:`RunMetrics`, keyed by hash."""
+
+    def __init__(self, root: Union[str, os.PathLike, None] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        """Entry path; two-char fan-out keeps directories small."""
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[RunMetrics]:
+        """The cached metrics for ``key``, or None (miss / corrupt)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated/corrupt entry: drop it and recompute.
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if not isinstance(value, RunMetrics):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, metrics: RunMetrics) -> None:
+        """Store ``metrics`` atomically (safe under concurrent writers)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+        with open(tmp, "wb") as handle:
+            pickle.dump(metrics, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        self.stores += 1
+
+    def stats(self) -> str:
+        """One-line hit/miss/store accounting for telemetry."""
+        return (f"{self.hits} hits, {self.misses} misses, "
+                f"{self.stores} stores under {self.root}")

@@ -1,0 +1,127 @@
+"""Progress telemetry for sweep execution.
+
+:class:`ProgressTracker` counts task completions (fresh, cached, failed)
+per worker and derives throughput and an ETA.  Rendering is injected
+(``emit``) and throttled, so the engine can stream one-line updates to
+stderr during a long ``--full`` sweep without drowning the terminal,
+while tests drive the tracker with a fake clock and captured output.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+
+def stderr_emit(line: str) -> None:
+    """Default sink: one telemetry line to stderr."""
+    print(f"# {line}", file=sys.stderr, flush=True)
+
+
+class ProgressTracker:
+    """Tasks done/total, ETA, and per-worker throughput for one study."""
+
+    def __init__(self, total: int, workers: int = 1,
+                 emit: Optional[Callable[[str], None]] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 min_interval: float = 0.5):
+        self.total = total
+        self.workers = workers
+        self._emit = emit
+        self._clock = clock
+        self._min_interval = min_interval
+        self._start = clock()
+        self._last_emit: Optional[float] = None
+        self.done = 0
+        self.cached = 0
+        self.failed = 0
+        self.retries = 0
+        self._per_worker: Dict[str, int] = {}
+
+    # -- event feed ------------------------------------------------------
+    def task_done(self, worker: str = "main", cached: bool = False) -> None:
+        """Record one successful repetition (``cached`` for cache hits)."""
+        self.done += 1
+        if cached:
+            self.cached += 1
+        self._per_worker[worker] = self._per_worker.get(worker, 0) + 1
+        self._tick()
+
+    def task_failed(self, worker: str = "main") -> None:
+        """Record one repetition that exhausted its retry budget."""
+        self.failed += 1
+        self._per_worker[worker] = self._per_worker.get(worker, 0) + 1
+        self._tick()
+
+    def task_retried(self, worker: str = "main") -> None:
+        """Record a retry (crash/exception that still has budget left)."""
+        self.retries += 1
+
+    # -- derived telemetry ----------------------------------------------
+    @property
+    def processed(self) -> int:
+        """Tasks with a final outcome (succeeded or failed)."""
+        return self.done + self.failed
+
+    def elapsed(self) -> float:
+        """Seconds since the tracker was created."""
+        return self._clock() - self._start
+
+    def throughput(self) -> float:
+        """Overall tasks/second (0 before any time has passed)."""
+        elapsed = self.elapsed()
+        return self.processed / elapsed if elapsed > 0 else 0.0
+
+    def per_worker_throughput(self) -> Dict[str, float]:
+        """Tasks/second attributed to each worker seen so far."""
+        elapsed = self.elapsed()
+        if elapsed <= 0:
+            return {worker: 0.0 for worker in self._per_worker}
+        return {worker: count / elapsed
+                for worker, count in self._per_worker.items()}
+
+    def eta_seconds(self) -> Optional[float]:
+        """Projected seconds to finish, or None before any throughput."""
+        rate = self.throughput()
+        if rate <= 0:
+            return None
+        return (self.total - self.processed) / rate
+
+    # -- rendering -------------------------------------------------------
+    def render(self) -> str:
+        """One status line: progress, throughput, ETA, cache, failures."""
+        percent = (100.0 * self.processed / self.total) if self.total else 100.0
+        eta = self.eta_seconds()
+        eta_text = f"{eta:.1f}s" if eta is not None else "?"
+        return (f"[{self.processed}/{self.total}] {percent:3.0f}% | "
+                f"{self.throughput():.1f} tasks/s | eta {eta_text} | "
+                f"cached {self.cached} | failed {self.failed}")
+
+    def summary(self) -> str:
+        """Final line, including the per-worker throughput breakdown."""
+        per_worker = ", ".join(
+            f"{worker} {rate:.1f}/s" for worker, rate
+            in sorted(self.per_worker_throughput().items()))
+        base = (f"done {self.processed}/{self.total} in "
+                f"{self.elapsed():.1f}s | {self.throughput():.1f} tasks/s | "
+                f"cached {self.cached} | failed {self.failed} | "
+                f"retries {self.retries}")
+        return f"{base} | workers: {per_worker}" if per_worker else base
+
+    def _tick(self) -> None:
+        """Emit a throttled status line (always on the last task)."""
+        if self._emit is None:
+            return
+        now = self._clock()
+        due = (self._last_emit is None
+               or now - self._last_emit >= self._min_interval
+               or self.processed >= self.total)
+        if due:
+            self._last_emit = now
+            self._emit(self.render())
+
+    def finish(self) -> None:
+        """Emit the final summary line (unthrottled)."""
+        if self._emit is not None:
+            self._emit(self.summary())

@@ -10,6 +10,12 @@ from repro.simkit import RandomStreams, Simulator, mbps
 from repro.trafficgen import batched_multi_packet_flows, single_packet_flows
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(monkeypatch, tmp_path):
+    """Keep the repro.parallel result cache out of the user's home."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+
+
 @pytest.fixture
 def sim() -> Simulator:
     """A fresh simulator."""

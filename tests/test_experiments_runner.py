@@ -186,3 +186,110 @@ def test_cli_json_table1(capsys):
     assert cli_main(["table1", "--json"]) == 0
     payload = json.loads(capsys.readouterr().out)
     assert payload["table1"][0][0] == "Device"
+
+
+# ---------------------------------------------------------------------------
+# incomplete-run surfacing (run_once) and parallel wiring
+# ---------------------------------------------------------------------------
+
+def test_run_once_flags_incomplete_runs_and_warns():
+    """An exhausted extend budget surfaces instead of silently truncating."""
+    from repro.core import no_buffer
+    from repro.experiments import run_once
+    from repro.simkit import RandomStreams, mbps
+    from repro.trafficgen import single_packet_flows
+
+    workload = single_packet_flows(mbps(95), n_flows=100,
+                                   rng=RandomStreams(5))
+    with pytest.warns(RuntimeWarning, match="incomplete"):
+        metrics = run_once(no_buffer(), workload, seed=5, drain=0.0,
+                           max_extends=0)
+    assert metrics.incomplete
+    assert metrics.completed_flows < metrics.total_flows
+
+
+def test_run_once_complete_run_is_not_flagged():
+    from repro.experiments import run_once
+    from repro.simkit import RandomStreams, mbps
+    from repro.trafficgen import single_packet_flows
+
+    workload = single_packet_flows(mbps(20), n_flows=20,
+                                   rng=RandomStreams(3))
+    metrics = run_once(buffer_256(), workload, seed=3)
+    assert not metrics.incomplete
+    assert metrics.completed_flows == metrics.total_flows
+
+
+def test_sweep_workers_kwarg_matches_serial():
+    serial = _tiny_sweep()
+    parallel = sweep(buffer_256(), workload_a_factory(n_flows=30),
+                     _TINY_RATES, repetitions=2, base_seed=1, workers=2)
+    for a, b in zip(serial.rows, parallel.rows):
+        assert a.load_up_mbps == b.load_up_mbps
+        assert a.setup_delay == b.setup_delay
+
+
+def test_experiment_attaches_engine_report():
+    data = run_benefits_experiment(rates_mbps=(20,), repetitions=1,
+                                   n_flows=20, workers=1)
+    assert data.report is not None
+    assert data.report.ok
+    assert data.report.total_tasks == 3      # three mechanisms x 1 x 1
+
+
+def test_derive_seed_is_exported():
+    from repro.experiments import derive_seed
+    assert derive_seed(0, 20, 1) == 20 * 1_009 + 1
+
+
+# ---------------------------------------------------------------------------
+# CLI: version, workers, failure exit codes
+# ---------------------------------------------------------------------------
+
+def test_cli_version_flag(capsys):
+    import repro
+    with pytest.raises(SystemExit) as excinfo:
+        cli_main(["--version"])
+    assert excinfo.value.code == 0
+    assert repro.__version__ in capsys.readouterr().out
+
+
+def test_cli_workers_flag_smoke(capsys):
+    code = cli_main(["fig2a", "--rates", "20", "--reps", "1",
+                     "--flows", "20", "--workers", "2"])
+    assert code == 0
+    assert "fig2a" in capsys.readouterr().out
+
+
+def test_cli_exits_nonzero_on_partial_failure(capsys, monkeypatch):
+    from repro.experiments import cli as cli_module
+    from repro.parallel import EngineReport, TaskFailure
+
+    def fake_benefits(**kwargs):
+        data = run_benefits_experiment(rates_mbps=(20,), repetitions=1,
+                                       n_flows=10)
+        data.report = EngineReport(
+            total_tasks=3, executed=2, cached=0, workers=2,
+            wall_seconds=0.1,
+            failures=[TaskFailure(label="no-buffer", rate_mbps=20.0,
+                                  rep=0, seed=1, attempts=3,
+                                  error="RuntimeError: boom")])
+        return data
+
+    monkeypatch.setattr(cli_module, "run_benefits_experiment",
+                        fake_benefits)
+    code = cli_main(["fig2a", "--rates", "20", "--reps", "1"])
+    assert code == 1
+    assert "FAILED" in capsys.readouterr().err
+
+
+def test_cli_exits_nonzero_when_experiment_raises(capsys, monkeypatch):
+    from repro.experiments import cli as cli_module
+
+    def explode(**kwargs):
+        raise RuntimeError("sweep exploded")
+
+    monkeypatch.setattr(cli_module, "run_benefits_experiment", explode)
+    code = cli_main(["fig2a", "--rates", "20", "--reps", "1"])
+    assert code == 1
+    assert "sweep exploded" in capsys.readouterr().err

@@ -1,0 +1,121 @@
+"""Result-cache tests: roundtrip, keying, invalidation, corruption."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import BufferConfig, MECHANISM_PACKET, buffer_256
+from repro.experiments import workload_a_factory
+from repro.parallel import (ResultCache, SweepJob, default_cache_dir,
+                            parallel_sweep, register_jobs, task_key)
+
+_FACTORY = workload_a_factory(n_flows=12)
+
+
+def _job(config=None, factory=None, base_seed=1, **kwargs):
+    job = SweepJob(config=config or buffer_256(),
+                   factory=factory or _FACTORY, rates_mbps=(20,),
+                   repetitions=1, base_seed=base_seed, **kwargs)
+    register_jobs([job])
+    return job
+
+
+# ---------------------------------------------------------------------------
+# engine integration: hit on rerun, equal rows
+# ---------------------------------------------------------------------------
+
+def test_second_run_is_served_from_cache(tmp_path):
+    cache = ResultCache(tmp_path)
+    first = parallel_sweep(buffer_256(), _FACTORY, (20, 80), 2,
+                           base_seed=1, workers=1, cache=cache)
+    assert cache.stores == 4 and cache.hits == 0
+    second = parallel_sweep(buffer_256(), _FACTORY, (20, 80), 2,
+                            base_seed=1, workers=1, cache=cache)
+    assert cache.hits == 4
+    assert cache.stores == 4          # nothing recomputed
+    for a, b in zip(first.rows, second.rows):
+        assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+
+def test_config_change_busts_the_key(tmp_path):
+    cache = ResultCache(tmp_path)
+    parallel_sweep(buffer_256(), _FACTORY, (20,), 1, base_seed=1,
+                   workers=1, cache=cache)
+    stores_before = cache.stores
+    parallel_sweep(BufferConfig(mechanism=MECHANISM_PACKET, capacity=64),
+                   _FACTORY, (20,), 1, base_seed=1, workers=1, cache=cache)
+    assert cache.stores == stores_before + 1    # recomputed, not reused
+    assert cache.hits == 0
+
+
+# ---------------------------------------------------------------------------
+# key sensitivity
+# ---------------------------------------------------------------------------
+
+def _key_of(job):
+    return task_key(job, job.tasks()[0])
+
+
+def test_key_sensitive_to_every_input():
+    base = _key_of(_job())
+    assert _key_of(_job()) == base                           # stable
+    assert _key_of(_job(config=BufferConfig(
+        mechanism=MECHANISM_PACKET, capacity=16))) != base   # config
+    assert _key_of(_job(base_seed=2)) != base                # seed
+    assert _key_of(_job(factory=workload_a_factory(
+        n_flows=99))) != base                                # workload
+    assert _key_of(_job(max_extends=5)) != base              # runner knob
+    from repro.experiments import default_calibration
+    assert _key_of(_job(
+        calibration=default_calibration())) != base          # calibration
+
+
+def test_key_ignores_job_id():
+    a, b = _job(), _job()
+    assert a.job_id != b.job_id
+    assert _key_of(a) == _key_of(b)
+
+
+def test_key_includes_repro_version(monkeypatch):
+    import repro
+    job = _job()
+    key = _key_of(job)
+    monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+    assert _key_of(job) != key
+
+
+# ---------------------------------------------------------------------------
+# storage behavior
+# ---------------------------------------------------------------------------
+
+def test_corrupted_entry_degrades_to_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    job = _job()
+    key = _key_of(job)
+    path = cache.path_for(key)
+    path.parent.mkdir(parents=True)
+    path.write_bytes(b"not a pickle")
+    assert cache.get(key) is None
+    assert cache.misses == 1
+    assert not path.exists()          # dropped, will be recomputed
+
+
+def test_missing_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.get("0" * 64) is None
+    assert cache.misses == 1
+
+
+def test_stats_line_mentions_root(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert str(tmp_path) in cache.stats()
+
+
+def test_default_cache_dir_honors_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+    assert default_cache_dir() == tmp_path / "custom"
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert default_cache_dir() == tmp_path / "xdg" / "repro-sdn-buffer"

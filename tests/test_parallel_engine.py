@@ -1,0 +1,160 @@
+"""Engine tests: parallel == serial, crash retry, order independence."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import buffer_16, buffer_256
+from repro.experiments import sweep, workload_a_factory
+from repro.parallel import (SweepExecutionError, SweepJob, execute_task,
+                            parallel_sweep, register_jobs, resolve_workers,
+                            run_sweep_jobs)
+from repro.parallel.engine import _assemble
+from repro.simkit import mbps
+from repro.trafficgen import single_packet_flows
+
+_RATES = (20, 80)
+_REPS = 2
+_FLOWS = 20
+
+
+def _rows_equal(a, b):
+    assert len(a.rows) == len(b.rows)
+    for row_a, row_b in zip(a.rows, b.rows):
+        assert dataclasses.asdict(row_a) == dataclasses.asdict(row_b)
+
+
+# ---------------------------------------------------------------------------
+# bit-identical equivalence
+# ---------------------------------------------------------------------------
+
+def test_workers_1_equals_workers_4():
+    """The acceptance bar: fig2a-style rows identical at 1 and 4 workers."""
+    factory = workload_a_factory(n_flows=_FLOWS)
+    one = parallel_sweep(buffer_256(), factory, _RATES, _REPS,
+                         base_seed=1, workers=1)
+    four = parallel_sweep(buffer_256(), factory, _RATES, _REPS,
+                          base_seed=1, workers=4)
+    _rows_equal(one, four)
+
+
+def test_parallel_equals_legacy_serial_sweep():
+    factory = workload_a_factory(n_flows=_FLOWS)
+    serial = sweep(buffer_256(), factory, _RATES, _REPS, base_seed=1)
+    parallel = sweep(buffer_256(), factory, _RATES, _REPS, base_seed=1,
+                     workers=4)
+    _rows_equal(serial, parallel)
+
+
+def test_multi_job_study_matches_per_config_serial():
+    """All mechanisms shard into one pool; each sweep still matches."""
+    factory = workload_a_factory(n_flows=_FLOWS)
+    jobs = [SweepJob(config=config, factory=factory, rates_mbps=_RATES,
+                     repetitions=_REPS, base_seed=3)
+            for config in (buffer_16(), buffer_256())]
+    sweeps, report = run_sweep_jobs(jobs, workers=3)
+    assert report.ok
+    assert report.total_tasks == 2 * len(_RATES) * _REPS
+    for config in (buffer_16(), buffer_256()):
+        serial = sweep(config, factory, _RATES, _REPS, base_seed=3)
+        _rows_equal(serial, sweeps[config.label])
+
+
+def test_completion_order_does_not_change_aggregates():
+    """Regression: reordering repetitions must not change any row field.
+
+    Executes the task grid in reverse (an adversarial completion order)
+    and reassembles; the engine's canonical-order assembly must produce
+    exactly the serial sweep.
+    """
+    factory = workload_a_factory(n_flows=_FLOWS)
+    job = SweepJob(config=buffer_256(), factory=factory, rates_mbps=_RATES,
+                   repetitions=3, base_seed=2)
+    register_jobs([job])
+    results = {}
+    for task in reversed(job.tasks()):
+        results[task.key] = execute_task(task)
+    reassembled = _assemble([job], results)[job.label]
+    serial = sweep(buffer_256(), factory, _RATES, 3, base_seed=2)
+    _rows_equal(serial, reassembled)
+
+
+# ---------------------------------------------------------------------------
+# crash injection, bounded retry, partial-failure report
+# ---------------------------------------------------------------------------
+
+def _crash_at_50(rate_bps, rng):
+    if abs(rate_bps - mbps(50)) < 1.0:
+        raise RuntimeError("injected crash")
+    return single_packet_flows(rate_bps, n_flows=10, rng=rng)
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_crashing_task_is_retried_then_reported(workers):
+    job = SweepJob(config=buffer_256(), factory=_crash_at_50,
+                   rates_mbps=(20, 50), repetitions=2, base_seed=1)
+    sweeps, report = run_sweep_jobs([job], workers=workers,
+                                    max_task_retries=1)
+    assert not report.ok
+    # Both rate-50 repetitions failed, each after 1 + 1 retry attempts.
+    assert [(f.rate_mbps, f.rep) for f in report.failures] == [(50, 0),
+                                                               (50, 1)]
+    assert all(f.attempts == 2 for f in report.failures)
+    assert all("injected crash" in f.error for f in report.failures)
+    # The healthy rate survives; the dead rate has no row.
+    assert sweeps[job.label].rates == [20]
+    text = report.format()
+    assert "FAILED" in text and "injected crash" in text
+
+
+def test_parallel_sweep_raises_on_partial_failure():
+    with pytest.raises(SweepExecutionError) as excinfo:
+        parallel_sweep(buffer_256(), _crash_at_50, (20, 50), 1,
+                       base_seed=1, workers=2, max_task_retries=1)
+    assert "injected crash" in str(excinfo.value)
+    assert not excinfo.value.report.ok
+
+
+def test_partial_failure_rows_match_serial_for_surviving_rates():
+    result = parallel_sweep(buffer_256(), _crash_at_50, (20, 50), 2,
+                            base_seed=1, workers=2, max_task_retries=0,
+                            raise_on_failure=False)
+    serial = sweep(buffer_256(),
+                   lambda rate_bps, rng: single_packet_flows(
+                       rate_bps, n_flows=10, rng=rng),
+                   (20,), 2, base_seed=1)
+    _rows_equal(serial, result)
+
+
+# ---------------------------------------------------------------------------
+# plumbing
+# ---------------------------------------------------------------------------
+
+def test_resolve_workers():
+    import os
+    assert resolve_workers(None) == (os.cpu_count() or 1)
+    assert resolve_workers(3) == 3
+    with pytest.raises(ValueError):
+        resolve_workers(0)
+
+
+def test_duplicate_labels_rejected():
+    factory = workload_a_factory(n_flows=5)
+    jobs = [SweepJob(config=buffer_256(), factory=factory,
+                     rates_mbps=(20,), repetitions=1) for _ in range(2)]
+    with pytest.raises(ValueError):
+        run_sweep_jobs(jobs, workers=1)
+
+
+def test_report_counts_executed_and_cached():
+    factory = workload_a_factory(n_flows=5)
+    job = SweepJob(config=buffer_256(), factory=factory, rates_mbps=(20,),
+                   repetitions=2, base_seed=0)
+    _, report = run_sweep_jobs([job], workers=1)
+    assert report.total_tasks == 2
+    assert report.executed == 2
+    assert report.cached == 0
+    assert report.ok
+    assert "ok" in report.format()

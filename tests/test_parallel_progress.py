@@ -1,0 +1,125 @@
+"""ProgressTracker tests: counters, ETA math, throttled emission."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import ProgressTracker
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def test_throughput_and_eta(clock):
+    tracker = ProgressTracker(total=4, clock=clock)
+    clock.now = 2.0
+    tracker.task_done(worker="a")
+    assert tracker.processed == 1
+    assert tracker.throughput() == pytest.approx(0.5)
+    assert tracker.eta_seconds() == pytest.approx(6.0)   # 3 left at 0.5/s
+    clock.now = 4.0
+    tracker.task_done(worker="b", cached=True)
+    assert tracker.cached == 1
+    assert tracker.throughput() == pytest.approx(0.5)
+    assert tracker.eta_seconds() == pytest.approx(4.0)
+
+
+def test_eta_unknown_before_any_progress(clock):
+    tracker = ProgressTracker(total=4, clock=clock)
+    assert tracker.eta_seconds() is None
+    assert tracker.throughput() == 0.0
+
+
+def test_per_worker_throughput(clock):
+    tracker = ProgressTracker(total=4, clock=clock)
+    clock.now = 4.0
+    tracker.task_done(worker="pid-1")
+    tracker.task_done(worker="pid-1")
+    tracker.task_done(worker="pid-2")
+    rates = tracker.per_worker_throughput()
+    assert rates["pid-1"] == pytest.approx(0.5)
+    assert rates["pid-2"] == pytest.approx(0.25)
+
+
+def test_failed_tasks_count_as_processed(clock):
+    tracker = ProgressTracker(total=2, clock=clock)
+    clock.now = 1.0
+    tracker.task_done()
+    tracker.task_failed()
+    assert tracker.processed == 2
+    assert tracker.failed == 1
+    assert "failed 1" in tracker.render()
+
+
+def test_render_shows_progress_and_eta(clock):
+    tracker = ProgressTracker(total=8, clock=clock)
+    clock.now = 2.0
+    tracker.task_done()
+    tracker.task_done()
+    line = tracker.render()
+    assert "[2/8]" in line
+    assert "25%" in line
+    assert "eta" in line and "6.0s" in line
+    assert "tasks/s" in line
+
+
+def test_emission_is_throttled(clock):
+    lines = []
+    tracker = ProgressTracker(total=10, emit=lines.append, clock=clock,
+                              min_interval=5.0)
+    clock.now = 1.0
+    tracker.task_done()          # first event always emits
+    clock.now = 2.0
+    tracker.task_done()          # within min_interval: suppressed
+    clock.now = 3.0
+    tracker.task_done()          # still suppressed
+    assert len(lines) == 1
+    clock.now = 7.0
+    tracker.task_done()          # interval elapsed: emits
+    assert len(lines) == 2
+    tracker.finish()             # summary is never throttled
+    assert len(lines) == 3
+    assert "done 4/10" in lines[-1]
+
+
+def test_last_task_emits_even_within_throttle_window(clock):
+    lines = []
+    tracker = ProgressTracker(total=2, emit=lines.append, clock=clock,
+                              min_interval=60.0)
+    clock.now = 0.5
+    tracker.task_done()
+    clock.now = 0.6
+    tracker.task_done()
+    assert "[2/2]" in lines[-1]
+
+
+def test_summary_includes_per_worker_breakdown(clock):
+    tracker = ProgressTracker(total=2, clock=clock)
+    clock.now = 2.0
+    tracker.task_done(worker="pid-7")
+    tracker.task_done(worker="pid-9")
+    summary = tracker.summary()
+    assert "pid-7" in summary and "pid-9" in summary
+    assert "done 2/2" in summary
+
+
+def test_retries_are_tracked(clock):
+    tracker = ProgressTracker(total=1, clock=clock)
+    tracker.task_retried()
+    tracker.task_retried()
+    clock.now = 1.0
+    tracker.task_done()
+    assert tracker.retries == 2
+    assert "retries 2" in tracker.summary()
