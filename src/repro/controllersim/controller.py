@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs.registry import MetricsRegistry
 from ..openflow import (ControlChannel, EchoReply, EchoRequest, ErrorMsg,
                         FeaturesReply, FeaturesRequest, FlowRemoved,
                         FlowStatsReply, Hello, OFMessage, PacketIn,
@@ -31,7 +32,8 @@ class Controller:
     def __init__(self, sim: Simulator, config: ControllerConfig,
                  channel: Optional[ControlChannel] = None,
                  app: Optional[ReactiveForwardingApp] = None,
-                 name: str = "floodlight"):
+                 name: str = "floodlight",
+                 registry: Optional[MetricsRegistry] = None):
         self.sim = sim
         self.config = config
         self.name = name
@@ -43,12 +45,19 @@ class Controller:
                                       servers=config.cpu_cores)
         #: Attached channels as (channel, datapath_id) pairs.
         self._channels: list = []
-        #: Counters.
-        self.packet_ins_handled = 0
-        self.flow_mods_sent = 0
-        self.packet_outs_sent = 0
-        self.errors_received = 0
-        self.flow_removed_received = 0
+        # Registry-backed counters; the legacy integer attributes are
+        # read-only property views over these.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._packet_ins_handled = self.registry.counter(
+            "controller_packet_ins_handled_total", controller=name)
+        self._flow_mods_sent = self.registry.counter(
+            "controller_flow_mods_sent_total", controller=name)
+        self._packet_outs_sent = self.registry.counter(
+            "controller_packet_outs_sent_total", controller=name)
+        self._errors_received = self.registry.counter(
+            "controller_errors_received_total", controller=name)
+        self._flow_removed_received = self.registry.counter(
+            "controller_flow_removed_received_total", controller=name)
         #: The latest FlowStatsReply / PortStatsReply per datapath id.
         self.flow_stats: dict = {}
         self.port_stats: dict = {}
@@ -58,6 +67,27 @@ class Controller:
         if config.echo_interval > 0:
             self._echo_handle = sim.schedule(config.echo_interval,
                                              self._send_echo)
+
+    # -- legacy counter attributes (views over the registry metrics) -----
+    @property
+    def packet_ins_handled(self) -> int:
+        return self._packet_ins_handled.value
+
+    @property
+    def flow_mods_sent(self) -> int:
+        return self._flow_mods_sent.value
+
+    @property
+    def packet_outs_sent(self) -> int:
+        return self._packet_outs_sent.value
+
+    @property
+    def errors_received(self) -> int:
+        return self._errors_received.value
+
+    @property
+    def flow_removed_received(self) -> int:
+        return self._flow_removed_received.value
 
     # ------------------------------------------------------------------
     # Session management
@@ -141,10 +171,10 @@ class Controller:
                 EchoReply(payload_len=message.payload_len,
                           in_reply_to=message.xid))
         elif isinstance(message, ErrorMsg):
-            self.errors_received += 1
+            self._errors_received.inc()
             self.events.emit("error_received", self.sim.now, message)
         elif isinstance(message, FlowRemoved):
-            self.flow_removed_received += 1
+            self._flow_removed_received.inc()
             self.events.emit("flow_removed", self.sim.now, message,
                              datapath_id)
             self.station.submit(message, self.config.housekeeping_cost)
@@ -166,7 +196,7 @@ class Controller:
     def _decide(self, payload: tuple) -> None:
         message, channel, datapath_id = payload
         decision = self.app.decide(message, datapath_id=datapath_id)
-        self.packet_ins_handled += 1
+        self._packet_ins_handled.inc()
         self.sim.schedule(self.config.decision_latency,
                           self._send_replies, decision, channel)
 
@@ -174,9 +204,9 @@ class Controller:
                       channel: ControlChannel) -> None:
         if decision.flow_mod is not None:
             channel.send_to_switch(decision.flow_mod)
-            self.flow_mods_sent += 1
+            self._flow_mods_sent.inc()
         channel.send_to_switch(decision.packet_out)
-        self.packet_outs_sent += 1
+        self._packet_outs_sent.inc()
         self.events.emit("replies_sent", self.sim.now, decision)
 
     # ------------------------------------------------------------------

@@ -59,6 +59,15 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
     parser.add_argument("--cache-dir", metavar="DIR", default=None,
                         help="result-cache directory (default: "
                              "~/.cache/repro-sdn-buffer, or $REPRO_CACHE_DIR)")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write flow-setup span traces: *.jsonl as "
+                             "JSONL, anything else as Chrome trace_event "
+                             "JSON (open in Perfetto)")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write the merged metrics registry as "
+                             "Prometheus exposition text")
+    parser.add_argument("--trace-sample", type=int, default=1, metavar="N",
+                        help="trace every Nth flow (default 1 = all)")
     parser.add_argument("--version", action="version",
                         version=f"%(prog)s {__version__}")
     return parser.parse_args(argv)
@@ -91,10 +100,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                else (os.cpu_count() or 1))
     cache = None if args.no_cache else ResultCache(args.cache_dir)
 
+    obs = None
+    if args.trace_out is not None or args.metrics_out is not None:
+        from ..obs import ObsCollector, ObsConfig
+        if args.trace_sample < 1:
+            print(f"--trace-sample must be >= 1, got {args.trace_sample}",
+                  file=sys.stderr)
+            return 2
+        obs = ObsCollector(ObsConfig(trace=args.trace_out is not None,
+                                     trace_sample=args.trace_sample))
+
     benefits = mechanism = None
     kwargs = dict(rates_mbps=args.rates, repetitions=args.reps,
                   quick=quick, base_seed=args.seed, workers=workers,
-                  cache=cache, progress=True)
+                  cache=cache, progress=True, obs=obs)
     if need_benefits:
         print("# running benefits experiment (workload A)...",
               file=sys.stderr)
@@ -120,6 +139,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"# done in {time.time() - start:.1f}s", file=sys.stderr)
     if cache is not None and (need_benefits or need_mechanism):
         print(f"# cache: {cache.stats()}", file=sys.stderr)
+    if obs is not None and (need_benefits or need_mechanism):
+        print(f"# {obs.summary()}", file=sys.stderr)
+        if args.trace_out is not None:
+            path = obs.write_trace(args.trace_out)
+            print(f"# wrote trace {path}", file=sys.stderr)
+        if args.metrics_out is not None:
+            path = obs.write_metrics(args.metrics_out)
+            print(f"# wrote metrics {path}", file=sys.stderr)
 
     # Partial failure (a repetition exhausted its retry budget) is a
     # non-zero exit even though the surviving rows are still printed.

@@ -78,19 +78,21 @@ class ExperimentData:
 
 def _run_experiment_sweeps(name, configs, factory, rates_mbps, repetitions,
                            calibration, base_seed, workers, cache,
-                           progress) -> ExperimentData:
+                           progress, obs=None) -> ExperimentData:
     """Run one experiment's sweeps, serially or on the parallel engine.
 
     The engine path shards *all* mechanisms' (rates × repetitions) tasks
     into one worker pool, so e.g. the three §IV sweeps interleave instead
     of running back-to-back; results are bit-identical either way.
+    ``obs`` (a :class:`repro.obs.ObsCollector`) captures traces and
+    metric snapshots on whichever path runs.
     """
     data = ExperimentData(name=name)
     if workers is None and cache is None and progress is None:
         for config in configs:
             data.sweeps[config.label] = sweep(
                 config, factory, rates_mbps, repetitions,
-                calibration=calibration, base_seed=base_seed)
+                calibration=calibration, base_seed=base_seed, obs=obs)
         return data
     from ..parallel import SweepJob, run_sweep_jobs
     jobs = [SweepJob(config=config, factory=factory,
@@ -98,7 +100,7 @@ def _run_experiment_sweeps(name, configs, factory, rates_mbps, repetitions,
                      calibration=calibration, base_seed=base_seed)
             for config in configs]
     sweeps, report = run_sweep_jobs(jobs, workers=workers, cache=cache,
-                                    progress=progress)
+                                    progress=progress, obs=obs)
     for config in configs:
         data.sweeps[config.label] = sweeps[config.label]
     data.report = report
@@ -112,7 +114,7 @@ def run_benefits_experiment(
         n_flows: int = WORKLOAD_A_FLOWS,
         quick: bool = True, base_seed: int = 0,
         workers: Optional[int] = None, cache=None,
-        progress=None) -> ExperimentData:
+        progress=None, obs=None) -> ExperimentData:
     """§IV: the three buffer settings over the sending-rate sweep."""
     if rates_mbps is None:
         rates_mbps = QUICK_RATE_SWEEP_MBPS if quick else FULL_RATE_SWEEP_MBPS
@@ -122,7 +124,7 @@ def run_benefits_experiment(
     return _run_experiment_sweeps(
         "benefits", (no_buffer(), buffer_16(), buffer_256()), factory,
         rates_mbps, repetitions, calibration, base_seed, workers, cache,
-        progress)
+        progress, obs=obs)
 
 
 def run_mechanism_experiment(
@@ -133,7 +135,7 @@ def run_mechanism_experiment(
         packets_per_flow: int = WORKLOAD_B_PACKETS_PER_FLOW,
         quick: bool = True, base_seed: int = 0,
         workers: Optional[int] = None, cache=None,
-        progress=None) -> ExperimentData:
+        progress=None, obs=None) -> ExperimentData:
     """§V: packet-granularity vs flow-granularity, both at 256 units.
 
     Runs on :func:`~repro.experiments.calibration.prototype_calibration`
@@ -151,7 +153,7 @@ def run_mechanism_experiment(
     return _run_experiment_sweeps(
         "mechanism", (buffer_256(), flow_buffer_256()), factory,
         rates_mbps, repetitions, calibration, base_seed, workers, cache,
-        progress)
+        progress, obs=obs)
 
 
 # ---------------------------------------------------------------------------

@@ -20,6 +20,7 @@ from .calibration import TestbedCalibration
 from .testbed import build_testbed
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..obs import ObsCollector, RunObserver
     from ..parallel import ProgressTracker, ResultCache
 
 #: Factory signature: (rate_bps, rng) -> Workload.
@@ -46,7 +47,8 @@ _INCOMPLETE_WARNING = (
 def run_once(buffer_config: BufferConfig, workload: Workload,
              calibration: Optional[TestbedCalibration] = None,
              seed: int = 0, settle: float = 0.020, drain: float = 0.250,
-             max_extends: int = 20) -> RunMetrics:
+             max_extends: int = 20,
+             obs: Optional["RunObserver"] = None) -> RunMetrics:
     """One repetition: build a fresh testbed, play the workload, snapshot.
 
     ``settle`` gives the OpenFlow handshake time to finish before traffic;
@@ -54,10 +56,16 @@ def run_once(buffer_config: BufferConfig, workload: Workload,
     If flows are still incomplete at the nominal deadline (deep queues at
     high rates), the run is extended in 100 ms steps while progress is
     being made, up to ``max_extends`` times.
+
+    ``obs`` attaches a :class:`repro.obs.RunObserver` to the testbed's
+    event emitters before traffic and snapshots its registry at the end;
+    the returned metrics are identical with or without it.
     """
     testbed = build_testbed(buffer_config, workload,
                             calibration=calibration, seed=seed)
     sim = testbed.sim
+    if obs is not None:
+        obs.attach(testbed)
     testbed.controller.start_handshake()
     testbed.pktgen.start(at=settle)
 
@@ -86,6 +94,8 @@ def run_once(buffer_config: BufferConfig, workload: Workload,
     load_end = settle + workload.duration + 0.050
     snapshot = testbed.metrics.snapshot(settle, min(active_end, sim.now),
                                         load_end=load_end)
+    if obs is not None:
+        obs.finish(testbed, snapshot)
     testbed.shutdown()
     if snapshot.incomplete:
         warnings.warn(_INCOMPLETE_WARNING, RuntimeWarning, stacklevel=2)
@@ -191,13 +201,17 @@ def sweep(buffer_config: BufferConfig, workload_factory: WorkloadFactory,
           calibration: Optional[TestbedCalibration] = None,
           base_seed: int = 0, workers: Optional[int] = None,
           cache: Optional["ResultCache"] = None,
-          progress: "None | bool | ProgressTracker" = None) -> SweepResult:
+          progress: "None | bool | ProgressTracker" = None,
+          obs: Optional["ObsCollector"] = None) -> SweepResult:
     """The paper's method: repetitions at every sending rate.
 
     ``workers``/``cache``/``progress`` hand the sweep to the
     :mod:`repro.parallel` engine (multi-core execution, on-disk result
     cache, telemetry) — output is bit-identical either way.  The default
     (all three None/1) runs serially in-process.
+
+    ``obs`` collects per-repetition traces and metric snapshots into a
+    :class:`repro.obs.ObsCollector` (serial and parallel paths alike).
     """
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
@@ -207,7 +221,7 @@ def sweep(buffer_config: BufferConfig, workload_factory: WorkloadFactory,
         return parallel_sweep(buffer_config, workload_factory, rates_mbps,
                               repetitions, calibration=calibration,
                               base_seed=base_seed, workers=workers,
-                              cache=cache, progress=progress)
+                              cache=cache, progress=progress, obs=obs)
     # The seed table is computed up front from grid coordinates alone;
     # the in-loop assertion guards the determinism invariant the parallel
     # engine's bit-identical guarantee rests on.
@@ -223,7 +237,13 @@ def sweep(buffer_config: BufferConfig, workload_factory: WorkloadFactory,
                 "(base_seed, rate, rep), independent of execution order")
             rng = RandomStreams(seed)
             workload = workload_factory(mbps(rate), rng)
+            observer = (obs.observer_for(buffer_config.label, rate, rep,
+                                         seed)
+                        if obs is not None else None)
             runs.append(run_once(buffer_config, workload,
-                                 calibration=calibration, seed=seed))
+                                 calibration=calibration, seed=seed,
+                                 obs=observer))
+            if obs is not None:
+                obs.add(observer.observation)
         result.rows.append(aggregate(rate, buffer_config.label, runs))
     return result

@@ -14,6 +14,7 @@ from ..controllersim import Controller, HostLocator, ReactiveForwardingApp
 from ..core import BufferConfig, BufferMechanism, create_mechanism
 from ..metrics import MetricsSuite
 from ..netsim import DuplexLink, Host, Topology
+from ..obs.registry import MetricsRegistry
 from ..openflow import ControlChannel
 from ..simkit import RandomStreams, Simulator
 from ..switchsim import Switch
@@ -45,6 +46,9 @@ class Testbed:
     pktgen: PacketGenerator
     metrics: MetricsSuite
     rng: RandomStreams
+    #: Shared registry holding every component's counters/gauges;
+    #: ``repro.obs`` snapshots it at the end of a run.
+    registry: Optional[MetricsRegistry] = None
 
     def shutdown(self) -> None:
         """Stop samplers and periodic component work."""
@@ -107,7 +111,9 @@ def build_testbed(buffer_config: BufferConfig, workload: Workload,
 
     mechanism = create_mechanism(buffer_config, sim)
     channel = ControlChannel(sim, cable_ctrl)
-    switch = Switch(sim, cal.switch, mechanism, channel, name="ovs")
+    registry = MetricsRegistry()
+    switch = Switch(sim, cal.switch, mechanism, channel, name="ovs",
+                    registry=registry)
     # Cable orientation: forward = host -> switch.
     switch.attach_port(PORT_HOST1, cable_h1, switch_side_forward=False)
     switch.attach_port(PORT_HOST2, cable_h2, switch_side_forward=False)
@@ -123,7 +129,8 @@ def build_testbed(buffer_config: BufferConfig, workload: Workload,
         locator=locator,
         idle_timeout=cal.controller.flow_idle_timeout,
         hard_timeout=cal.controller.flow_hard_timeout)
-    controller = Controller(sim, cal.controller, channel, app=app)
+    controller = Controller(sim, cal.controller, channel, app=app,
+                            registry=registry)
 
     pktgen = PacketGenerator(sim, host1, workload)
     metrics = MetricsSuite(sim, switch, controller, cable_ctrl,
@@ -138,4 +145,4 @@ def build_testbed(buffer_config: BufferConfig, workload: Workload,
                    switch=switch, controller=controller,
                    control_cable=cable_ctrl, channel=channel,
                    mechanism=mechanism, pktgen=pktgen, metrics=metrics,
-                   rng=rng)
+                   rng=rng, registry=registry)

@@ -1,0 +1,49 @@
+"""Observability layer: spans, metrics registry, profiling exporters.
+
+Public surface:
+
+* :class:`SpanRecorder`, :class:`SpanRecord`, :class:`Span`,
+  :func:`validate_nesting` — sim-time span tracing primitives.
+* :class:`MetricsRegistry`, :class:`Counter`, :class:`Gauge`,
+  :class:`Histogram`, :class:`MetricsSnapshot` — named metrics with
+  label sets, snapshot/merge for the parallel engine.
+* :class:`FlowSetupTracer` — end-to-end flow-setup span trees from the
+  switch/controller event emitters.
+* :class:`ObsConfig`, :class:`RunObserver`, :class:`RunObservation`,
+  :class:`ObsCollector` — per-run capture and study-level reassembly.
+* Exporters — JSONL, Chrome ``trace_event`` (Perfetto-loadable) and
+  Prometheus text, with parsers for round-trip verification.
+
+This package imports nothing from the simulation layers (everything is
+duck-typed against the event emitters), so even :mod:`repro.simkit` can
+delegate to it without an import cycle.
+"""
+
+from .capture import ObsCollector, ObsConfig, RunObservation, RunObserver
+from .exporters import (CHROME_REQUIRED_KEYS, chrome_trace_events,
+                        parse_prometheus, snapshot_to_prometheus,
+                        span_from_dict, span_to_dict, spans_from_jsonl,
+                        spans_to_chrome, spans_to_jsonl,
+                        validate_chrome_trace)
+from .flowtrace import (CAT_CHANNEL, CAT_CONTROLLER, CAT_FLOW, CAT_SWITCH,
+                        FlowSetupTracer, SPAN_CHANNEL_DOWN, SPAN_CHANNEL_UP,
+                        SPAN_CONTROLLER_APP, SPAN_FLOW_SETUP,
+                        SPAN_SWITCH_APPLY, SPAN_SWITCH_MISS)
+from .registry import (DELAY_BUCKETS_S, Counter, Gauge, Histogram,
+                       HistogramData, MetricsRegistry, MetricsSnapshot)
+from .spans import Span, SpanRecord, SpanRecorder, validate_nesting
+
+__all__ = [
+    "ObsCollector", "ObsConfig", "RunObservation", "RunObserver",
+    "CHROME_REQUIRED_KEYS", "chrome_trace_events", "parse_prometheus",
+    "snapshot_to_prometheus", "span_from_dict", "span_to_dict",
+    "spans_from_jsonl", "spans_to_chrome", "spans_to_jsonl",
+    "validate_chrome_trace",
+    "CAT_CHANNEL", "CAT_CONTROLLER", "CAT_FLOW", "CAT_SWITCH",
+    "FlowSetupTracer", "SPAN_CHANNEL_DOWN", "SPAN_CHANNEL_UP",
+    "SPAN_CONTROLLER_APP", "SPAN_FLOW_SETUP", "SPAN_SWITCH_APPLY",
+    "SPAN_SWITCH_MISS",
+    "DELAY_BUCKETS_S", "Counter", "Gauge", "Histogram", "HistogramData",
+    "MetricsRegistry", "MetricsSnapshot",
+    "Span", "SpanRecord", "SpanRecorder", "validate_nesting",
+]

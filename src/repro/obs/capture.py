@@ -1,0 +1,215 @@
+"""Run-level observation plumbing: config, per-run observer, collector.
+
+The pieces and who owns them:
+
+* :class:`ObsConfig` — a tiny frozen, picklable switchboard.  It rides
+  inside :class:`~repro.parallel.tasks.SweepJob` so fork workers know
+  whether (and how densely) to trace.
+* :class:`RunObserver` — attached to one testbed by
+  :func:`repro.experiments.runner.run_once`; it wires a
+  :class:`~repro.obs.flowtrace.FlowSetupTracer` to the emitters and, at
+  the end of the run, snapshots the testbed's metrics registry into a
+  picklable :class:`RunObservation`.
+* :class:`ObsCollector` — parent-side accumulator.  Serial sweeps feed
+  it directly; the parallel engine feeds it the observations workers
+  shipped back, merging per-task metrics on reassembly.  It writes the
+  final artifacts (JSONL / Chrome trace, Prometheus text).
+
+Observation never perturbs the run: the tracer only listens to events
+the components already emit, and the registry counters tick whether or
+not anyone snapshots them — so observed and unobserved runs produce
+bit-identical :class:`~repro.metrics.RunMetrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from .exporters import snapshot_to_prometheus, spans_to_chrome, spans_to_jsonl
+from .flowtrace import FlowSetupTracer
+from .registry import DELAY_BUCKETS_S, MetricsRegistry, MetricsSnapshot
+from .spans import SpanRecord, SpanRecorder
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What to observe.  Frozen and picklable (crosses the fork boundary)."""
+
+    #: Record flow-setup span trees?  (Metrics are always snapshotted.)
+    trace: bool = True
+    #: Trace every Nth flow (1 = every flow).
+    trace_sample: int = 1
+    #: Per-run span cap; overflow increments ``dropped_spans`` instead of
+    #: growing without bound.
+    max_spans: Optional[int] = 200_000
+
+    def __post_init__(self) -> None:
+        if self.trace_sample < 1:
+            raise ValueError(
+                f"trace_sample must be >= 1, got {self.trace_sample}")
+
+
+@dataclass
+class RunObservation:
+    """One repetition's observability payload (picklable)."""
+
+    label: str
+    rate_mbps: float
+    rep: int
+    seed: int
+    spans: List[SpanRecord] = field(default_factory=list)
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    dropped_spans: int = 0
+    flows_traced: int = 0
+
+    @property
+    def key(self) -> Tuple[str, float, int]:
+        """Canonical sort key: grid coordinates, never completion order."""
+        return (self.label, self.rate_mbps, self.rep)
+
+    @property
+    def group_name(self) -> str:
+        """Display name for this run's lane in trace viewers."""
+        return f"{self.label} rate={self.rate_mbps:g} rep={self.rep}"
+
+
+#: Histograms the observer derives from each run's delay lists.
+_DELAY_HISTOGRAMS = (
+    ("flow_setup_delay_seconds", "setup_delays"),
+    ("controller_delay_seconds", "controller_delays"),
+    ("switch_delay_seconds", "switch_delays"),
+)
+
+
+class RunObserver:
+    """Observes one ``run_once`` from testbed build to snapshot."""
+
+    def __init__(self, config: ObsConfig, label: str = "",
+                 rate_mbps: float = 0.0, rep: int = 0, seed: int = 0):
+        self.config = config
+        self.label = label
+        self.rate_mbps = rate_mbps
+        self.rep = rep
+        self.seed = seed
+        self.recorder = SpanRecorder(enabled=config.trace,
+                                     max_spans=config.max_spans)
+        self.tracer: Optional[FlowSetupTracer] = None
+        self.observation: Optional[RunObservation] = None
+
+    def attach(self, testbed) -> None:
+        """Wire the tracer into a freshly built testbed's emitters."""
+        if not self.config.trace:
+            return
+        self.tracer = FlowSetupTracer(
+            self.recorder, mechanism=self.label or testbed.mechanism.name,
+            switch=testbed.switch.name, sample=self.config.trace_sample)
+        self.tracer.attach(testbed.switch.events,
+                           testbed.controller.events)
+
+    def finish(self, testbed, run_metrics) -> RunObservation:
+        """Snapshot registry + delay histograms into the observation."""
+        registry = getattr(testbed, "registry", None)
+        snapshot = (registry.snapshot() if registry is not None
+                    else MetricsSnapshot())
+        snapshot.merge(self._delay_histograms(run_metrics))
+        if self.label:
+            snapshot = snapshot.with_labels(run=self.label)
+        self.observation = RunObservation(
+            label=self.label, rate_mbps=self.rate_mbps, rep=self.rep,
+            seed=self.seed, spans=list(self.recorder.records),
+            metrics=snapshot, dropped_spans=self.recorder.dropped,
+            flows_traced=(self.tracer.flows_traced
+                          if self.tracer is not None else 0))
+        return self.observation
+
+    @staticmethod
+    def _delay_histograms(run_metrics) -> MetricsSnapshot:
+        registry = MetricsRegistry()
+        for name, attribute in _DELAY_HISTOGRAMS:
+            histogram = registry.histogram(name, buckets=DELAY_BUCKETS_S)
+            for value in getattr(run_metrics, attribute, ()):
+                histogram.observe(value)
+        return registry.snapshot()
+
+
+class ObsCollector:
+    """Accumulates observations across a whole sweep / parameter study."""
+
+    def __init__(self, config: Optional[ObsConfig] = None):
+        self.config = config if config is not None else ObsConfig()
+        self.observations: List[RunObservation] = []
+
+    # -- feeding ---------------------------------------------------------
+    def observer_for(self, label: str, rate_mbps: float, rep: int,
+                     seed: int) -> RunObserver:
+        """A fresh observer for one repetition."""
+        return RunObserver(self.config, label=label, rate_mbps=rate_mbps,
+                           rep=rep, seed=seed)
+
+    def add(self, observation: Optional[RunObservation]) -> None:
+        """Record one repetition's payload (``None`` is ignored)."""
+        if observation is not None:
+            self.observations.append(observation)
+
+    # -- reassembly ------------------------------------------------------
+    def _sorted(self) -> List[RunObservation]:
+        return sorted(self.observations, key=lambda o: o.key)
+
+    def merged_metrics(self) -> MetricsSnapshot:
+        """All tasks' metrics folded together, in canonical grid order.
+
+        Sorting before merging keeps float histogram sums independent of
+        worker completion order, mirroring the engine's bit-identical
+        reassembly guarantee.
+        """
+        merged = MetricsSnapshot()
+        for observation in self._sorted():
+            merged.merge(observation.metrics)
+        return merged
+
+    def trace_groups(self) -> List[Tuple[str, Sequence[SpanRecord]]]:
+        """Per-run span groups, in canonical grid order."""
+        return [(o.group_name, o.spans) for o in self._sorted() if o.spans]
+
+    @property
+    def total_spans(self) -> int:
+        """Spans collected across every observation."""
+        return sum(len(o.spans) for o in self.observations)
+
+    @property
+    def dropped_spans(self) -> int:
+        """Spans dropped to per-run caps, across every observation."""
+        return sum(o.dropped_spans for o in self.observations)
+
+    # -- artifacts -------------------------------------------------------
+    def write_trace(self, path) -> Path:
+        """Write the trace: ``*.jsonl`` as JSONL, anything else as a
+        Chrome ``trace_event`` JSON (open it in Perfetto)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as fh:
+            if path.suffix == ".jsonl":
+                for observation in self._sorted():
+                    spans_to_jsonl(observation.spans, fh,
+                                   run=observation.group_name)
+            else:
+                spans_to_chrome(self.trace_groups(), fh)
+        return path
+
+    def write_metrics(self, path) -> Path:
+        """Write the merged registry as Prometheus exposition text."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(snapshot_to_prometheus(self.merged_metrics()))
+        return path
+
+    def summary(self) -> str:
+        """One line for the CLI's stderr telemetry."""
+        flows = sum(o.flows_traced for o in self.observations)
+        line = (f"obs: {len(self.observations)} run(s), "
+                f"{self.total_spans} span(s), {flows} flow(s) traced")
+        if self.dropped_spans:
+            line += f", {self.dropped_spans} span(s) dropped to caps"
+        return line

@@ -1,0 +1,233 @@
+"""Trace and metrics exporters (and the matching parsers for tests).
+
+Three output formats:
+
+* **JSONL** — one span record per line; lossless round-trip via
+  :func:`spans_from_jsonl`.
+* **Chrome ``trace_event``** — the JSON object format understood by
+  Perfetto / ``chrome://tracing``: complete (``ph: "X"``) events for
+  spans, instant (``ph: "i"``) events for point records, plus process /
+  thread name metadata so mechanisms and flows get readable lanes.
+  Timestamps are simulated microseconds.
+* **Prometheus text** — counters, gauges and cumulative histogram
+  buckets in the exposition format, from a :class:`MetricsSnapshot`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
+
+from .registry import HistogramData, MetricsSnapshot
+from .spans import KIND_INSTANT, SpanRecord
+
+#: Chrome trace_event required keys for a complete ("X") event.
+CHROME_REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+#: Seconds -> trace_event microseconds.
+_US = 1e6
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+def span_to_dict(record: SpanRecord, **extra: object) -> dict:
+    """One span as a JSON-ready dict (``extra`` adds run metadata)."""
+    payload = {
+        "name": record.name,
+        "category": record.category,
+        "start": record.start,
+        "end": record.end,
+        "span_id": record.span_id,
+        "parent_id": record.parent_id,
+        "track": record.track,
+        "kind": record.kind,
+        "attrs": record.attrs,
+    }
+    payload.update(extra)
+    return payload
+
+
+def span_from_dict(payload: dict) -> SpanRecord:
+    """Inverse of :func:`span_to_dict` (extra keys are ignored)."""
+    return SpanRecord(
+        name=payload["name"], category=payload.get("category", ""),
+        start=payload["start"], end=payload.get("end"),
+        span_id=payload["span_id"], parent_id=payload.get("parent_id"),
+        track=payload.get("track", ""),
+        kind=payload.get("kind", "span"),
+        attrs=dict(payload.get("attrs", {})))
+
+
+def spans_to_jsonl(records: Iterable[SpanRecord], fh: TextIO,
+                   **extra: object) -> int:
+    """Write one JSON object per line; returns the line count."""
+    count = 0
+    for record in records:
+        fh.write(json.dumps(span_to_dict(record, **extra),
+                            sort_keys=True) + "\n")
+        count += 1
+    return count
+
+
+def spans_from_jsonl(fh: TextIO) -> List[SpanRecord]:
+    """Parse a JSONL stream back into span records (blank lines skipped)."""
+    records = []
+    for line in fh:
+        line = line.strip()
+        if line:
+            records.append(span_from_dict(json.loads(line)))
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event
+# ---------------------------------------------------------------------------
+def _chrome_event(record: SpanRecord, pid: int, tid: int) -> dict:
+    event = {
+        "name": record.name,
+        "cat": record.category or "span",
+        "ts": record.start * _US,
+        "pid": pid,
+        "tid": tid,
+        "args": {str(k): v for k, v in record.attrs.items()},
+    }
+    if record.kind == KIND_INSTANT or record.end is None:
+        event["ph"] = "i"
+        event["s"] = "t"            # thread-scoped instant
+    else:
+        event["ph"] = "X"
+        event["dur"] = (record.end - record.start) * _US
+    return event
+
+
+def _metadata(name: str, pid: int, value: str,
+              tid: Optional[int] = None) -> dict:
+    event = {"ph": "M", "name": name, "pid": pid, "args": {"name": value}}
+    if tid is not None:
+        event["tid"] = tid
+    return event
+
+
+def chrome_trace_events(
+        groups: Sequence[Tuple[str, Sequence[SpanRecord]]]) -> List[dict]:
+    """Build the ``traceEvents`` list for named span groups.
+
+    Each group (typically one run: ``label rate=R rep=N``) becomes a
+    trace process; each distinct ``track`` inside it becomes a thread.
+    """
+    events: List[dict] = []
+    for pid, (group_name, records) in enumerate(groups, start=1):
+        events.append(_metadata("process_name", pid, group_name))
+        tids: Dict[str, int] = {}
+        for record in records:
+            track = record.track or record.category or "events"
+            tid = tids.get(track)
+            if tid is None:
+                tid = len(tids) + 1
+                tids[track] = tid
+                events.append(_metadata("thread_name", pid, track, tid=tid))
+            events.append(_chrome_event(record, pid, tid))
+    return events
+
+
+def spans_to_chrome(groups: Sequence[Tuple[str, Sequence[SpanRecord]]],
+                    fh: TextIO) -> int:
+    """Write the Chrome trace JSON object; returns the event count."""
+    events = chrome_trace_events(groups)
+    json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh)
+    return len(events)
+
+
+def validate_chrome_trace(payload: dict) -> List[str]:
+    """Check a parsed trace against the format's required keys."""
+    problems = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["payload has no traceEvents list"]
+    for index, event in enumerate(events):
+        if event.get("ph") == "M":
+            continue
+        for key in CHROME_REQUIRED_KEYS:
+            if key not in event:
+                problems.append(f"event {index} missing {key!r}: {event}")
+        if event.get("ph") == "X" and "dur" not in event:
+            problems.append(f"complete event {index} missing 'dur'")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+def _format_labels(labels, extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = list(labels) + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in pairs)
+    return "{" + inner + "}"
+
+
+def snapshot_to_prometheus(snapshot: MetricsSnapshot) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+    seen_types: Dict[str, str] = {}
+
+    def type_line(name: str, kind: str) -> None:
+        if seen_types.get(name) is None:
+            lines.append(f"# TYPE {name} {kind}")
+            seen_types[name] = kind
+
+    for (name, labels), value in sorted(snapshot.counters.items()):
+        type_line(name, "counter")
+        lines.append(f"{name}{_format_labels(labels)} {value:g}")
+    for (name, labels), value in sorted(snapshot.gauges.items()):
+        type_line(name, "gauge")
+        lines.append(f"{name}{_format_labels(labels)} {value:g}")
+    for (name, labels), data in sorted(snapshot.histograms.items()):
+        type_line(name, "histogram")
+        cumulative = 0
+        for bound, count in zip(data.buckets, data.counts):
+            cumulative += count
+            lines.append(f"{name}_bucket"
+                         f"{_format_labels(labels, (('le', f'{bound:g}'),))}"
+                         f" {cumulative}")
+        cumulative += data.counts[-1]
+        lines.append(f"{name}_bucket"
+                     f"{_format_labels(labels, (('le', '+Inf'),))}"
+                     f" {cumulative}")
+        lines.append(f"{name}_sum{_format_labels(labels)} {data.sum:g}")
+        lines.append(f"{name}_count{_format_labels(labels)} {data.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...],
+                                                  float]]:
+    """Parse exposition text into ``{metric: {labelset: value}}``.
+
+    Intentionally minimal — enough for round-trip tests and CI artifact
+    checks, not a general scraper.
+    """
+    samples: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if "{" in name_part:
+            name, _, label_part = name_part.partition("{")
+            label_part = label_part.rstrip("}")
+            labels = []
+            for pair in label_part.split(","):
+                if not pair:
+                    continue
+                key, _, raw = pair.partition("=")
+                labels.append((key, raw.strip('"')))
+            key = tuple(sorted(labels))
+        else:
+            name, key = name_part, ()
+        value = float(value_part)
+        if not math.isfinite(value):            # +Inf buckets stay textual
+            value = math.inf
+        samples.setdefault(name, {})[key] = value
+    return samples

@@ -1,0 +1,293 @@
+"""End-to-end flow-setup tracing: one span tree per traced flow.
+
+The tracer subscribes to the switch's and controller's event emitters
+(like :class:`~repro.metrics.delays.DelayTracker`, it adds no code to
+the components) and reconstructs, for the *first* packet of every flow,
+the complete control-loop timeline:
+
+    packet arrival -> table miss -> buffer admit -> packet_in ->
+    controller app -> flow_mod / packet_out -> buffer release -> forward
+
+When the first packet finally leaves the switch the tracer emits one
+``flow_setup`` root span plus five children that exactly tile it::
+
+    flow_setup            [first ingress .......... first egress]
+      switch.miss         [ingress -> packet_in leaves the switch]
+      channel.up          [packet_in sent -> received at controller]
+      controller.app      [received -> replies handed to the channel]
+      channel.down        [replies sent -> first reply at the switch]
+      switch.apply        [reply arrived -> first packet egress]
+
+so ``sum(switch.*) + controller.app + sum(channel.*)`` equals the
+flow-setup delay the metrics layer reports, and ``switch.miss +
+switch.apply`` / ``channel.up + channel.down`` reproduce the paper's
+switch-delay / transfer components.  Table-hit flows (no miss) emit the
+root span alone.  Instant events mark table misses, buffer admits and
+releases, retries and drops, each carrying the flow key, buffer id,
+mechanism and (for drops) the drop reason.
+
+Everything here is duck-typed against the emitters' payloads, keeping
+:mod:`repro.obs` import-free of the simulation layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .spans import SpanRecorder
+
+#: Span / event names, the taxonomy documented in DESIGN.md §10.
+SPAN_FLOW_SETUP = "flow_setup"
+SPAN_SWITCH_MISS = "switch.miss"
+SPAN_CHANNEL_UP = "channel.up"
+SPAN_CONTROLLER_APP = "controller.app"
+SPAN_CHANNEL_DOWN = "channel.down"
+SPAN_SWITCH_APPLY = "switch.apply"
+
+EVENT_TABLE_MISS = "table_miss"
+EVENT_BUFFER_ADMIT = "buffer.admit"
+EVENT_BUFFER_RELEASE = "buffer.release"
+EVENT_PACKET_IN_RETRY = "packet_in.retry"
+EVENT_PACKET_DROP = "packet.drop"
+
+#: Categories: exporters and the decomposition test group spans by these.
+CAT_FLOW = "flow"
+CAT_SWITCH = "switch"
+CAT_CHANNEL = "channel"
+CAT_CONTROLLER = "controller"
+
+
+@dataclass
+class _FlowTimeline:
+    """Boundary timestamps of one flow's setup, filled as events fire."""
+
+    flow_id: int
+    first_ingress: float
+    first_uid: int
+    in_port: int
+    missed: bool = False
+    buffer_id: Optional[int] = None
+    stored: bool = False
+    packet_in_sent: Optional[float] = None
+    packet_in_xid: Optional[int] = None
+    ctrl_received: Optional[float] = None
+    ctrl_replied: Optional[float] = None
+    reply_arrived: Optional[float] = None
+    first_egress: Optional[float] = None
+    retries: int = 0
+    drop_reason: Optional[str] = None
+    done: bool = False
+
+
+class FlowSetupTracer:
+    """Builds flow-setup span trees from switch + controller events.
+
+    ``sample`` traces every Nth flow (by ``flow_id % sample == 0``) so
+    huge sweeps can bound their trace size; 1 traces everything.  The
+    tracer is only ever attached when tracing is on — an untraced run
+    pays nothing at all.
+    """
+
+    def __init__(self, recorder: SpanRecorder, mechanism: str = "",
+                 switch: str = "", sample: int = 1):
+        if sample < 1:
+            raise ValueError(f"sample must be >= 1, got {sample}")
+        self.recorder = recorder
+        self.mechanism = mechanism
+        self.switch = switch
+        self.sample = sample
+        self._flows: Dict[int, _FlowTimeline] = {}
+        #: packet_in xid -> flow_id, for controller-side correlation.
+        self._xids: Dict[int, int] = {}
+        #: Flow setups finalized into span trees.
+        self.flows_traced = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, switch_events, controller_events=None) -> None:
+        """Subscribe to the emitters (same shape as DelayTracker)."""
+        switch_events.on("packet_ingress", self._on_ingress)
+        switch_events.on("table_miss", self._on_table_miss)
+        switch_events.on("buffer_stored", self._on_buffer_stored)
+        switch_events.on("packet_in_sent", self._on_packet_in_sent)
+        switch_events.on("reply_arrived", self._on_reply_arrived)
+        switch_events.on("buffer_released", self._on_buffer_released)
+        switch_events.on("packet_egress", self._on_egress)
+        switch_events.on("packet_drop", self._on_drop)
+        if controller_events is not None:
+            controller_events.on("packet_in_received",
+                                 self._on_ctrl_received)
+            controller_events.on("replies_sent", self._on_ctrl_replied)
+
+    # ------------------------------------------------------------------
+    # Switch-side events
+    # ------------------------------------------------------------------
+    def _sampled(self, flow_id: Optional[int]) -> bool:
+        return flow_id is not None and flow_id % self.sample == 0
+
+    def _timeline(self, packet) -> Optional[_FlowTimeline]:
+        flow_id = getattr(packet, "flow_id", None)
+        if flow_id is None:
+            return None
+        return self._flows.get(flow_id)
+
+    def _on_ingress(self, time: float, packet, in_port: int) -> None:
+        flow_id = getattr(packet, "flow_id", None)
+        if not self._sampled(flow_id) or flow_id in self._flows:
+            return
+        self._flows[flow_id] = _FlowTimeline(
+            flow_id=flow_id, first_ingress=time, first_uid=packet.uid,
+            in_port=in_port)
+
+    def _on_table_miss(self, time: float, packet, in_port: int) -> None:
+        timeline = self._timeline(packet)
+        if timeline is None or packet.uid != timeline.first_uid:
+            return
+        timeline.missed = True
+        self.recorder.instant(
+            EVENT_TABLE_MISS, t=time, category=CAT_SWITCH,
+            track=f"flow-{timeline.flow_id}", flow_id=timeline.flow_id,
+            in_port=in_port, mechanism=self.mechanism)
+
+    def _on_buffer_stored(self, time: float, packet, buffer_id) -> None:
+        timeline = self._timeline(packet)
+        if timeline is None:
+            return
+        first = packet.uid == timeline.first_uid
+        if first:
+            timeline.buffer_id = buffer_id
+            timeline.stored = True
+        self.recorder.instant(
+            EVENT_BUFFER_ADMIT, t=time, category=CAT_SWITCH,
+            track=f"flow-{timeline.flow_id}", flow_id=timeline.flow_id,
+            buffer_id=buffer_id, first_packet=first,
+            mechanism=self.mechanism)
+
+    def _on_packet_in_sent(self, time: float, message) -> None:
+        timeline = self._timeline(getattr(message, "packet", None))
+        if timeline is None:
+            return
+        if getattr(message, "is_retry", False):
+            timeline.retries += 1
+            self.recorder.instant(
+                EVENT_PACKET_IN_RETRY, t=time, category=CAT_SWITCH,
+                track=f"flow-{timeline.flow_id}",
+                flow_id=timeline.flow_id, retry=timeline.retries,
+                mechanism=self.mechanism)
+        elif timeline.packet_in_sent is None:
+            timeline.packet_in_sent = time
+            timeline.packet_in_xid = message.xid
+        self._xids[message.xid] = timeline.flow_id
+
+    def _on_reply_arrived(self, time: float, message) -> None:
+        ref = getattr(message, "in_reply_to", None)
+        flow_id = self._xids.get(ref)
+        if flow_id is None:
+            return
+        timeline = self._flows.get(flow_id)
+        if timeline is not None and timeline.reply_arrived is None:
+            timeline.reply_arrived = time
+
+    def _on_buffer_released(self, time: float, packet) -> None:
+        timeline = self._timeline(packet)
+        if timeline is None or packet.uid != timeline.first_uid:
+            return
+        self.recorder.instant(
+            EVENT_BUFFER_RELEASE, t=time, category=CAT_SWITCH,
+            track=f"flow-{timeline.flow_id}", flow_id=timeline.flow_id,
+            buffer_id=timeline.buffer_id, mechanism=self.mechanism)
+
+    def _on_egress(self, time: float, packet, out_port: int) -> None:
+        timeline = self._timeline(packet)
+        if (timeline is None or timeline.done
+                or packet.uid != timeline.first_uid):
+            return
+        timeline.first_egress = time
+        self._finalize(timeline)
+
+    def _on_drop(self, time: float, packet, reason: str) -> None:
+        timeline = self._timeline(packet)
+        if timeline is None or timeline.done:
+            return
+        self.recorder.instant(
+            EVENT_PACKET_DROP, t=time, category=CAT_SWITCH,
+            track=f"flow-{timeline.flow_id}", flow_id=timeline.flow_id,
+            drop_reason=reason, mechanism=self.mechanism)
+        if packet.uid == timeline.first_uid:
+            timeline.drop_reason = reason
+
+    # ------------------------------------------------------------------
+    # Controller-side events
+    # ------------------------------------------------------------------
+    def _flow_for_xid(self, xid) -> Optional[_FlowTimeline]:
+        flow_id = self._xids.get(xid)
+        return None if flow_id is None else self._flows.get(flow_id)
+
+    def _on_ctrl_received(self, time: float, message) -> None:
+        timeline = self._flow_for_xid(getattr(message, "xid", None))
+        if timeline is not None and timeline.ctrl_received is None:
+            timeline.ctrl_received = time
+
+    def _on_ctrl_replied(self, time: float, decision) -> None:
+        packet_out = getattr(decision, "packet_out", None)
+        timeline = self._flow_for_xid(
+            getattr(packet_out, "in_reply_to", None))
+        if timeline is not None and timeline.ctrl_replied is None:
+            timeline.ctrl_replied = time
+
+    # ------------------------------------------------------------------
+    # Span emission
+    # ------------------------------------------------------------------
+    def _finalize(self, timeline: _FlowTimeline) -> None:
+        """The first packet left: emit the flow's whole span tree."""
+        timeline.done = True
+        self.flows_traced += 1
+        track = f"flow-{timeline.flow_id}"
+        attrs = dict(flow_id=timeline.flow_id, mechanism=self.mechanism,
+                     in_port=timeline.in_port, missed=timeline.missed,
+                     stored=timeline.stored)
+        if self.switch:
+            attrs["switch"] = self.switch
+        if timeline.buffer_id is not None:
+            attrs["buffer_id"] = timeline.buffer_id
+        if timeline.retries:
+            attrs["retries"] = timeline.retries
+        root = self.recorder.add_span(
+            SPAN_FLOW_SETUP, timeline.first_ingress, timeline.first_egress,
+            category=CAT_FLOW, track=track, **attrs)
+        parent = root.span_id if root is not None else None
+
+        # The five stage boundaries, in causal order.  A stage is only
+        # emitted when both its boundaries were observed; boundaries are
+        # clamped monotone so float-equal timestamps cannot produce
+        # negative spans.
+        boundaries = [
+            (SPAN_SWITCH_MISS, CAT_SWITCH,
+             timeline.first_ingress, timeline.packet_in_sent),
+            (SPAN_CHANNEL_UP, CAT_CHANNEL,
+             timeline.packet_in_sent, timeline.ctrl_received),
+            (SPAN_CONTROLLER_APP, CAT_CONTROLLER,
+             timeline.ctrl_received, timeline.ctrl_replied),
+            (SPAN_CHANNEL_DOWN, CAT_CHANNEL,
+             timeline.ctrl_replied, timeline.reply_arrived),
+            (SPAN_SWITCH_APPLY, CAT_SWITCH,
+             timeline.reply_arrived, timeline.first_egress),
+        ]
+        for name, category, start, end in boundaries:
+            if start is None or end is None:
+                continue
+            self.recorder.add_span(
+                name, start, max(start, end), category=category,
+                track=track, parent=parent, flow_id=timeline.flow_id,
+                mechanism=self.mechanism)
+        # The timeline stays in the map so later packets of the flow do
+        # not restart it, but the xid map entries are no longer needed.
+        if timeline.packet_in_xid is not None:
+            self._xids.pop(timeline.packet_in_xid, None)
+
+    @property
+    def pending_flows(self) -> int:
+        """Flows seen but not yet finalized (setup still in progress)."""
+        return sum(1 for t in self._flows.values() if not t.done)

@@ -16,6 +16,7 @@ import itertools
 from collections import deque
 from typing import Optional
 
+from ..obs.registry import Counter, Gauge
 from ..packets import Packet
 
 #: Global buffer_id source; ids never repeat within a process, mirroring
@@ -51,12 +52,40 @@ class PacketBuffer:
         #: Expiry times of released-but-not-yet-reclaimed units (sorted,
         #: because releases happen in nondecreasing simulated time).
         self._cooling: deque[float] = deque()
-        #: Counters for analysis.
-        self.total_buffered = 0
-        self.total_released = 0
-        self.full_rejections = 0
-        self.unknown_releases = 0
-        self.peak_units = 0
+        # Metric objects (created standalone: the buffer is built below
+        # the testbed layer; a Switch adopts them via :meth:`metrics`).
+        # The legacy integer attributes are read-only property views.
+        self._buffered = Counter("pktbuf_buffered_total")
+        self._released = Counter("pktbuf_released_total")
+        self._full_rejections = Counter("pktbuf_full_rejections_total")
+        self._unknown_releases = Counter("pktbuf_unknown_releases_total")
+        self._peak = Gauge("pktbuf_peak_units")
+
+    def metrics(self) -> tuple:
+        """Metric objects for adoption into a run's registry."""
+        return (self._buffered, self._released, self._full_rejections,
+                self._unknown_releases, self._peak)
+
+    # -- legacy counter attributes (views over the metric objects) -------
+    @property
+    def total_buffered(self) -> int:
+        return self._buffered.value
+
+    @property
+    def total_released(self) -> int:
+        return self._released.value
+
+    @property
+    def full_rejections(self) -> int:
+        return self._full_rejections.value
+
+    @property
+    def unknown_releases(self) -> int:
+        return self._unknown_releases.value
+
+    @property
+    def peak_units(self) -> int:
+        return int(self._peak.value)
 
     # ------------------------------------------------------------------
     # Capacity
@@ -103,16 +132,14 @@ class PacketBuffer:
         falls back to enclosing the full frame in the ``packet_in``.
         """
         if self.is_exhausted(now):
-            self.full_rejections += 1
+            self._full_rejections.inc()
             raise BufferFullError(
                 f"all {self.capacity} buffer units in use")
         buffer_id = next(_buffer_ids)
         self._units[buffer_id] = packet
         self._stored_at[buffer_id] = now
-        self.total_buffered += 1
-        occupied = len(self._units) + len(self._cooling)
-        if occupied > self.peak_units:
-            self.peak_units = occupied
+        self._buffered.inc()
+        self._peak.track_max(len(self._units) + len(self._cooling))
         return buffer_id
 
     def release(self, buffer_id: int, now: float) -> Optional[Packet]:
@@ -126,9 +153,9 @@ class PacketBuffer:
         packet = self._units.pop(buffer_id, None)
         self._stored_at.pop(buffer_id, None)
         if packet is None:
-            self.unknown_releases += 1
+            self._unknown_releases.inc()
             return None
-        self.total_released += 1
+        self._released.inc()
         if self.reclaim_delay > 0:
             self._cooling.append(now + self.reclaim_delay)
         return packet
@@ -160,11 +187,11 @@ class PacketBuffer:
 
     def reset_accounting(self) -> None:
         """Zero the counters (occupancy is untouched)."""
-        self.total_buffered = 0
-        self.total_released = 0
-        self.full_rejections = 0
-        self.unknown_releases = 0
-        self.peak_units = len(self._units)
+        self._buffered.reset()
+        self._released.reset()
+        self._full_rejections.reset()
+        self._unknown_releases.reset()
+        self._peak.reset(len(self._units))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"PacketBuffer(units={len(self._units)}/{self.capacity}, "

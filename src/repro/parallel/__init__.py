@@ -26,7 +26,8 @@ from .cache import ResultCache, default_cache_dir, task_key
 from .engine import (EngineReport, SweepExecutionError, TaskFailure,
                      parallel_sweep, resolve_workers, run_sweep_jobs)
 from .progress import ProgressTracker
-from .tasks import (SweepJob, SweepTask, execute_task, factory_fingerprint,
+from .tasks import (SweepJob, SweepTask, execute_task,
+                    execute_task_observed, factory_fingerprint,
                     register_jobs)
 
 __all__ = [
@@ -35,6 +36,6 @@ __all__ = [
     "EngineReport", "SweepExecutionError", "TaskFailure",
     "parallel_sweep", "resolve_workers", "run_sweep_jobs",
     "ProgressTracker",
-    "SweepJob", "SweepTask", "execute_task", "factory_fingerprint",
-    "register_jobs",
+    "SweepJob", "SweepTask", "execute_task", "execute_task_observed",
+    "factory_fingerprint", "register_jobs",
 ]

@@ -29,9 +29,10 @@ from ..core import BufferConfig
 from ..experiments.calibration import TestbedCalibration
 from ..experiments.runner import (SweepResult, WorkloadFactory, aggregate)
 from ..metrics import RunMetrics
+from ..obs import ObsCollector, RunObservation
 from .cache import ResultCache, task_key
 from .progress import ProgressTracker, stderr_emit
-from .tasks import (SweepJob, SweepTask, execute_task,
+from .tasks import (SweepJob, SweepTask, execute_task_observed,
                     execute_task_with_pid, register_jobs)
 
 #: Result map: sweep-grid coordinates -> run snapshot.
@@ -125,7 +126,8 @@ def _fork_available() -> bool:
 def run_sweep_jobs(jobs: Sequence[SweepJob], workers: Optional[int] = None,
                    cache: Optional[ResultCache] = None,
                    progress: ProgressLike = None,
-                   max_task_retries: int = 2
+                   max_task_retries: int = 2,
+                   obs: Optional[ObsCollector] = None
                    ) -> Tuple[Dict[str, SweepResult], EngineReport]:
     """Execute a parameter study (one or more sweeps) in parallel.
 
@@ -133,11 +135,20 @@ def run_sweep_jobs(jobs: Sequence[SweepJob], workers: Optional[int] = None,
     bit-identical to what the serial runner would produce, plus the
     engine's telemetry/failure report.  Labels must be unique across
     ``jobs``.
+
+    ``obs`` turns on per-task observation: workers ship spans and metric
+    snapshots back alongside the run metrics and the collector merges
+    them on reassembly.  Cache *reads* are skipped while observing (a
+    hit carries no observation payload) but fresh results are still
+    written, so a later unobserved sweep gets its hits back.
     """
     jobs = list(jobs)
     labels = [job.label for job in jobs]
     if len(set(labels)) != len(labels):
         raise ValueError(f"job labels must be unique, got {labels}")
+    if obs is not None:
+        for job in jobs:
+            job.obs_config = obs.config
     register_jobs(jobs)
     grid = [(job, task) for job in jobs for task in job.tasks()]
     worker_count = resolve_workers(workers)
@@ -148,20 +159,24 @@ def run_sweep_jobs(jobs: Sequence[SweepJob], workers: Optional[int] = None,
     jobs_by_id = {job.job_id: job for job in jobs}
 
     # Cache pass: resolve what a previous session already computed.
+    # Observed sweeps recompute everything (a hit has no observation).
     pending: List[SweepTask] = []
     for job, task in grid:
-        hit = cache.get(task_key(job, task)) if cache is not None else None
+        hit = (cache.get(task_key(job, task))
+               if cache is not None and obs is None else None)
         if hit is not None:
             results[task.key] = hit
             tracker.task_done(worker="cache", cached=True)
         else:
             pending.append(task)
 
-    def on_success(task: SweepTask, metrics: RunMetrics,
-                   worker: str) -> None:
+    def on_success(task: SweepTask, metrics: RunMetrics, worker: str,
+                   observation: Optional[RunObservation] = None) -> None:
         results[task.key] = metrics
         if cache is not None:
             cache.put(task_key(jobs_by_id[task.job_id], task), metrics)
+        if obs is not None:
+            obs.add(observation)
         tracker.task_done(worker=worker)
 
     def on_failure(task: SweepTask, attempts: int, error: Exception,
@@ -209,7 +224,7 @@ def _execute_inline(tasks: Sequence[SweepTask], max_task_retries: int,
         while True:
             attempts += 1
             try:
-                metrics = execute_task(task)
+                metrics, observation = execute_task_observed(task)
             except Exception as exc:
                 if attempts <= max_task_retries:
                     tracker.task_retried(worker="main")
@@ -217,7 +232,7 @@ def _execute_inline(tasks: Sequence[SweepTask], max_task_retries: int,
                 on_failure(task, attempts, exc, "main")
                 break
             else:
-                on_success(task, metrics, "main")
+                on_success(task, metrics, "main", observation)
                 break
 
 
@@ -245,7 +260,7 @@ def _execute_pool(tasks: Sequence[SweepTask], workers: int,
                 task = futures[future]
                 attempts[task] = attempts.get(task, 0) + 1
                 try:
-                    pid, metrics = future.result()
+                    pid, metrics, observation = future.result()
                 except Exception as exc:
                     if attempts[task] <= max_task_retries:
                         tracker.task_retried(worker="pool")
@@ -253,7 +268,7 @@ def _execute_pool(tasks: Sequence[SweepTask], workers: int,
                     else:
                         on_failure(task, attempts[task], exc, "pool")
                 else:
-                    on_success(task, metrics, f"pid-{pid}")
+                    on_success(task, metrics, f"pid-{pid}", observation)
         this_round = next_round
 
 
@@ -287,7 +302,8 @@ def parallel_sweep(buffer_config: BufferConfig,
                    cache: Optional[ResultCache] = None,
                    progress: ProgressLike = None,
                    max_task_retries: int = 2,
-                   raise_on_failure: bool = True) -> SweepResult:
+                   raise_on_failure: bool = True,
+                   obs: Optional[ObsCollector] = None) -> SweepResult:
     """Drop-in parallel equivalent of :func:`repro.experiments.sweep`.
 
     With ``raise_on_failure`` (the default) a partial failure raises
@@ -299,7 +315,7 @@ def parallel_sweep(buffer_config: BufferConfig,
                    calibration=calibration, base_seed=base_seed)
     sweeps, report = run_sweep_jobs(
         [job], workers=workers, cache=cache, progress=progress,
-        max_task_retries=max_task_retries)
+        max_task_retries=max_task_retries, obs=obs)
     if raise_on_failure and not report.ok:
         raise SweepExecutionError(report)
     return sweeps[job.label]

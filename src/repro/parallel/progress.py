@@ -38,6 +38,7 @@ class ProgressTracker:
         self.failed = 0
         self.retries = 0
         self._per_worker: Dict[str, int] = {}
+        self._retries_by_worker: Dict[str, int] = {}
 
     # -- event feed ------------------------------------------------------
     def task_done(self, worker: str = "main", cached: bool = False) -> None:
@@ -57,12 +58,23 @@ class ProgressTracker:
     def task_retried(self, worker: str = "main") -> None:
         """Record a retry (crash/exception that still has budget left)."""
         self.retries += 1
+        self._retries_by_worker[worker] = (
+            self._retries_by_worker.get(worker, 0) + 1)
+
+    def retries_by_worker(self) -> Dict[str, int]:
+        """Retry counts attributed to each worker (copy)."""
+        return dict(self._retries_by_worker)
 
     # -- derived telemetry ----------------------------------------------
     @property
     def processed(self) -> int:
         """Tasks with a final outcome (succeeded or failed)."""
         return self.done + self.failed
+
+    @property
+    def cache_misses(self) -> int:
+        """Tasks that had to be computed (not served from the cache)."""
+        return self.processed - self.cached
 
     def elapsed(self) -> float:
         """Seconds since the tracker was created."""
@@ -99,14 +111,21 @@ class ProgressTracker:
                 f"cached {self.cached} | failed {self.failed}")
 
     def summary(self) -> str:
-        """Final line, including the per-worker throughput breakdown."""
+        """Final line: totals, cache hit/miss, per-worker retries and
+        throughput."""
         per_worker = ", ".join(
             f"{worker} {rate:.1f}/s" for worker, rate
             in sorted(self.per_worker_throughput().items()))
+        retry_text = f"retries {self.retries}"
+        if self._retries_by_worker:
+            breakdown = ", ".join(
+                f"{worker} {count}" for worker, count
+                in sorted(self._retries_by_worker.items()))
+            retry_text += f" ({breakdown})"
         base = (f"done {self.processed}/{self.total} in "
                 f"{self.elapsed():.1f}s | {self.throughput():.1f} tasks/s | "
-                f"cached {self.cached} | failed {self.failed} | "
-                f"retries {self.retries}")
+                f"cache {self.cached} hit / {self.cache_misses} miss | "
+                f"failed {self.failed} | {retry_text}")
         return f"{base} | workers: {per_worker}" if per_worker else base
 
     def _tick(self) -> None:

@@ -26,6 +26,7 @@ from ..core import BufferConfig
 from ..experiments.calibration import TestbedCalibration
 from ..experiments.runner import (WorkloadFactory, derive_seed, run_once)
 from ..metrics import RunMetrics
+from ..obs import ObsConfig, RunObservation, RunObserver
 from ..simkit import RandomStreams, mbps
 
 
@@ -59,6 +60,10 @@ class SweepJob:
     settle: float = 0.020
     drain: float = 0.250
     max_extends: int = 20
+    #: When set, workers observe each run (spans + metric snapshots) and
+    #: ship the picklable :class:`repro.obs.RunObservation` back with the
+    #: run metrics.  Frozen/picklable, so it crosses the fork boundary.
+    obs_config: Optional[ObsConfig] = None
     #: Assigned by :func:`register_jobs`; unique within the process.
     job_id: Optional[int] = field(default=None, compare=False)
 
@@ -106,19 +111,36 @@ def register_jobs(jobs: List[SweepJob]) -> List[SweepJob]:
     return jobs
 
 
-def execute_task(task: SweepTask) -> RunMetrics:
-    """Run one repetition from its coordinates (any process, any order)."""
+def execute_task_observed(
+        task: SweepTask) -> Tuple[RunMetrics, Optional[RunObservation]]:
+    """Run one repetition; also observe it when its job asks for that.
+
+    The observation rides back to the parent as picklable data; the run
+    metrics are identical whether or not observation is on.
+    """
     job = _JOB_REGISTRY[task.job_id]
     rng = RandomStreams(task.seed)
     workload = job.factory(mbps(task.rate_mbps), rng)
-    return run_once(job.config, workload, calibration=job.calibration,
-                    seed=task.seed, settle=job.settle, drain=job.drain,
-                    max_extends=job.max_extends)
+    observer = (RunObserver(job.obs_config, label=job.label,
+                            rate_mbps=task.rate_mbps, rep=task.rep,
+                            seed=task.seed)
+                if job.obs_config is not None else None)
+    metrics = run_once(job.config, workload, calibration=job.calibration,
+                       seed=task.seed, settle=job.settle, drain=job.drain,
+                       max_extends=job.max_extends, obs=observer)
+    return metrics, (observer.observation if observer is not None else None)
 
 
-def execute_task_with_pid(task: SweepTask) -> Tuple[int, RunMetrics]:
-    """Pool entry point: :func:`execute_task` tagged with the worker pid."""
-    return os.getpid(), execute_task(task)
+def execute_task(task: SweepTask) -> RunMetrics:
+    """Run one repetition from its coordinates (any process, any order)."""
+    return execute_task_observed(task)[0]
+
+
+def execute_task_with_pid(
+        task: SweepTask) -> Tuple[int, RunMetrics, Optional[RunObservation]]:
+    """Pool entry point: :func:`execute_task_observed` + the worker pid."""
+    metrics, observation = execute_task_observed(task)
+    return os.getpid(), metrics, observation
 
 
 def factory_fingerprint(factory: object) -> str:

@@ -6,13 +6,20 @@ disabled the call is a cheap no-op, so production benchmark runs pay almost
 nothing.  Tests and the example scripts enable tracing to assert on or
 display the exact sequence of protocol events (packet_in sent, flow_mod
 applied, buffer unit released, ...).
+
+Since the :mod:`repro.obs` subsystem landed, :class:`TraceLog` is a thin
+compatibility shim over :class:`repro.obs.SpanRecorder`: every record is
+stored as an instant span event (source -> category, kind -> name), so a
+``TraceLog`` can be exported through the same JSONL / Chrome-trace
+exporters as the flow-setup spans.  The public API is unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+from typing import Any, Callable, Iterator, List, Optional
 
+from ..obs.spans import SpanRecord, SpanRecorder
 from .simulator import Simulator
 
 
@@ -31,40 +38,73 @@ class TraceRecord:
 
 
 class TraceLog:
-    """Collector of :class:`TraceRecord` entries with optional filtering."""
+    """Collector of :class:`TraceRecord` entries with optional filtering.
+
+    Delegates storage to a :class:`~repro.obs.SpanRecorder`; access the
+    underlying span records through :attr:`recorder` to feed them into
+    the :mod:`repro.obs` exporters.
+    """
 
     def __init__(self, sim: Simulator, enabled: bool = False,
                  max_records: Optional[int] = None):
         self.sim = sim
-        self.enabled = enabled
-        self.max_records = max_records
-        self.records: list[TraceRecord] = []
+        self.recorder = SpanRecorder(clock=lambda: sim.now,
+                                     enabled=enabled,
+                                     max_spans=max_records)
         #: Optional live subscriber (e.g. a printing hook in examples).
         self.subscriber: Optional[Callable[[TraceRecord], None]] = None
-        #: Number of records dropped because max_records was reached.
-        self.dropped = 0
 
+    # -- configuration (mirrors the pre-obs attribute API) ---------------
+    @property
+    def enabled(self) -> bool:
+        """Whether :meth:`record` stores anything."""
+        return self.recorder.enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self.recorder.enabled = value
+
+    @property
+    def max_records(self) -> Optional[int]:
+        """Storage cap; records past it are counted in :attr:`dropped`."""
+        return self.recorder.max_spans
+
+    @max_records.setter
+    def max_records(self, value: Optional[int]) -> None:
+        self.recorder.max_spans = value
+
+    @property
+    def dropped(self) -> int:
+        """Number of records dropped because max_records was reached."""
+        return self.recorder.dropped
+
+    # -- recording -------------------------------------------------------
     def record(self, source: str, kind: str, **detail: Any) -> None:
         """Append a record if tracing is enabled."""
-        if not self.enabled:
-            return
-        if self.max_records is not None and len(self.records) >= self.max_records:
-            self.dropped += 1
-            return
-        rec = TraceRecord(self.sim.now, source, kind, detail)
-        self.records.append(rec)
-        if self.subscriber is not None:
-            self.subscriber(rec)
+        stored = self.recorder.instant(kind, category=source, **detail)
+        if stored is not None and self.subscriber is not None:
+            self.subscriber(self._to_record(stored))
 
+    @staticmethod
+    def _to_record(span: SpanRecord) -> TraceRecord:
+        return TraceRecord(time=span.start, source=span.category,
+                           kind=span.name, detail=span.attrs)
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """Collected records, oldest first."""
+        return [self._to_record(span) for span in self.recorder.records]
+
+    # -- querying --------------------------------------------------------
     def filter(self, source: Optional[str] = None,
                kind: Optional[str] = None) -> Iterator[TraceRecord]:
         """Iterate records matching the given source and/or kind."""
-        for rec in self.records:
-            if source is not None and rec.source != source:
+        for span in self.recorder.records:
+            if source is not None and span.category != source:
                 continue
-            if kind is not None and rec.kind != kind:
+            if kind is not None and span.name != kind:
                 continue
-            yield rec
+            yield self._to_record(span)
 
     def count(self, source: Optional[str] = None,
               kind: Optional[str] = None) -> int:
@@ -73,10 +113,24 @@ class TraceLog:
 
     def clear(self) -> None:
         """Drop all collected records."""
-        self.records.clear()
-        self.dropped = 0
+        self.recorder.clear()
 
     def dump(self, limit: Optional[int] = None) -> str:
-        """Human-readable rendering of (up to ``limit``) records."""
-        rows = self.records if limit is None else self.records[:limit]
-        return "\n".join(str(r) for r in rows)
+        """Human-readable rendering of (up to ``limit``) records.
+
+        When ``limit`` truncates the listing, or records were dropped at
+        capture time because ``max_records`` was reached, a trailer line
+        says exactly how many are not shown — a silent cut used to read
+        as "that's everything".
+        """
+        records = self.records
+        rows = records if limit is None else records[:limit]
+        lines = [str(r) for r in rows]
+        hidden = len(records) - len(rows)
+        if hidden > 0:
+            lines.append(f"... {hidden} more record(s) truncated by "
+                         f"limit={limit}")
+        if self.dropped > 0:
+            lines.append(f"... {self.dropped} record(s) dropped at capture "
+                         f"(max_records={self.max_records})")
+        return "\n".join(lines)

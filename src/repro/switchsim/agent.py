@@ -16,7 +16,10 @@ messages contend with everything else — the effect the paper measures.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..core import BufferMechanism, FlowGranularityBuffer
+from ..obs.registry import MetricsRegistry
 from ..openflow import (ControlChannel, ErrorMsg, ErrorType, FlowEntry,
                         FlowMod, FlowModCommand, FlowRemoved, FlowStatsEntry,
                         FlowStatsReply, FlowStatsRequest, GetConfigReply,
@@ -43,7 +46,9 @@ class OpenFlowAgent:
     def __init__(self, sim: Simulator, config: SwitchConfig,
                  cpu: SwitchCpu, bus: AsicCpuBus, datapath: Datapath,
                  mechanism: BufferMechanism, channel: ControlChannel,
-                 events: EventEmitter, datapath_id: int = 1):
+                 events: EventEmitter, datapath_id: int = 1,
+                 registry: Optional[MetricsRegistry] = None,
+                 **metric_labels: object):
         self.sim = sim
         self.config = config
         self.cpu = cpu
@@ -58,14 +63,21 @@ class OpenFlowAgent:
         #: single-server station, as on a real OpenFlow connection.  Its
         #: busy time counts toward switch usage.
         self.apply_station = ServiceStation(sim, "ofconn-apply", servers=1)
-        #: Counters.
-        self.packet_ins_sent = 0
-        self.retries_sent = 0
-        self.flow_mods_applied = 0
-        self.packet_outs_applied = 0
-        self.errors_sent = 0
-        self.flow_removed_sent = 0
-        self.buffer_ageout_drops = 0
+        # Registry-backed counters; the legacy integer attributes are
+        # read-only property views over these.
+        registry = registry if registry is not None else MetricsRegistry()
+        counter = lambda name: registry.counter(name, **metric_labels)
+        self._packet_ins_sent = counter("switch_packet_ins_sent_total")
+        self._retries_sent = counter("switch_packet_in_retries_total")
+        self._flow_mods_applied = counter("switch_flow_mods_applied_total")
+        self._packet_outs_applied = counter("switch_packet_outs_applied_total")
+        self._errors_sent = counter("switch_errors_sent_total")
+        self._flow_removed_sent = counter("switch_flow_removed_sent_total")
+        self._buffer_ageout_drops = counter("switch_buffer_ageout_drops_total")
+        self._misses_dropped_disconnected = counter(
+            "switch_misses_dropped_disconnected_total")
+        self._misses_flooded_disconnected = counter(
+            "switch_misses_flooded_disconnected_total")
         channel.bind_switch(self.handle_controller_message)
         datapath.bind_agent(self)
         events.on("flow_expired", self._on_flow_gone)
@@ -80,11 +92,46 @@ class OpenFlowAgent:
         self.connected = True
         self._last_controller_message = sim.now
         self._probe_handle = None
-        self.misses_dropped_disconnected = 0
-        self.misses_flooded_disconnected = 0
         if config.connection_probe_interval > 0:
             self._probe_handle = sim.schedule(
                 config.connection_probe_interval, self._connection_probe)
+
+    # -- legacy counter attributes (views over the registry metrics) -----
+    @property
+    def packet_ins_sent(self) -> int:
+        return self._packet_ins_sent.value
+
+    @property
+    def retries_sent(self) -> int:
+        return self._retries_sent.value
+
+    @property
+    def flow_mods_applied(self) -> int:
+        return self._flow_mods_applied.value
+
+    @property
+    def packet_outs_applied(self) -> int:
+        return self._packet_outs_applied.value
+
+    @property
+    def errors_sent(self) -> int:
+        return self._errors_sent.value
+
+    @property
+    def flow_removed_sent(self) -> int:
+        return self._flow_removed_sent.value
+
+    @property
+    def buffer_ageout_drops(self) -> int:
+        return self._buffer_ageout_drops.value
+
+    @property
+    def misses_dropped_disconnected(self) -> int:
+        return self._misses_dropped_disconnected.value
+
+    @property
+    def misses_flooded_disconnected(self) -> int:
+        return self._misses_flooded_disconnected.value
 
     # ------------------------------------------------------------------
     # Miss path (switch -> controller)
@@ -95,10 +142,10 @@ class OpenFlowAgent:
             # The spec's connection-interruption behaviour: fail-secure
             # drops misses; fail-standalone degrades to flooding.
             if self.config.fail_mode == "standalone":
-                self.misses_flooded_disconnected += 1
+                self._misses_flooded_disconnected.inc()
                 self.datapath.flood(packet, in_port)
             else:
-                self.misses_dropped_disconnected += 1
+                self._misses_dropped_disconnected.inc()
                 self.datapath.drop(packet,
                                    "fail-secure: controller unreachable")
             return
@@ -127,7 +174,7 @@ class OpenFlowAgent:
                            data_len=packet.leading_bytes(
                                getattr(self.mechanism, "miss_send_len", 128)),
                            is_retry=True)
-        self.retries_sent += 1
+        self._retries_sent.inc()
         self.sim.schedule(self.config.upcall_latency,
                           self._bus_up, message, 0.0)
 
@@ -142,7 +189,7 @@ class OpenFlowAgent:
         self.cpu.execute(cost, self._emit_packet_in, message)
 
     def _emit_packet_in(self, message: PacketIn) -> None:
-        self.packet_ins_sent += 1
+        self._packet_ins_sent.inc()
         self.events.emit("packet_in_sent", self.sim.now, message)
         self.channel.send_to_controller(message)
 
@@ -237,7 +284,7 @@ class OpenFlowAgent:
                                message)
 
     def _apply_flow_mod(self, message: FlowMod) -> None:
-        self.flow_mods_applied += 1
+        self._flow_mods_applied.inc()
         if message.command in (FlowModCommand.DELETE,
                                FlowModCommand.DELETE_STRICT):
             strict = (message.priority
@@ -279,7 +326,7 @@ class OpenFlowAgent:
     def _apply_packet_out(self, message: PacketOut) -> None:
         result = self.mechanism.on_packet_out(message, self.sim.now)
         ops_cost = self.config.buffer_ops_cost(result.ops.total)
-        self.packet_outs_applied += 1
+        self._packet_outs_applied.inc()
         if ops_cost > 0:
             self.cpu.execute(ops_cost)
         self._forward_released(message.actions, result.packets,
@@ -292,7 +339,7 @@ class OpenFlowAgent:
         reason = 1 if (entry.hard_timeout > 0
                        and time - entry.installed_at
                        >= entry.hard_timeout) else 0
-        self.flow_removed_sent += 1
+        self._flow_removed_sent.inc()
         self.channel.send_to_controller(FlowRemoved(
             match=entry.match, cookie=entry.cookie,
             priority=entry.priority, reason=reason,
@@ -318,7 +365,7 @@ class OpenFlowAgent:
                                               "expire_older_than"):
             cutoff = self.sim.now - self.config.buffer_ageout
             expired = buffer_obj.expire_older_than(cutoff)
-            self.buffer_ageout_drops += len(expired)
+            self._buffer_ageout_drops.inc(len(expired))
             for buffer_id in expired:
                 self.events.emit("buffer_aged_out", self.sim.now, buffer_id)
         self._ageout_handle = self.sim.schedule(
@@ -334,7 +381,7 @@ class OpenFlowAgent:
     def _forward_released(self, actions: tuple, packets: tuple,
                           unknown: bool, message: OFMessage) -> None:
         if unknown:
-            self.errors_sent += 1
+            self._errors_sent.inc()
             self.channel.send_to_controller(ErrorMsg(
                 error_type=ErrorType.BUFFER_UNKNOWN,
                 in_reply_to=message.xid))

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, TYPE_CHECKING
 
+from ..obs.registry import MetricsRegistry
 from ..openflow import (DropAction, FlowEntry, FlowTable, OutputAction,
                         PortNo)
 from ..packets import Packet
@@ -32,7 +33,9 @@ class Datapath:
     """Flow-table pipeline and port fabric of one switch."""
 
     def __init__(self, sim: Simulator, config: SwitchConfig, cpu: SwitchCpu,
-                 events: EventEmitter):
+                 events: EventEmitter,
+                 registry: Optional[MetricsRegistry] = None,
+                 **metric_labels: object):
         self.sim = sim
         self.config = config
         self.cpu = cpu
@@ -42,12 +45,32 @@ class Datapath:
         self.cache = MicroflowCache(config.microflow_cache_capacity)
         self.ports: Dict[int, SwitchPort] = {}
         self._agent: Optional["OpenFlowAgent"] = None
-        #: Counters.
-        self.packets_forwarded = 0
-        self.packets_missed = 0
-        self.packets_dropped = 0
+        # Registry-backed counters; the legacy integer attributes below
+        # are read-only property views over these.
+        registry = registry if registry is not None else MetricsRegistry()
+        self._forwarded = registry.counter("switch_packets_forwarded_total",
+                                           **metric_labels)
+        self._missed = registry.counter("switch_table_misses_total",
+                                        **metric_labels)
+        self._dropped = registry.counter("switch_packets_dropped_total",
+                                         **metric_labels)
         self._sweep_handle = sim.schedule(config.expiry_sweep_interval,
                                           self._expiry_sweep)
+
+    @property
+    def packets_forwarded(self) -> int:
+        """Packets transmitted out a port."""
+        return self._forwarded.value
+
+    @property
+    def packets_missed(self) -> int:
+        """Packets that missed every table entry."""
+        return self._missed.value
+
+    @property
+    def packets_dropped(self) -> int:
+        """Packets discarded by any path."""
+        return self._dropped.value
 
     def bind_agent(self, agent: "OpenFlowAgent") -> None:
         """Attach the OpenFlow agent that handles table misses."""
@@ -102,7 +125,7 @@ class Datapath:
                                  entry)
             self._apply_actions(packet, in_port, entry)
         else:
-            self.packets_missed += 1
+            self._missed.inc()
             self.events.emit("table_miss", self.sim.now, packet, in_port)
             if self._agent is None:
                 self._drop(packet, "no agent bound")
@@ -140,7 +163,7 @@ class Datapath:
             self._drop(packet, f"unknown port {out_port}")
             return
         packet.switch_out_at = self.sim.now
-        self.packets_forwarded += 1
+        self._forwarded.inc()
         self.events.emit("packet_egress", self.sim.now, packet, out_port)
         port.transmit(packet)
 
@@ -152,7 +175,7 @@ class Datapath:
 
     def drop(self, packet: Packet, reason: str) -> None:
         """Discard ``packet``, counting it and notifying listeners."""
-        self.packets_dropped += 1
+        self._dropped.inc()
         self.events.emit("packet_drop", self.sim.now, packet, reason)
 
     # Internal alias kept for the pipeline's own call sites.

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..core import BufferMechanism
 from ..netsim import DuplexLink
+from ..obs.registry import MetricsRegistry
 from ..openflow import ControlChannel
 from ..simkit import EventEmitter, Simulator
 from .agent import OpenFlowAgent
@@ -26,19 +29,31 @@ class Switch:
 
     def __init__(self, sim: Simulator, config: SwitchConfig,
                  mechanism: BufferMechanism, channel: ControlChannel,
-                 name: str = "ovs", datapath_id: int = 1):
+                 name: str = "ovs", datapath_id: int = 1,
+                 registry: Optional[MetricsRegistry] = None):
         self.sim = sim
         self.config = config
         self.name = name
         self.mechanism = mechanism
         self.events = EventEmitter()
+        #: The run's metrics registry (a private one when none is shared);
+        #: datapath/agent counters live here, labelled by switch name.
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.cpu = SwitchCpu(sim, config, name=f"{name}-cpu")
         self.bus = AsicCpuBus(sim, config.bus_bandwidth_bps,
                               name=f"{name}-bus")
-        self.datapath = Datapath(sim, config, self.cpu, self.events)
+        self.datapath = Datapath(sim, config, self.cpu, self.events,
+                                 registry=self.registry, switch=name)
         self.agent = OpenFlowAgent(sim, config, self.cpu, self.bus,
                                    self.datapath, mechanism, channel,
-                                   self.events, datapath_id=datapath_id)
+                                   self.events, datapath_id=datapath_id,
+                                   registry=self.registry, switch=name)
+        # The mechanism's packet buffer exists below this layer; adopt
+        # its standalone metrics into the run's registry when it has any.
+        buffer_obj = getattr(mechanism, "buffer", None)
+        if buffer_obj is not None and hasattr(buffer_obj, "metrics"):
+            for metric in buffer_obj.metrics():
+                self.registry.register(metric)
 
     def attach_port(self, port_no: int, cable: DuplexLink,
                     switch_side_forward: bool = True) -> SwitchPort:

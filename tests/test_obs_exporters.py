@@ -1,0 +1,148 @@
+"""Exporter round-trips: JSONL, Chrome trace_event, Prometheus text."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (MetricsRegistry, SpanRecorder, chrome_trace_events,
+                       parse_prometheus, snapshot_to_prometheus,
+                       spans_from_jsonl, spans_to_chrome, spans_to_jsonl,
+                       validate_chrome_trace)
+from repro.obs.exporters import span_from_dict, span_to_dict
+
+
+def _sample_records():
+    recorder = SpanRecorder()
+    root = recorder.add_span("flow_setup", 0.001, 0.003, category="flow",
+                             track="flow-1", flow_id=1, mechanism="buffer-16")
+    recorder.add_span("switch.miss", 0.001, 0.002, category="switch",
+                      track="flow-1", parent=root.span_id, flow_id=1)
+    recorder.instant("buffer.admit", t=0.0015, category="switch",
+                     track="flow-1", buffer_id=3)
+    return recorder.records
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+def test_span_dict_round_trip_preserves_every_field():
+    for record in _sample_records():
+        clone = span_from_dict(span_to_dict(record))
+        assert clone == record
+
+
+def test_jsonl_round_trip():
+    records = _sample_records()
+    buffer = io.StringIO()
+    written = spans_to_jsonl(records, buffer, run="buffer-16 rate=20 rep=0")
+    assert written == len(records)
+    buffer.seek(0)
+    parsed = spans_from_jsonl(buffer)
+    assert parsed == records
+    # run metadata rides on every line but does not disturb the round trip
+    buffer.seek(0)
+    assert all(json.loads(line)["run"] == "buffer-16 rate=20 rep=0"
+               for line in buffer if line.strip())
+
+
+def test_jsonl_parser_skips_blank_lines():
+    parsed = spans_from_jsonl(io.StringIO("\n\n"))
+    assert parsed == []
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event
+# ---------------------------------------------------------------------------
+
+def test_chrome_events_have_required_keys_and_microsecond_times():
+    records = _sample_records()
+    events = chrome_trace_events([("run-1", records)])
+    assert validate_chrome_trace({"traceEvents": events}) == []
+    complete = [e for e in events if e.get("ph") == "X"]
+    instants = [e for e in events if e.get("ph") == "i"]
+    metadata = [e for e in events if e.get("ph") == "M"]
+    assert len(complete) == 2 and len(instants) == 1
+    root = next(e for e in complete if e["name"] == "flow_setup")
+    assert root["ts"] == pytest.approx(1000.0)      # 0.001 s -> us
+    assert root["dur"] == pytest.approx(2000.0)
+    assert root["args"]["mechanism"] == "buffer-16"
+    assert instants[0]["s"] == "t"
+    # one process per group plus one thread per track
+    names = {(e["name"], e["args"]["name"]) for e in metadata}
+    assert ("process_name", "run-1") in names
+    assert ("thread_name", "flow-1") in names
+
+
+def test_chrome_groups_get_distinct_pids_and_tids_per_track():
+    recorder = SpanRecorder()
+    recorder.instant("a", t=0.0, track="t1")
+    recorder.instant("b", t=0.0, track="t2")
+    events = chrome_trace_events([("g1", recorder.records),
+                                  ("g2", recorder.records)])
+    pids = {e["pid"] for e in events}
+    assert pids == {1, 2}
+    tids_g1 = {e["tid"] for e in events
+               if e["pid"] == 1 and e["ph"] != "M"}
+    assert tids_g1 == {1, 2}
+
+
+def test_spans_to_chrome_writes_loadable_json():
+    buffer = io.StringIO()
+    count = spans_to_chrome([("run-1", _sample_records())], buffer)
+    payload = json.loads(buffer.getvalue())
+    assert payload["displayTimeUnit"] == "ms"
+    assert len(payload["traceEvents"]) == count
+    assert validate_chrome_trace(payload) == []
+
+
+def test_validate_chrome_trace_flags_malformed_payloads():
+    assert validate_chrome_trace({}) == ["payload has no traceEvents list"]
+    problems = validate_chrome_trace(
+        {"traceEvents": [{"ph": "X", "name": "x", "ts": 0.0}]})
+    assert any("missing 'pid'" in p for p in problems)
+    assert any("missing 'dur'" in p for p in problems)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+def _scraped_registry():
+    registry = MetricsRegistry()
+    registry.counter("packet_ins_total", switch="ovs", run="buffer-16").inc(7)
+    registry.gauge("pktbuf_peak_units").track_max(12)
+    histogram = registry.histogram("setup_delay_seconds",
+                                   buckets=(0.001, 0.01))
+    for value in (0.0005, 0.005, 0.5):
+        histogram.observe(value)
+    return registry
+
+
+def test_prometheus_round_trip_counters_and_gauges():
+    text = snapshot_to_prometheus(_scraped_registry().snapshot())
+    assert "# TYPE packet_ins_total counter" in text
+    assert "# TYPE pktbuf_peak_units gauge" in text
+    samples = parse_prometheus(text)
+    key = (("run", "buffer-16"), ("switch", "ovs"))
+    assert samples["packet_ins_total"][key] == 7
+    assert samples["pktbuf_peak_units"][()] == 12
+
+
+def test_prometheus_histogram_is_cumulative_with_inf_bucket():
+    text = snapshot_to_prometheus(_scraped_registry().snapshot())
+    samples = parse_prometheus(text)
+    buckets = samples["setup_delay_seconds_bucket"]
+    assert buckets[(("le", "0.001"),)] == 1
+    assert buckets[(("le", "0.01"),)] == 2
+    assert buckets[(("le", "+Inf"),)] == 3
+    assert samples["setup_delay_seconds_count"][()] == 3
+    assert samples["setup_delay_seconds_sum"][()] == pytest.approx(0.5055)
+
+
+def test_prometheus_empty_snapshot_renders_empty_string():
+    assert snapshot_to_prometheus(MetricsRegistry().snapshot()) == ""
+    assert parse_prometheus("") == {}

@@ -1,0 +1,198 @@
+"""Flow-setup span trees reconstruct the paper's delay decomposition.
+
+The acceptance bar for the tracing layer: for every mechanism, each
+traced flow's five child spans exactly tile its ``flow_setup`` root, and
+summing them by category reproduces the §III.B definitions the metrics
+layer reports independently —
+
+* switch spans + controller span + channel spans == flow setup delay,
+* channel.up + controller.app + channel.down == controller delay,
+* switch.miss + switch.apply == switch delay.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import buffer_16, flow_buffer_256, no_buffer
+from repro.experiments import run_once
+from repro.obs import (FlowSetupTracer, ObsConfig, RunObserver, SpanRecorder,
+                       validate_nesting)
+from repro.obs.flowtrace import (CAT_CHANNEL, CAT_CONTROLLER, CAT_FLOW,
+                                 CAT_SWITCH, EVENT_BUFFER_ADMIT,
+                                 EVENT_BUFFER_RELEASE, EVENT_PACKET_DROP,
+                                 EVENT_PACKET_IN_RETRY, EVENT_TABLE_MISS,
+                                 SPAN_CHANNEL_DOWN, SPAN_CHANNEL_UP,
+                                 SPAN_CONTROLLER_APP, SPAN_FLOW_SETUP,
+                                 SPAN_SWITCH_APPLY, SPAN_SWITCH_MISS)
+from repro.obs.spans import KIND_SPAN
+from repro.simkit import RandomStreams, mbps
+from repro.trafficgen import single_packet_flows
+
+_CHILD_ORDER = (SPAN_SWITCH_MISS, SPAN_CHANNEL_UP, SPAN_CONTROLLER_APP,
+                SPAN_CHANNEL_DOWN, SPAN_SWITCH_APPLY)
+
+
+def _observed_run(config, n_flows=30, sample=1, seed=11):
+    workload = single_packet_flows(mbps(20), n_flows=n_flows,
+                                   rng=RandomStreams(seed))
+    observer = RunObserver(ObsConfig(trace_sample=sample),
+                           label=config.label)
+    metrics = run_once(config, workload, seed=seed, obs=observer)
+    return metrics, observer.observation
+
+
+def _span_tree(spans):
+    """(roots, children-by-parent-id) for the real (non-instant) spans."""
+    roots = [s for s in spans if s.name == SPAN_FLOW_SETUP]
+    children = {}
+    for span in spans:
+        if span.kind == KIND_SPAN and span.parent_id is not None:
+            children.setdefault(span.parent_id, []).append(span)
+    return roots, children
+
+
+@pytest.mark.parametrize("config_factory",
+                         [no_buffer, buffer_16, flow_buffer_256],
+                         ids=lambda f: f.__name__)
+def test_decomposition_reconstructs_paper_delays(config_factory):
+    """ACCEPTANCE: span sums == reported delays, per mechanism."""
+    config = config_factory()
+    metrics, observation = _observed_run(config)
+    assert validate_nesting(observation.spans) == []
+
+    roots, children = _span_tree(observation.spans)
+    assert len(roots) == observation.flows_traced \
+        == len(metrics.setup_delays) > 0
+
+    setup_sums, ctrl_sums, switch_sums = [], [], []
+    for root in roots:
+        kids = children[root.span_id]
+        assert [k.name for k in kids] == list(_CHILD_ORDER)
+        assert root.category == CAT_FLOW
+        # the stages are contiguous: each starts where the previous ended
+        assert kids[0].start == root.start
+        assert kids[-1].end == root.end
+        for left, right in zip(kids, kids[1:]):
+            assert right.start == left.end
+        # ... so they exactly tile the root
+        tiled = sum(k.duration for k in kids)
+        assert tiled == pytest.approx(root.duration, rel=1e-9, abs=1e-12)
+        by_cat = {}
+        for kid in kids:
+            by_cat[kid.category] = by_cat.get(kid.category, 0.0) \
+                + kid.duration
+        assert set(by_cat) == {CAT_SWITCH, CAT_CHANNEL, CAT_CONTROLLER}
+        setup_sums.append(by_cat[CAT_SWITCH] + by_cat[CAT_CONTROLLER]
+                          + by_cat[CAT_CHANNEL])
+        ctrl_sums.append(by_cat[CAT_CHANNEL] + by_cat[CAT_CONTROLLER])
+        switch_sums.append(by_cat[CAT_SWITCH])
+
+    # Per-flow category sums reproduce the independently measured
+    # §III.B delay lists (order-insensitive: sorted comparison).
+    assert sorted(setup_sums) \
+        == pytest.approx(sorted(metrics.setup_delays), rel=1e-9, abs=1e-12)
+    assert sorted(ctrl_sums) \
+        == pytest.approx(sorted(metrics.controller_delays),
+                         rel=1e-9, abs=1e-12)
+    assert sorted(switch_sums) \
+        == pytest.approx(sorted(metrics.switch_delays),
+                         rel=1e-9, abs=1e-12)
+
+
+def test_root_span_attrs_carry_flow_key_and_mechanism():
+    config = buffer_16()
+    _, observation = _observed_run(config, n_flows=10)
+    roots, _ = _span_tree(observation.spans)
+    for root in roots:
+        assert root.attrs["mechanism"] == config.label
+        assert root.attrs["missed"] is True
+        assert root.attrs["stored"] is True
+        assert "flow_id" in root.attrs and "buffer_id" in root.attrs
+        assert root.track == f"flow-{root.attrs['flow_id']}"
+
+
+def test_buffer_admit_and_release_instants_present_when_buffering():
+    _, observation = _observed_run(buffer_16(), n_flows=10)
+    names = {s.name for s in observation.spans}
+    assert EVENT_TABLE_MISS in names
+    assert EVENT_BUFFER_ADMIT in names
+    assert EVENT_BUFFER_RELEASE in names
+    admit = next(s for s in observation.spans
+                 if s.name == EVENT_BUFFER_ADMIT)
+    assert "buffer_id" in admit.attrs and "flow_id" in admit.attrs
+
+
+def test_no_buffer_emits_no_admit_instants():
+    # Without buffering nothing is ever admitted; the release event still
+    # fires when the packet_out hands the carried packet back, but with no
+    # buffer id attached.
+    _, observation = _observed_run(no_buffer(), n_flows=10)
+    names = {s.name for s in observation.spans}
+    assert EVENT_TABLE_MISS in names
+    assert EVENT_BUFFER_ADMIT not in names
+    releases = [s for s in observation.spans
+                if s.name == EVENT_BUFFER_RELEASE]
+    assert all(s.attrs["buffer_id"] is None for s in releases)
+    roots, _ = _span_tree(observation.spans)
+    assert roots and all("buffer_id" not in r.attrs for r in roots)
+    assert all(r.attrs["stored"] is False for r in roots)
+
+
+def test_sampling_traces_every_nth_flow_only():
+    metrics, observation = _observed_run(buffer_16(), n_flows=30, sample=3)
+    roots, _ = _span_tree(observation.spans)
+    assert 0 < len(roots) < len(metrics.setup_delays)
+    assert all(r.attrs["flow_id"] % 3 == 0 for r in roots)
+    assert observation.flows_traced == len(roots)
+
+
+def test_tracer_rejects_bad_sample():
+    with pytest.raises(ValueError, match="sample must be >= 1"):
+        FlowSetupTracer(SpanRecorder(), sample=0)
+
+
+# ---------------------------------------------------------------------------
+# Synthetic-event unit coverage (drop reasons, retries) — the tracer is
+# duck-typed against the emitters, so a bare EventEmitter drives it.
+# ---------------------------------------------------------------------------
+
+def _packet(flow_id=1, uid=100):
+    return SimpleNamespace(flow_id=flow_id, uid=uid)
+
+
+def test_drop_instant_carries_reason_and_marks_first_packet():
+    from repro.simkit import EventEmitter
+    recorder = SpanRecorder()
+    tracer = FlowSetupTracer(recorder, mechanism="buffer-16")
+    events = EventEmitter()
+    tracer.attach(events)
+    packet = _packet()
+    events.emit("packet_ingress", 0.0, packet, 1)
+    events.emit("table_miss", 0.0, packet, 1)
+    events.emit("packet_drop", 0.001, packet, "buffer_full")
+    drop = next(s for s in recorder.records if s.name == EVENT_PACKET_DROP)
+    assert drop.attrs["drop_reason"] == "buffer_full"
+    assert drop.attrs["mechanism"] == "buffer-16"
+    assert tracer.pending_flows == 1      # setup never finalized
+    assert tracer.flows_traced == 0
+
+
+def test_retry_instants_count_re_requests():
+    from repro.simkit import EventEmitter
+    recorder = SpanRecorder()
+    tracer = FlowSetupTracer(recorder)
+    events = EventEmitter()
+    tracer.attach(events)
+    packet = _packet()
+    events.emit("packet_ingress", 0.0, packet, 1)
+    first = SimpleNamespace(packet=packet, xid=1, is_retry=False)
+    retry = SimpleNamespace(packet=packet, xid=2, is_retry=True)
+    events.emit("packet_in_sent", 0.001, first)
+    events.emit("packet_in_sent", 0.003, retry)
+    retries = [s for s in recorder.records
+               if s.name == EVENT_PACKET_IN_RETRY]
+    assert len(retries) == 1
+    assert retries[0].attrs["retry"] == 1
