@@ -15,6 +15,10 @@ The package layers, bottom-up:
   analysis.
 * :mod:`repro.metrics` — tcpdump-like captures, CPU samplers, per-flow
   delay tracking.
+* :mod:`repro.scenarios` — declarative topology layer: a
+  :class:`~repro.scenarios.ScenarioSpec` names a shape (``single``,
+  ``line:N``, ``fanin:K``) and a registry of builders wires it into a
+  common :class:`~repro.scenarios.Testbed`.
 * :mod:`repro.experiments` — the harness regenerating every table and
   figure.
 * :mod:`repro.parallel` — multi-core sweep execution with an on-disk
@@ -39,6 +43,8 @@ from .experiments import (FIGURES, build_testbed, run_benefits_experiment,
                           run_mechanism_experiment, run_once, sweep)
 from .metrics import RunMetrics
 from .parallel import ResultCache, derive_seed, parallel_sweep
+from .scenarios import (ScenarioSpec, build_scenario, fanin_scenario,
+                        line_scenario, parse_scenario, single_scenario)
 from .trafficgen import batched_multi_packet_flows, single_packet_flows
 
 __version__ = "1.0.0"
@@ -52,6 +58,8 @@ __all__ = [
     "run_benefits_experiment", "run_mechanism_experiment",
     "RunMetrics",
     "parallel_sweep", "derive_seed", "ResultCache",
+    "ScenarioSpec", "build_scenario", "parse_scenario",
+    "single_scenario", "line_scenario", "fanin_scenario",
     "single_packet_flows", "batched_multi_packet_flows",
     "__version__",
 ]

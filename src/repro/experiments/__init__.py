@@ -8,14 +8,17 @@ from .calibration import (CONTROL_LINK_RATE_BPS, DATA_LINK_RATE_BPS,
                           default_switch_config, format_table_1)
 from .export import (experiment_to_csv, save_experiment_csv, sweep_rows,
                      sweep_to_csv)
-from .figures import (FIGURES, ExperimentData, FigureSpec, figure_series,
+from .figures import (FIGURES, PATH_LENGTHS, ExperimentData, FigureSpec,
+                      PathExperimentData, figure_series,
                       run_benefits_experiment, run_mechanism_experiment,
-                      workload_a_factory, workload_b_factory)
+                      run_path_experiment, workload_a_factory,
+                      workload_b_factory)
 from .multiswitch import MultiSwitchTestbed, build_line_testbed
 from .paper_data import (PAPER_QUOTED, QuotedComparison, QuotedValue,
                          compare_quoted, format_quoted)
 from .report import (format_experiment, format_figure, format_headlines,
-                     headline_claims, headline_series)
+                     format_path_experiment, headline_claims,
+                     headline_series)
 from .runner import (RateAggregate, SweepResult, aggregate, derive_seed,
                      run_once, sweep)
 from .testbed import PORT_HOST1, PORT_HOST2, Testbed, build_testbed
@@ -33,9 +36,12 @@ __all__ = [
     "run_once", "sweep", "aggregate", "derive_seed", "RateAggregate",
     "SweepResult",
     "FIGURES", "FigureSpec", "ExperimentData", "figure_series",
+    "PATH_LENGTHS", "PathExperimentData",
     "run_benefits_experiment", "run_mechanism_experiment",
+    "run_path_experiment",
     "workload_a_factory", "workload_b_factory",
     "format_figure", "format_experiment", "format_headlines",
+    "format_path_experiment",
     "headline_claims", "headline_series",
     "PAPER_QUOTED", "QuotedValue", "QuotedComparison", "compare_quoted",
     "format_quoted",

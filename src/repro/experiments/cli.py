@@ -20,10 +20,11 @@ from typing import Optional, Sequence
 from .. import __version__
 from .calibration import format_table_1
 from .figures import (FIGURES, run_benefits_experiment,
-                      run_mechanism_experiment)
-from .report import format_figure, format_headlines, headline_claims
+                      run_mechanism_experiment, run_path_experiment)
+from .report import (format_figure, format_headlines,
+                     format_path_experiment, headline_claims)
 
-_SPECIAL = ("table1", "headline", "quoted", "all")
+_SPECIAL = ("table1", "headline", "quoted", "figpath", "all")
 
 
 def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
@@ -44,6 +45,11 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
                         help="override workload-A flow count (default 1000)")
     parser.add_argument("--seed", type=int, default=0,
                         help="base RNG seed")
+    parser.add_argument("--scenario", metavar="SHAPE[:N]", default=None,
+                        help="topology for the experiments: single, "
+                             "line:N, or fanin:K (default: single)")
+    parser.add_argument("--switches", type=int, default=None, metavar="N",
+                        help="shorthand for --scenario line:N")
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of tables")
     parser.add_argument("--chart", action="store_true",
@@ -83,7 +89,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     if "all" in targets:
-        targets = ["table1"] + list(FIGURES) + ["headline", "quoted"]
+        targets = (["table1"] + list(FIGURES)
+                   + ["figpath", "headline", "quoted"])
+
+    if args.scenario is not None and args.switches is not None:
+        print("--scenario and --switches are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    scenario = None
+    if args.scenario is not None or args.switches is not None:
+        from ..scenarios import line_scenario, parse_scenario
+        try:
+            scenario = (parse_scenario(args.scenario)
+                        if args.scenario is not None
+                        else line_scenario(args.switches))
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
 
     quick = not args.full
     need_benefits = any(
@@ -94,6 +116,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         t in ("headline", "quoted")
         or (t in FIGURES and FIGURES[t].experiment == "mechanism")
         for t in targets)
+    need_path = "figpath" in targets
 
     from ..parallel import ResultCache
     workers = (args.workers if args.workers is not None
@@ -110,7 +133,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         obs = ObsCollector(ObsConfig(trace=args.trace_out is not None,
                                      trace_sample=args.trace_sample))
 
-    benefits = mechanism = None
+    benefits = mechanism = path_data = None
+    any_experiment = need_benefits or need_mechanism or need_path
     kwargs = dict(rates_mbps=args.rates, repetitions=args.reps,
                   quick=quick, base_seed=args.seed, workers=workers,
                   cache=cache, progress=True, obs=obs)
@@ -122,7 +146,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.flows is not None:
             a_kwargs["n_flows"] = args.flows
         try:
-            benefits = run_benefits_experiment(**a_kwargs)
+            benefits = run_benefits_experiment(scenario=scenario, **a_kwargs)
         except Exception as exc:
             print(f"# benefits experiment failed: {exc}", file=sys.stderr)
             return 1
@@ -132,14 +156,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               file=sys.stderr)
         start = time.time()
         try:
-            mechanism = run_mechanism_experiment(**kwargs)
+            mechanism = run_mechanism_experiment(scenario=scenario, **kwargs)
         except Exception as exc:
             print(f"# mechanism experiment failed: {exc}", file=sys.stderr)
             return 1
         print(f"# done in {time.time() - start:.1f}s", file=sys.stderr)
-    if cache is not None and (need_benefits or need_mechanism):
+    if need_path:
+        # The path experiment sweeps its own line lengths; --scenario
+        # does not apply to it.
+        print("# running path-length experiment (workload B over "
+              "line topologies)...", file=sys.stderr)
+        start = time.time()
+        try:
+            path_data = run_path_experiment(**kwargs)
+        except Exception as exc:
+            print(f"# path experiment failed: {exc}", file=sys.stderr)
+            return 1
+        print(f"# done in {time.time() - start:.1f}s", file=sys.stderr)
+    if cache is not None and any_experiment:
         print(f"# cache: {cache.stats()}", file=sys.stderr)
-    if obs is not None and (need_benefits or need_mechanism):
+    if obs is not None and any_experiment:
         print(f"# {obs.summary()}", file=sys.stderr)
         if args.trace_out is not None:
             path = obs.write_trace(args.trace_out)
@@ -151,7 +187,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # Partial failure (a repetition exhausted its retry budget) is a
     # non-zero exit even though the surviving rows are still printed.
     exit_code = 0
-    for data in (benefits, mechanism):
+    for data in (benefits, mechanism, path_data):
         if data is not None and data.report is not None \
                 and not data.report.ok:
             print(data.report.format(), file=sys.stderr)
@@ -161,11 +197,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .export import save_experiment_csv
         for data in (benefits, mechanism):
             if data is not None:
-                path = save_experiment_csv(data, args.csv)
-                print(f"# wrote {path}", file=sys.stderr)
+                csv_path = save_experiment_csv(data, args.csv)
+                print(f"# wrote {csv_path}", file=sys.stderr)
 
     if args.json:
-        print(json.dumps(_json_payload(targets, benefits, mechanism),
+        print(json.dumps(_json_payload(targets, benefits, mechanism, path_data),
                          indent=2))
         return exit_code
 
@@ -183,6 +219,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             blocks.append(
                 "Every statistic the paper's text quotes, vs measured\n"
                 + format_quoted(compare_quoted(benefits, mechanism)))
+        elif target == "figpath":
+            assert path_data is not None
+            blocks.append(format_path_experiment(path_data))
         else:
             spec = FIGURES[target]
             data = benefits if spec.experiment == "benefits" else mechanism
@@ -199,7 +238,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     return exit_code
 
 
-def _json_payload(targets, benefits, mechanism) -> dict:
+def _json_payload(targets, benefits, mechanism, path=None) -> dict:
     """Machine-readable rendering of the requested targets."""
     from .figures import figure_series
     payload: dict = {}
@@ -207,12 +246,35 @@ def _json_payload(targets, benefits, mechanism) -> dict:
         if target == "table1":
             from .calibration import TABLE_I
             payload["table1"] = [list(row) for row in TABLE_I]
+        elif target == "figpath":
+            from .report import PATH_METRICS
+            assert path is not None
+            rate = max(path.rates)
+            payload["figpath"] = {
+                "title": "Control overhead vs path length",
+                "rate_mbps": rate,
+                "lengths": list(path.lengths),
+                "series": {
+                    name: {label: path.series_vs_length(label, getter, rate)
+                           for label in path.labels}
+                    for name, _, getter in PATH_METRICS},
+            }
         elif target == "headline":
             payload["headline"] = [
                 {"name": claim.name, "paper": claim.paper_value,
                  "measured": claim.measured_value,
                  "same_direction": claim.same_direction}
                 for claim in headline_claims(benefits, mechanism)]
+        elif target == "quoted":
+            from .paper_data import compare_quoted
+            payload["quoted"] = [
+                {"figure_id": comparison.quoted.figure_id,
+                 "label": comparison.quoted.label,
+                 "statistic": comparison.quoted.statistic,
+                 "paper": comparison.quoted.value,
+                 "measured": comparison.measured,
+                 "ratio": comparison.ratio}
+                for comparison in compare_quoted(benefits, mechanism)]
         else:
             spec = FIGURES[target]
             data = benefits if spec.experiment == "benefits" else mechanism

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Sequence
 
 from ..core import buffer_16, buffer_256, flow_buffer_256, no_buffer
+from ..scenarios import line_scenario
 from ..simkit import RandomStreams
 from ..trafficgen import (Workload, batched_multi_packet_flows,
                           single_packet_flows)
@@ -78,26 +79,31 @@ class ExperimentData:
 
 def _run_experiment_sweeps(name, configs, factory, rates_mbps, repetitions,
                            calibration, base_seed, workers, cache,
-                           progress, obs=None) -> ExperimentData:
+                           progress, obs=None,
+                           scenario=None) -> ExperimentData:
     """Run one experiment's sweeps, serially or on the parallel engine.
 
     The engine path shards *all* mechanisms' (rates × repetitions) tasks
     into one worker pool, so e.g. the three §IV sweeps interleave instead
     of running back-to-back; results are bit-identical either way.
     ``obs`` (a :class:`repro.obs.ObsCollector`) captures traces and
-    metric snapshots on whichever path runs.
+    metric snapshots on whichever path runs; ``scenario`` (a
+    :class:`repro.scenarios.ScenarioSpec`) selects the topology every
+    repetition runs on.
     """
     data = ExperimentData(name=name)
     if workers is None and cache is None and progress is None:
         for config in configs:
             data.sweeps[config.label] = sweep(
                 config, factory, rates_mbps, repetitions,
-                calibration=calibration, base_seed=base_seed, obs=obs)
+                calibration=calibration, base_seed=base_seed, obs=obs,
+                scenario=scenario)
         return data
     from ..parallel import SweepJob, run_sweep_jobs
     jobs = [SweepJob(config=config, factory=factory,
                      rates_mbps=tuple(rates_mbps), repetitions=repetitions,
-                     calibration=calibration, base_seed=base_seed)
+                     calibration=calibration, base_seed=base_seed,
+                     scenario=scenario)
             for config in configs]
     sweeps, report = run_sweep_jobs(jobs, workers=workers, cache=cache,
                                     progress=progress, obs=obs)
@@ -114,7 +120,7 @@ def run_benefits_experiment(
         n_flows: int = WORKLOAD_A_FLOWS,
         quick: bool = True, base_seed: int = 0,
         workers: Optional[int] = None, cache=None,
-        progress=None, obs=None) -> ExperimentData:
+        progress=None, obs=None, scenario=None) -> ExperimentData:
     """§IV: the three buffer settings over the sending-rate sweep."""
     if rates_mbps is None:
         rates_mbps = QUICK_RATE_SWEEP_MBPS if quick else FULL_RATE_SWEEP_MBPS
@@ -124,7 +130,7 @@ def run_benefits_experiment(
     return _run_experiment_sweeps(
         "benefits", (no_buffer(), buffer_16(), buffer_256()), factory,
         rates_mbps, repetitions, calibration, base_seed, workers, cache,
-        progress, obs=obs)
+        progress, obs=obs, scenario=scenario)
 
 
 def run_mechanism_experiment(
@@ -135,7 +141,7 @@ def run_mechanism_experiment(
         packets_per_flow: int = WORKLOAD_B_PACKETS_PER_FLOW,
         quick: bool = True, base_seed: int = 0,
         workers: Optional[int] = None, cache=None,
-        progress=None, obs=None) -> ExperimentData:
+        progress=None, obs=None, scenario=None) -> ExperimentData:
     """§V: packet-granularity vs flow-granularity, both at 256 units.
 
     Runs on :func:`~repro.experiments.calibration.prototype_calibration`
@@ -153,7 +159,112 @@ def run_mechanism_experiment(
     return _run_experiment_sweeps(
         "mechanism", (buffer_256(), flow_buffer_256()), factory,
         rates_mbps, repetitions, calibration, base_seed, workers, cache,
-        progress, obs=obs)
+        progress, obs=obs, scenario=scenario)
+
+
+# ---------------------------------------------------------------------------
+# Path-length experiment (line scenarios)
+# ---------------------------------------------------------------------------
+
+#: Line lengths of the control-overhead-vs-path-length figure.
+PATH_LENGTHS = (1, 2, 4)
+#: Reduced rate set for quick path-length runs (each run costs ~n
+#: switches; the full mechanism sweep at every length is a long study).
+PATH_QUICK_RATES_MBPS = (20.0, 60.0)
+
+
+@dataclass
+class PathExperimentData:
+    """Sweeps of the path-length experiment.
+
+    One sweep per (mechanism, line length), keyed by the composite
+    label ``"buffer-256@line:2"`` (see :meth:`key`).
+    """
+
+    name: str
+    lengths: tuple
+    labels: tuple
+    sweeps: Dict[str, SweepResult] = field(default_factory=dict)
+    #: Engine telemetry (an :class:`~repro.parallel.EngineReport`).
+    report: Optional[object] = None
+
+    @staticmethod
+    def key(label: str, length: int) -> str:
+        """Sweep key of one (mechanism, path length) combination."""
+        return f"{label}@line:{length}"
+
+    @property
+    def rates(self) -> Sequence[float]:
+        """Common rate axis of every sweep."""
+        first = next(iter(self.sweeps.values()))
+        return first.rates
+
+    def sweep_for(self, label: str, length: int) -> SweepResult:
+        """One mechanism's sweep on one line length."""
+        return self.sweeps[self.key(label, length)]
+
+    def series_vs_length(self, label: str, getter: MetricGetter,
+                         rate_mbps: Optional[float] = None) -> list[float]:
+        """One mechanism's metric against path length, at one rate.
+
+        ``rate_mbps`` defaults to the sweep's highest rate, where the
+        paper's control-plane effects are most pronounced.
+        """
+        rate = rate_mbps if rate_mbps is not None else max(self.rates)
+        return [getter(self.sweep_for(label, length).row_at(rate))
+                for length in self.lengths]
+
+
+def run_path_experiment(
+        lengths: Sequence[int] = PATH_LENGTHS,
+        rates_mbps: Optional[Sequence[float]] = None,
+        repetitions: Optional[int] = None,
+        calibration: Optional[TestbedCalibration] = None,
+        n_flows: int = WORKLOAD_B_FLOWS,
+        packets_per_flow: int = WORKLOAD_B_PACKETS_PER_FLOW,
+        quick: bool = True, base_seed: int = 0,
+        workers: Optional[int] = None, cache=None,
+        progress=None, obs=None) -> PathExperimentData:
+    """Control overhead vs path length: the §V win compounds with hops.
+
+    Runs workload B through ``line(n)`` scenarios for every ``n`` in
+    ``lengths``, packet-granularity vs flow-granularity buffering (the
+    §V pair, on the prototype calibration).  A reactive control plane
+    pays one flow setup per switch on the path, so control-path load and
+    ``packet_in`` counts grow roughly linearly with ``n`` — and the
+    flow-granularity mechanism's per-setup saving compounds with it.
+
+    Always executes on the :mod:`repro.parallel` engine (inline when
+    ``workers=1``): the composite per-length labels keep sweeps, cache
+    entries and observations distinct across topologies.
+    """
+    if not lengths:
+        raise ValueError("lengths must name at least one line length")
+    if rates_mbps is None:
+        rates_mbps = (PATH_QUICK_RATES_MBPS if quick
+                      else MECHANISM_RATE_SWEEP_MBPS)
+    if repetitions is None:
+        repetitions = QUICK_REPETITIONS if quick else FULL_REPETITIONS
+    if calibration is None:
+        calibration = prototype_calibration()
+    factory = workload_b_factory(n_flows=n_flows,
+                                 packets_per_flow=packets_per_flow)
+    configs = (buffer_256(), flow_buffer_256())
+    data = PathExperimentData(name="path", lengths=tuple(lengths),
+                              labels=tuple(c.label for c in configs))
+    from ..parallel import SweepJob, run_sweep_jobs
+    jobs = [SweepJob(config=config, factory=factory,
+                     rates_mbps=tuple(rates_mbps), repetitions=repetitions,
+                     calibration=calibration, base_seed=base_seed,
+                     scenario=line_scenario(length),
+                     label_override=data.key(config.label, length))
+            for length in lengths for config in configs]
+    sweeps, report = run_sweep_jobs(jobs, workers=workers, cache=cache,
+                                    progress=progress, obs=obs)
+    for job in jobs:
+        data.sweeps[job.label] = sweeps[job.label]
+    data.report = report
+    return data
 
 
 # ---------------------------------------------------------------------------

@@ -1,157 +1,35 @@
-"""Multi-switch line topologies — an extension beyond the paper's testbed.
+"""Multi-switch line topologies (compatibility shim).
 
-The paper evaluates one switch; its motivation (control traffic per miss)
-compounds along a path: every switch on the route sends its own
-``packet_in`` for a new flow, so an n-switch path multiplies the control
-overhead the buffer saves.  This module wires
-
-    host1 — s1 — s2 — ... — sN — host2
-
-with one shared controller (one control channel per switch, as real
-deployments do) and exposes light-weight per-switch accounting so the
-compounding effect is measurable.
+The line topology is now the ``line`` scenario in
+:mod:`repro.scenarios` — the wiring this module used to own lives in
+:func:`repro.scenarios.builders.build_line`, and the per-switch
+accounting (``packet_ins_per_switch``, ``total_control_bytes``, control
+captures) moved onto the common :class:`~repro.scenarios.Testbed`
+protocol.  These aliases keep the historical entry points importable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
-from ..controllersim import Controller, HostLocator, ReactiveForwardingApp
-from ..core import BufferConfig, create_mechanism
-from ..metrics import LinkCapture
-from ..netsim import Host, Topology
-from ..openflow import ControlChannel
-from ..simkit import Simulator
-from ..switchsim import Switch
-from ..trafficgen import (HOST1_IP, HOST1_MAC, HOST2_IP, HOST2_MAC,
-                          PacketGenerator, Workload)
-from .calibration import TestbedCalibration, default_calibration
+from ..core import BufferConfig
+from ..scenarios import (PORT_TOWARD_HOST1, PORT_TOWARD_HOST2,  # noqa: F401
+                         Testbed, build_scenario, line_scenario)
+from ..trafficgen import Workload
+from .calibration import TestbedCalibration
 
-#: Port conventions on every line switch: 1 faces host1, 2 faces host2.
-PORT_TOWARD_HOST1 = 1
-PORT_TOWARD_HOST2 = 2
-
-
-@dataclass
-class MultiSwitchTestbed:
-    """A wired line topology with per-switch control captures."""
-
-    __test__ = False
-
-    sim: Simulator
-    topology: Topology
-    host1: Host
-    host2: Host
-    switches: List[Switch]
-    controller: Controller
-    channels: List[ControlChannel]
-    control_captures_up: List[LinkCapture]
-    control_captures_down: List[LinkCapture]
-    pktgen: PacketGenerator
-
-    @property
-    def n_switches(self) -> int:
-        """Switches on the path."""
-        return len(self.switches)
-
-    def packet_ins_per_switch(self) -> List[int]:
-        """Requests each switch generated."""
-        return [switch.agent.packet_ins_sent for switch in self.switches]
-
-    def total_packet_ins(self) -> int:
-        """Requests across the whole path."""
-        return sum(self.packet_ins_per_switch())
-
-    def total_control_bytes(self) -> int:
-        """Control-path bytes across every channel, both directions."""
-        return (sum(c.bytes_total for c in self.control_captures_up)
-                + sum(c.bytes_total for c in self.control_captures_down))
-
-    def shutdown(self) -> None:
-        """Stop periodic work on every component."""
-        for switch in self.switches:
-            switch.shutdown()
-        self.controller.shutdown()
+#: Historical name for the common testbed bundle.
+MultiSwitchTestbed = Testbed
 
 
 def build_line_testbed(buffer_config: BufferConfig, workload: Workload,
                        n_switches: int = 2,
                        calibration: Optional[TestbedCalibration] = None,
-                       seed: int = 0) -> MultiSwitchTestbed:
+                       seed: int = 0) -> Testbed:
     """Build host1 — s1 — ... — sN — host2 with one shared controller."""
-    if n_switches < 1:
-        raise ValueError(f"need at least one switch, got {n_switches}")
-    cal = calibration if calibration is not None else default_calibration()
-    sim = Simulator()
-    topo = Topology(sim)
+    return build_scenario(line_scenario(n_switches), buffer_config,
+                          workload, calibration=calibration, seed=seed)
 
-    host1 = topo.add_node("host1", Host(sim, "host1", HOST1_MAC, HOST1_IP))
-    host2 = topo.add_node("host2", Host(sim, "host2", HOST2_MAC, HOST2_IP))
-    switch_names = [f"s{i + 1}" for i in range(n_switches)]
-    for name in switch_names:
-        topo.add_node(name, None)
-    topo.add_node("controller", None)
 
-    # Data cables along the line: host1-s1, s1-s2, ..., sN-host2.
-    # Orientation: forward = toward host2.
-    hop_names = ["host1"] + switch_names + ["host2"]
-    data_cables = [topo.add_cable(a, b, cal.data_link_rate_bps,
-                                  cal.link_propagation_delay)
-                   for a, b in zip(hop_names, hop_names[1:])]
-
-    locator = HostLocator()
-    app = ReactiveForwardingApp(
-        locator=locator, idle_timeout=cal.controller.flow_idle_timeout,
-        hard_timeout=cal.controller.flow_hard_timeout)
-    controller = Controller(sim, cal.controller, app=app)
-
-    switches: List[Switch] = []
-    channels: List[ControlChannel] = []
-    captures_up: List[LinkCapture] = []
-    captures_down: List[LinkCapture] = []
-    for index, name in enumerate(switch_names):
-        dpid = index + 1
-        ctrl_cable = topo.add_cable(name, "controller",
-                                    cal.control_link_rate_bps,
-                                    cal.link_propagation_delay)
-        channel = ControlChannel(sim, ctrl_cable)
-        mechanism = create_mechanism(buffer_config, sim)
-        switch = Switch(sim, cal.switch, mechanism, channel, name=name,
-                        datapath_id=dpid)
-        # Left cable: forward direction flows toward host2, so the
-        # switch receives on forward and transmits back on reverse.
-        left, right = data_cables[index], data_cables[index + 1]
-        switch.attach_port(PORT_TOWARD_HOST1, left,
-                           switch_side_forward=False)
-        # Right cable: the switch transmits toward host2 on forward.
-        right_port = switch.attach_port(PORT_TOWARD_HOST2, right,
-                                        switch_side_forward=True)
-        assert right_port.has_egress
-        controller.attach_channel(channel, datapath_id=dpid)
-        # Location knowledge: on every switch, host1 is out port 1 and
-        # host2 out port 2 (it's a line).
-        locator.provision(PORT_TOWARD_HOST1, mac=HOST1_MAC, ip=HOST1_IP,
-                          datapath_id=dpid)
-        locator.provision(PORT_TOWARD_HOST2, mac=HOST2_MAC, ip=HOST2_IP,
-                          datapath_id=dpid)
-        switches.append(topo.replace_node(name, switch))
-        channels.append(channel)
-        captures_up.append(LinkCapture(ctrl_cable.forward,
-                                       name=f"{name}-ctrl-up"))
-        captures_down.append(LinkCapture(ctrl_cable.reverse,
-                                         name=f"{name}-ctrl-down"))
-
-    host1.attach(data_cables[0].forward)
-    data_cables[0].reverse.connect(host1.receive)
-    host2.attach(data_cables[-1].reverse)
-    data_cables[-1].forward.connect(host2.receive)
-    topo.replace_node("controller", controller)
-
-    pktgen = PacketGenerator(sim, host1, workload)
-    return MultiSwitchTestbed(sim=sim, topology=topo, host1=host1,
-                              host2=host2, switches=switches,
-                              controller=controller, channels=channels,
-                              control_captures_up=captures_up,
-                              control_captures_down=captures_down,
-                              pktgen=pktgen)
+__all__ = ["MultiSwitchTestbed", "build_line_testbed",
+           "PORT_TOWARD_HOST1", "PORT_TOWARD_HOST2"]

@@ -5,7 +5,8 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from ..core import HeadlineClaim, build_headline_claims
-from .figures import (FIGURES, ExperimentData, FigureSpec, figure_series)
+from .figures import (FIGURES, ExperimentData, FigureSpec,
+                      PathExperimentData, figure_series)
 
 
 def format_figure(spec: FigureSpec, data: ExperimentData) -> str:
@@ -36,6 +37,46 @@ def format_experiment(data: ExperimentData,
             continue
         blocks.append(format_figure(spec, data))
     return "\n\n".join(blocks)
+
+
+#: Metrics of the control-overhead-vs-path-length figure:
+#: ``(json_name, column_title, getter)``.
+PATH_METRICS = (
+    ("packet_ins_per_run", "packet_ins per run",
+     lambda r: r.packet_ins_per_run),
+    ("control_load_up_mbps", "control load, switch->controller (Mbps)",
+     lambda r: r.load_up_mbps),
+    ("control_load_down_mbps", "control load, controller->switch (Mbps)",
+     lambda r: r.load_down_mbps),
+    ("setup_delay_ms", "flow setup delay (ms)",
+     lambda r: r.setup_delay.mean * 1000.0),
+)
+
+
+def format_path_experiment(data: PathExperimentData,
+                           rate_mbps: Optional[float] = None) -> str:
+    """The control-overhead-vs-path-length figure as text tables.
+
+    One table per metric in :data:`PATH_METRICS`: line lengths down,
+    mechanisms across, values taken at ``rate_mbps`` (default: the
+    sweep's highest rate, where control-plane effects peak).
+    """
+    rate = rate_mbps if rate_mbps is not None else max(data.rates)
+    label_width = max(12, *(len(label) for label in data.labels))
+    cols = "  ".join(label.rjust(label_width) for label in data.labels)
+    lines = [f"figpath: control overhead vs path length at {rate:g} Mbps",
+             "  expected shape: overhead grows ~linearly with hops; the "
+             "flow-granularity saving compounds with path length"]
+    for _, title, getter in PATH_METRICS:
+        series = {label: data.series_vs_length(label, getter, rate)
+                  for label in data.labels}
+        lines.append(f"  {title}")
+        lines.append(f"{'length':>10}  {cols}")
+        for i, length in enumerate(data.lengths):
+            cells = "  ".join(f"{series[label][i]:>{label_width}.3f}"
+                              for label in data.labels)
+            lines.append(f"{length:>10d}  {cells}")
+    return "\n".join(lines)
 
 
 def headline_series(benefits: Optional[ExperimentData] = None,

@@ -14,10 +14,10 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 from ..core import BufferConfig
 from ..metrics import RunMetrics, Summary, summarize
+from ..scenarios import SINGLE, ScenarioSpec, build_scenario
 from ..simkit import RandomStreams, mbps
 from ..trafficgen import Workload
 from .calibration import TestbedCalibration
-from .testbed import build_testbed
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from ..obs import ObsCollector, RunObserver
@@ -48,26 +48,35 @@ def run_once(buffer_config: BufferConfig, workload: Workload,
              calibration: Optional[TestbedCalibration] = None,
              seed: int = 0, settle: float = 0.020, drain: float = 0.250,
              max_extends: int = 20,
-             obs: Optional["RunObserver"] = None) -> RunMetrics:
+             obs: Optional["RunObserver"] = None,
+             scenario: Optional[ScenarioSpec] = None) -> RunMetrics:
     """One repetition: build a fresh testbed, play the workload, snapshot.
 
-    ``settle`` gives the OpenFlow handshake time to finish before traffic;
-    ``drain`` lets in-flight control traffic land after the last send.
-    If flows are still incomplete at the nominal deadline (deep queues at
-    high rates), the run is extended in 100 ms steps while progress is
-    being made, up to ``max_extends`` times.
+    ``scenario`` selects the topology (a
+    :class:`~repro.scenarios.ScenarioSpec`); the default is the paper's
+    single-switch Fig. 1 testbed, bit-identical to the historical direct
+    ``build_testbed`` path.  ``settle`` gives the OpenFlow handshake time
+    to finish before traffic; ``drain`` lets in-flight control traffic
+    land after the last send.  If flows are still incomplete at the
+    nominal deadline (deep queues at high rates), the run is extended in
+    100 ms steps while progress is being made, up to ``max_extends``
+    times; exhausting that budget with flows still incomplete bumps the
+    ``run.incomplete_extends_exhausted`` counter on the testbed registry
+    (visible in observed runs' metric snapshots) and emits a warning.
 
     ``obs`` attaches a :class:`repro.obs.RunObserver` to the testbed's
     event emitters before traffic and snapshots its registry at the end;
     the returned metrics are identical with or without it.
     """
-    testbed = build_testbed(buffer_config, workload,
-                            calibration=calibration, seed=seed)
+    testbed = build_scenario(scenario if scenario is not None else SINGLE,
+                             buffer_config, workload,
+                             calibration=calibration, seed=seed)
     sim = testbed.sim
     if obs is not None:
         obs.attach(testbed)
     testbed.controller.start_handshake()
-    testbed.pktgen.start(at=settle)
+    for pktgen in testbed.pktgens:
+        pktgen.start(at=settle)
 
     deadline = settle + workload.duration + drain
     sim.run(until=deadline)
@@ -94,6 +103,11 @@ def run_once(buffer_config: BufferConfig, workload: Workload,
     load_end = settle + workload.duration + 0.050
     snapshot = testbed.metrics.snapshot(settle, min(active_end, sim.now),
                                         load_end=load_end)
+    if (snapshot.incomplete and extends >= max_extends
+            and testbed.registry is not None):
+        # Structured counterpart of the warning below: observed runs see
+        # it in their metric snapshots / Prometheus export.
+        testbed.registry.counter("run.incomplete_extends_exhausted").inc()
     if obs is not None:
         obs.finish(testbed, snapshot)
     testbed.shutdown()
@@ -202,7 +216,8 @@ def sweep(buffer_config: BufferConfig, workload_factory: WorkloadFactory,
           base_seed: int = 0, workers: Optional[int] = None,
           cache: Optional["ResultCache"] = None,
           progress: "None | bool | ProgressTracker" = None,
-          obs: Optional["ObsCollector"] = None) -> SweepResult:
+          obs: Optional["ObsCollector"] = None,
+          scenario: Optional[ScenarioSpec] = None) -> SweepResult:
     """The paper's method: repetitions at every sending rate.
 
     ``workers``/``cache``/``progress`` hand the sweep to the
@@ -211,7 +226,8 @@ def sweep(buffer_config: BufferConfig, workload_factory: WorkloadFactory,
     (all three None/1) runs serially in-process.
 
     ``obs`` collects per-repetition traces and metric snapshots into a
-    :class:`repro.obs.ObsCollector` (serial and parallel paths alike).
+    :class:`repro.obs.ObsCollector` (serial and parallel paths alike);
+    ``scenario`` selects the topology every repetition runs on.
     """
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
@@ -221,7 +237,8 @@ def sweep(buffer_config: BufferConfig, workload_factory: WorkloadFactory,
         return parallel_sweep(buffer_config, workload_factory, rates_mbps,
                               repetitions, calibration=calibration,
                               base_seed=base_seed, workers=workers,
-                              cache=cache, progress=progress, obs=obs)
+                              cache=cache, progress=progress, obs=obs,
+                              scenario=scenario)
     # The seed table is computed up front from grid coordinates alone;
     # the in-loop assertion guards the determinism invariant the parallel
     # engine's bit-identical guarantee rests on.
@@ -242,7 +259,7 @@ def sweep(buffer_config: BufferConfig, workload_factory: WorkloadFactory,
                         if obs is not None else None)
             runs.append(run_once(buffer_config, workload,
                                  calibration=calibration, seed=seed,
-                                 obs=observer))
+                                 obs=observer, scenario=scenario))
             if obs is not None:
                 obs.add(observer.observation)
         result.rows.append(aggregate(rate, buffer_config.label, runs))

@@ -1,148 +1,15 @@
-"""Assembly of the paper's Fig. 1 testbed.
+"""Assembly of the paper's Fig. 1 testbed (compatibility shim).
 
-Two hosts on 100 Mbps links, one software switch, one controller on a
-dedicated 100 Mbps control link.  The builder returns a :class:`Testbed`
-bundle with every component exposed, plus the metrics suite pre-attached.
+The testbed builder now lives in the topology-agnostic scenario layer:
+:mod:`repro.scenarios` owns the :class:`Testbed` protocol and the
+``single`` builder that reproduces this module's historical wiring
+bit-for-bit.  The names below re-export from there so existing imports
+(`from repro.experiments.testbed import build_testbed`) keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from ..scenarios import (PORT_HOST1, PORT_HOST2, Testbed,  # noqa: F401
+                         build_testbed)
 
-from ..controllersim import Controller, HostLocator, ReactiveForwardingApp
-from ..core import BufferConfig, BufferMechanism, create_mechanism
-from ..metrics import MetricsSuite
-from ..netsim import DuplexLink, Host, Topology
-from ..obs.registry import MetricsRegistry
-from ..openflow import ControlChannel
-from ..simkit import RandomStreams, Simulator
-from ..switchsim import Switch
-from ..trafficgen import (HOST1_IP, HOST1_MAC, HOST2_IP, HOST2_MAC,
-                          PacketGenerator, Workload)
-from .calibration import TestbedCalibration, default_calibration
-
-#: Port numbering of the Fig. 1 switch.
-PORT_HOST1 = 1
-PORT_HOST2 = 2
-
-
-@dataclass
-class Testbed:
-    """Everything a run needs, fully wired."""
-
-    #: Not a pytest test class, despite the Test- prefix.
-    __test__ = False
-
-    sim: Simulator
-    topology: Topology
-    host1: Host
-    host2: Host
-    switch: Switch
-    controller: Controller
-    control_cable: DuplexLink
-    channel: ControlChannel
-    mechanism: BufferMechanism
-    pktgen: PacketGenerator
-    metrics: MetricsSuite
-    rng: RandomStreams
-    #: Shared registry holding every component's counters/gauges;
-    #: ``repro.obs`` snapshots it at the end of a run.
-    registry: Optional[MetricsRegistry] = None
-
-    def shutdown(self) -> None:
-        """Stop samplers and periodic component work."""
-        self.metrics.stop()
-        self.switch.shutdown()
-        self.controller.shutdown()
-
-    def enable_tracing(self, max_records: Optional[int] = 10_000
-                       ) -> "TraceLog":
-        """Record every switch/controller observable into a TraceLog.
-
-        Returns the log; filter or ``dump()`` it after the run.  Useful
-        for debugging a run or teaching (see
-        ``examples/trace_walkthrough.py`` for a hand-rolled variant).
-        """
-        from ..simkit import TraceLog
-        log = TraceLog(self.sim, enabled=True, max_records=max_records)
-
-        def subscribe(emitter, source: str, kinds) -> None:
-            for kind in kinds:
-                emitter.on(kind, lambda *args, _kind=kind:
-                           log.record(source, _kind,
-                                      args=args[1:] if len(args) > 1
-                                      else ()))
-
-        subscribe(self.switch.events, "switch",
-                  ("packet_ingress", "table_miss", "buffer_stored",
-                   "packet_in_sent", "reply_arrived", "flow_installed",
-                   "flow_evicted", "flow_expired", "buffer_released",
-                   "packet_egress", "packet_drop", "buffer_aged_out",
-                   "controller_disconnected", "controller_reconnected"))
-        subscribe(self.controller.events, "controller",
-                  ("packet_in_received", "replies_sent", "error_received",
-                   "flow_removed", "flow_stats"))
-        return log
-
-
-def build_testbed(buffer_config: BufferConfig, workload: Workload,
-                  calibration: Optional[TestbedCalibration] = None,
-                  seed: int = 0,
-                  sampling_interval: float = 0.010) -> Testbed:
-    """Build the Fig. 1 testbed around ``workload`` and ``buffer_config``."""
-    cal = calibration if calibration is not None else default_calibration()
-    sim = Simulator()
-    rng = RandomStreams(seed)
-    topo = Topology(sim)
-
-    host1 = topo.add_node("host1", Host(sim, "host1", HOST1_MAC, HOST1_IP))
-    host2 = topo.add_node("host2", Host(sim, "host2", HOST2_MAC, HOST2_IP))
-    topo.add_node("ovs", None)          # placeholder until switch exists
-    topo.add_node("controller", None)
-
-    cable_h1 = topo.add_cable("host1", "ovs", cal.data_link_rate_bps,
-                              cal.link_propagation_delay)
-    cable_h2 = topo.add_cable("host2", "ovs", cal.data_link_rate_bps,
-                              cal.link_propagation_delay)
-    cable_ctrl = topo.add_cable("ovs", "controller",
-                                cal.control_link_rate_bps,
-                                cal.link_propagation_delay)
-
-    mechanism = create_mechanism(buffer_config, sim)
-    channel = ControlChannel(sim, cable_ctrl)
-    registry = MetricsRegistry()
-    switch = Switch(sim, cal.switch, mechanism, channel, name="ovs",
-                    registry=registry)
-    # Cable orientation: forward = host -> switch.
-    switch.attach_port(PORT_HOST1, cable_h1, switch_side_forward=False)
-    switch.attach_port(PORT_HOST2, cable_h2, switch_side_forward=False)
-    host1.attach(cable_h1.forward)
-    cable_h1.reverse.connect(host1.receive)
-    host2.attach(cable_h2.forward)
-    cable_h2.reverse.connect(host2.receive)
-
-    locator = HostLocator()
-    locator.provision(PORT_HOST1, mac=HOST1_MAC, ip=HOST1_IP)
-    locator.provision(PORT_HOST2, mac=HOST2_MAC, ip=HOST2_IP)
-    app = ReactiveForwardingApp(
-        locator=locator,
-        idle_timeout=cal.controller.flow_idle_timeout,
-        hard_timeout=cal.controller.flow_hard_timeout)
-    controller = Controller(sim, cal.controller, channel, app=app,
-                            registry=registry)
-
-    pktgen = PacketGenerator(sim, host1, workload)
-    metrics = MetricsSuite(sim, switch, controller, cable_ctrl,
-                           workload.flows,
-                           sampling_interval=sampling_interval)
-
-    # Replace the placeholders now that the real objects exist.
-    topo.replace_node("ovs", switch)
-    topo.replace_node("controller", controller)
-
-    return Testbed(sim=sim, topology=topo, host1=host1, host2=host2,
-                   switch=switch, controller=controller,
-                   control_cable=cable_ctrl, channel=channel,
-                   mechanism=mechanism, pktgen=pktgen, metrics=metrics,
-                   rng=rng, registry=registry)
+__all__ = ["Testbed", "build_testbed", "PORT_HOST1", "PORT_HOST2"]

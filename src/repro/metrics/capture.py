@@ -101,3 +101,62 @@ class LinkCapture:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"LinkCapture({self.name!r}, msgs={len(self.records)}, "
                 f"bytes={self.bytes_total})")
+
+
+class AggregateCapture:
+    """Read-only sum view over several :class:`LinkCapture` taps.
+
+    Multi-switch paths have one control capture per switch; the run
+    snapshot wants path-wide totals.  This facade answers the capture
+    query API by summing over its members (and min/max for the time
+    boundaries), so :class:`~repro.metrics.collector.MetricsSuite`-style
+    consumers work unchanged against a whole path.
+    """
+
+    def __init__(self, captures: List[LinkCapture], name: str = ""):
+        self.captures = list(captures)
+        self.name = name or "aggregate"
+
+    @property
+    def bytes_total(self) -> int:
+        """Bytes captured across every member."""
+        return sum(c.bytes_total for c in self.captures)
+
+    def count(self, kind: Optional[str] = None) -> int:
+        """Messages captured across every member."""
+        return sum(c.count(kind) for c in self.captures)
+
+    def bytes(self, kind: Optional[str] = None) -> int:
+        """Bytes captured across every member (optionally of one kind)."""
+        return sum(c.bytes(kind) for c in self.captures)
+
+    def bytes_within(self, start: float, end: float,
+                     kind: Optional[str] = None) -> int:
+        """Bytes captured with ``start <= t < end`` across members."""
+        return sum(c.bytes_within(start, end, kind) for c in self.captures)
+
+    def count_within(self, start: float, end: float,
+                     kind: Optional[str] = None) -> int:
+        """Messages captured with ``start <= t < end`` across members."""
+        return sum(c.count_within(start, end, kind) for c in self.captures)
+
+    def first_time(self) -> Optional[float]:
+        """Earliest capture time across members (None if all empty)."""
+        times = [t for t in (c.first_time() for c in self.captures)
+                 if t is not None]
+        return min(times) if times else None
+
+    def last_time(self) -> Optional[float]:
+        """Latest capture time across members (None if all empty)."""
+        times = [t for t in (c.last_time() for c in self.captures)
+                 if t is not None]
+        return max(times) if times else None
+
+    def clear(self) -> None:
+        """Drop all records on every member."""
+        for capture in self.captures:
+            capture.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"AggregateCapture({self.name!r}, "
+                f"members={len(self.captures)}, bytes={self.bytes_total})")

@@ -16,7 +16,7 @@ from ..netsim import DuplexLink
 from ..simkit import Simulator, to_mbps
 from ..switchsim import Switch
 from ..trafficgen import FlowSpec
-from .capture import LinkCapture
+from .capture import AggregateCapture, LinkCapture
 from .delays import DelayTracker
 from .samplers import GaugeSampler, UtilizationSampler
 from .series import Summary, TimeSeries, summarize
@@ -192,6 +192,164 @@ class MetricsSuite:
             completed_flows=self.delay_tracker.completed_flows,
             total_flows=self.delay_tracker.total_flows,
             packets_dropped=self.switch.datapath.packets_dropped,
+            incomplete=(self.delay_tracker.completed_flows
+                        < self.delay_tracker.total_flows),
+        )
+
+
+def _merge_series(windows: List[TimeSeries], name: str,
+                  combine) -> TimeSeries:
+    """Fold per-switch sample series into one, sample by sample.
+
+    All suite samplers tick on the same schedule, so samples align by
+    index; the merge is truncated to the shortest series defensively.
+    """
+    merged = TimeSeries(name)
+    if not windows:
+        return merged
+    length = min(len(w) for w in windows)
+    for i in range(length):
+        merged.add(windows[0].times[i],
+                   combine([w.values[i] for w in windows]))
+    return merged
+
+
+class PathMetricsSuite:
+    """Probes for a multi-switch path, condensed like a single run.
+
+    The same :class:`RunMetrics` row shape comes out, with path-wide
+    semantics: control loads/counts sum over every switch's channel,
+    switch usage is the mean across switches (each a ``top``-style
+    reading), buffer occupancy and drops sum along the path, and the
+    §III.B delays become end-to-end path quantities (ingress measured at
+    the first hop, egress at the last, control everywhere — see
+    :meth:`DelayTracker.attach`).
+    """
+
+    def __init__(self, sim: Simulator, switches: List[Switch],
+                 controller: Controller, control_cables: List[DuplexLink],
+                 flows: Dict[int, FlowSpec],
+                 sampling_interval: float = 0.020):
+        if not switches:
+            raise ValueError("need at least one switch")
+        if len(switches) != len(control_cables):
+            raise ValueError(
+                f"{len(switches)} switch(es) but "
+                f"{len(control_cables)} control cable(s)")
+        self.sim = sim
+        self.switches = list(switches)
+        self.controller = controller
+        self.captures_up = [
+            LinkCapture(cable.forward, name=f"{switch.name}-ctrl-up")
+            for switch, cable in zip(switches, control_cables)]
+        self.captures_down = [
+            LinkCapture(cable.reverse, name=f"{switch.name}-ctrl-down")
+            for switch, cable in zip(switches, control_cables)]
+        self.capture_up = AggregateCapture(self.captures_up, name="ctrl-up")
+        self.capture_down = AggregateCapture(self.captures_down,
+                                             name="ctrl-down")
+        self.delay_tracker = DelayTracker(flows)
+        first, last = switches[0], switches[-1]
+        for switch in switches:
+            self.delay_tracker.attach(switch.events,
+                                      ingress=switch is first,
+                                      egress=switch is last,
+                                      control=True)
+        self.switch_samplers = [
+            UtilizationSampler(
+                sim, switch.cpu_stations, sampling_interval,
+                baseline_percent=switch.config.baseline_usage_percent,
+                name=f"{switch.name}-usage")
+            for switch in switches]
+        self.controller_sampler = UtilizationSampler(
+            sim, controller.station, sampling_interval,
+            baseline_percent=controller.config.baseline_usage_percent,
+            name="controller-usage")
+        self.buffer_samplers = [
+            GaugeSampler(sim, switch.buffer_occupancy, sampling_interval,
+                         name=f"{switch.name}-buffer")
+            for switch in switches]
+        self._retry_count = 0
+        for switch in switches:
+            switch.events.on("packet_in_sent", self._count_retry)
+
+    def _count_retry(self, time: float, message) -> None:
+        if getattr(message, "is_retry", False):
+            self._retry_count += 1
+
+    def stop(self) -> None:
+        """Stop all periodic samplers."""
+        for sampler in self.switch_samplers:
+            sampler.stop()
+        self.controller_sampler.stop()
+        for sampler in self.buffer_samplers:
+            sampler.stop()
+
+    def _buffer_peak(self) -> int:
+        peak = 0
+        for switch in self.switches:
+            buffer_obj = getattr(switch.mechanism, "buffer", None)
+            if buffer_obj is not None:
+                peak += buffer_obj.peak_units
+        return peak
+
+    def snapshot(self, start: float, end: float,
+                 load_end: Optional[float] = None) -> RunMetrics:
+        """Condense the path-wide collection over the active window.
+
+        Same window semantics as :meth:`MetricsSuite.snapshot`; every
+        per-switch probe is folded along the path as documented on the
+        class.
+        """
+        if end <= start:
+            raise ValueError(f"empty window [{start}, {end}]")
+        if load_end is None:
+            load_end = end
+        load_end = min(max(load_end, start + 1e-9), end)
+        load_window = load_end - start
+        window = end - start
+        ctrl_series = self.controller_sampler.series.window(start, end)
+        switch_windows = [s.series.window(start, end)
+                          for s in self.switch_samplers]
+        switch_series = _merge_series(
+            switch_windows, "switch-usage",
+            lambda values: sum(values) / len(values))
+        ctrl_usage = (ctrl_series.mean() if len(ctrl_series)
+                      else self.controller.usage_percent())
+        switch_usage = (switch_series.mean() if len(switch_series)
+                        else sum(s.usage_percent() for s in self.switches)
+                        / len(self.switches))
+        buffer_series = _merge_series(
+            [s.series.window(start, end) for s in self.buffer_samplers],
+            "buffer-occupancy", sum)
+        return RunMetrics(
+            window=window,
+            control_load_up_mbps=to_mbps(
+                self.capture_up.bytes_within(start, load_end) * 8
+                / load_window),
+            control_load_down_mbps=to_mbps(
+                self.capture_down.bytes_within(start, load_end) * 8
+                / load_window),
+            packet_in_count=self.capture_up.count("packetin"),
+            packet_in_retry_count=self._retry_count,
+            flow_mod_count=self.capture_down.count("flowmod"),
+            packet_out_count=self.capture_down.count("packetout"),
+            error_count=self.capture_up.count("errormsg"),
+            controller_usage_percent=ctrl_usage,
+            switch_usage_percent=switch_usage,
+            controller_usage_series=ctrl_series,
+            switch_usage_series=switch_series,
+            setup_delays=self.delay_tracker.setup_delays(),
+            controller_delays=self.delay_tracker.controller_delays(),
+            switch_delays=self.delay_tracker.switch_delays(),
+            forwarding_delays=self.delay_tracker.forwarding_delays(),
+            buffer_occupancy_series=buffer_series,
+            buffer_peak_units=self._buffer_peak(),
+            packet_ins_per_flow=self.delay_tracker.packet_ins_per_flow(),
+            completed_flows=self.delay_tracker.completed_flows,
+            total_flows=self.delay_tracker.total_flows,
+            packets_dropped=sum(s.datapath.packets_dropped
+                                for s in self.switches),
             incomplete=(self.delay_tracker.completed_flows
                         < self.delay_tracker.total_flows),
         )

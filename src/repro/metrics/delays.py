@@ -92,12 +92,25 @@ class DelayTracker:
         #: All request→first-reply round trips, across flows and retries.
         self.all_rtts: List[float] = []
 
-    def attach(self, events: EventEmitter) -> None:
-        """Subscribe to a switch's event emitter."""
-        events.on("packet_ingress", self._on_ingress)
-        events.on("packet_egress", self._on_egress)
-        events.on("packet_in_sent", self._on_packet_in)
-        events.on("reply_arrived", self._on_reply)
+    def attach(self, events: EventEmitter, *, ingress: bool = True,
+               egress: bool = True, control: bool = True) -> None:
+        """Subscribe to a switch's event emitter.
+
+        On a multi-switch path the tracker attaches to every hop with a
+        different slice: ``ingress`` only at the first switch (§III.B's
+        "packet enters the switch"), ``egress`` only at the last (the
+        packet has then traversed the whole path), and ``control``
+        everywhere — so ``packet_ins_sent`` counts path-wide requests and
+        the delay definitions become end-to-end path quantities.  xids
+        are globally unique, so replies correlate across switches.
+        """
+        if ingress:
+            events.on("packet_ingress", self._on_ingress)
+        if egress:
+            events.on("packet_egress", self._on_egress)
+        if control:
+            events.on("packet_in_sent", self._on_packet_in)
+            events.on("reply_arrived", self._on_reply)
 
     # ------------------------------------------------------------------
     # Event handlers

@@ -1,10 +1,10 @@
 """Topology container: named nodes and the cables between them.
 
 This is a thin registry — actual forwarding behaviour lives in the node
-objects themselves.  The experiment testbed (paper Fig. 1: two hosts, one
-OVS, one Floodlight box) is assembled in
-:mod:`repro.experiments.testbed` on top of this container; multi-switch
-extension topologies reuse it unchanged.
+objects themselves.  The experiment testbeds (paper Fig. 1: two hosts,
+one OVS, one Floodlight box; plus the line and fan-in extensions) are
+assembled by the :mod:`repro.scenarios` builders on top of this
+container.
 """
 
 from __future__ import annotations
@@ -59,6 +59,10 @@ class Topology:
 
     def __contains__(self, name: str) -> bool:
         return name in self._nodes
+
+    def __len__(self) -> int:
+        """Number of registered nodes (placeholders included)."""
+        return len(self._nodes)
 
     # ------------------------------------------------------------------
     # Cables

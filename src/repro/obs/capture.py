@@ -96,17 +96,35 @@ class RunObserver:
         self.recorder = SpanRecorder(enabled=config.trace,
                                      max_spans=config.max_spans)
         self.tracer: Optional[FlowSetupTracer] = None
+        self.tracers: List[FlowSetupTracer] = []
         self.observation: Optional[RunObservation] = None
 
     def attach(self, testbed) -> None:
-        """Wire the tracer into a freshly built testbed's emitters."""
+        """Wire tracers into a freshly built testbed's emitters.
+
+        One tracer per switch, all feeding this observer's shared
+        recorder.  Multi-switch paths get per-datapath labels and
+        switch-scoped track names so each (flow, switch) pair produces
+        its own ``flow_setup`` tree; the single-switch output is the
+        historical one, unchanged.
+        """
         if not self.config.trace:
             return
-        self.tracer = FlowSetupTracer(
-            self.recorder, mechanism=self.label or testbed.mechanism.name,
-            switch=testbed.switch.name, sample=self.config.trace_sample)
-        self.tracer.attach(testbed.switch.events,
-                           testbed.controller.events)
+        switches = list(getattr(testbed, "switches", None)
+                        or [testbed.switch])
+        multi = len(switches) > 1
+        mechanism = self.label or testbed.mechanism.name
+        self.tracers = []
+        for switch in switches:
+            tracer = FlowSetupTracer(
+                self.recorder, mechanism=mechanism, switch=switch.name,
+                sample=self.config.trace_sample,
+                datapath_id=(getattr(switch, "datapath_id", None)
+                             if multi else None),
+                scope_tracks=multi)
+            tracer.attach(switch.events, testbed.controller.events)
+            self.tracers.append(tracer)
+        self.tracer = self.tracers[0]
 
     def finish(self, testbed, run_metrics) -> RunObservation:
         """Snapshot registry + delay histograms into the observation."""
@@ -120,8 +138,7 @@ class RunObserver:
             label=self.label, rate_mbps=self.rate_mbps, rep=self.rep,
             seed=self.seed, spans=list(self.recorder.records),
             metrics=snapshot, dropped_spans=self.recorder.dropped,
-            flows_traced=(self.tracer.flows_traced
-                          if self.tracer is not None else 0))
+            flows_traced=sum(t.flows_traced for t in self.tracers))
         return self.observation
 
     @staticmethod

@@ -168,6 +168,16 @@ def _format_labels(labels, extra: Sequence[Tuple[str, str]] = ()) -> str:
     return "{" + inner + "}"
 
 
+def _prom_name(name: str) -> str:
+    """Sanitize a registry metric name for Prometheus exposition.
+
+    Registry names may use dotted paths (``run.incomplete_extends_exhausted``);
+    Prometheus metric names cannot contain dots, so they become
+    underscores on export.
+    """
+    return name.replace(".", "_").replace("-", "_")
+
+
 def snapshot_to_prometheus(snapshot: MetricsSnapshot) -> str:
     """Render a snapshot in the Prometheus text exposition format."""
     lines: List[str] = []
@@ -178,13 +188,16 @@ def snapshot_to_prometheus(snapshot: MetricsSnapshot) -> str:
             lines.append(f"# TYPE {name} {kind}")
             seen_types[name] = kind
 
-    for (name, labels), value in sorted(snapshot.counters.items()):
+    for (raw_name, labels), value in sorted(snapshot.counters.items()):
+        name = _prom_name(raw_name)
         type_line(name, "counter")
         lines.append(f"{name}{_format_labels(labels)} {value:g}")
-    for (name, labels), value in sorted(snapshot.gauges.items()):
+    for (raw_name, labels), value in sorted(snapshot.gauges.items()):
+        name = _prom_name(raw_name)
         type_line(name, "gauge")
         lines.append(f"{name}{_format_labels(labels)} {value:g}")
-    for (name, labels), data in sorted(snapshot.histograms.items()):
+    for (raw_name, labels), data in sorted(snapshot.histograms.items()):
+        name = _prom_name(raw_name)
         type_line(name, "histogram")
         cumulative = 0
         for bound, count in zip(data.buckets, data.counts):

@@ -87,21 +87,41 @@ class FlowSetupTracer:
     huge sweeps can bound their trace size; 1 traces everything.  The
     tracer is only ever attached when tracing is on — an untraced run
     pays nothing at all.
+
+    Multi-switch paths run one tracer per switch against one shared
+    recorder: ``datapath_id`` labels every emission with the switch's
+    datapath, and ``scope_tracks`` prefixes track names with the switch
+    name (``s2/flow-7``) so per-switch span trees of the same flow land
+    on distinct viewer lanes instead of colliding.  Single-switch runs
+    leave both off and produce the historical output unchanged.
     """
 
     def __init__(self, recorder: SpanRecorder, mechanism: str = "",
-                 switch: str = "", sample: int = 1):
+                 switch: str = "", sample: int = 1,
+                 datapath_id: Optional[int] = None,
+                 scope_tracks: bool = False):
         if sample < 1:
             raise ValueError(f"sample must be >= 1, got {sample}")
         self.recorder = recorder
         self.mechanism = mechanism
         self.switch = switch
         self.sample = sample
+        self.datapath_id = datapath_id
+        self.scope_tracks = scope_tracks
+        #: Extra attrs stamped on every emission (empty when unlabelled).
+        self._extra = ({"datapath": datapath_id}
+                       if datapath_id is not None else {})
         self._flows: Dict[int, _FlowTimeline] = {}
         #: packet_in xid -> flow_id, for controller-side correlation.
         self._xids: Dict[int, int] = {}
         #: Flow setups finalized into span trees.
         self.flows_traced = 0
+
+    def _track(self, flow_id: int) -> str:
+        """Viewer lane for one flow (switch-scoped on multi-switch paths)."""
+        if self.scope_tracks and self.switch:
+            return f"{self.switch}/flow-{flow_id}"
+        return f"flow-{flow_id}"
 
     # ------------------------------------------------------------------
     # Wiring
@@ -148,8 +168,8 @@ class FlowSetupTracer:
         timeline.missed = True
         self.recorder.instant(
             EVENT_TABLE_MISS, t=time, category=CAT_SWITCH,
-            track=f"flow-{timeline.flow_id}", flow_id=timeline.flow_id,
-            in_port=in_port, mechanism=self.mechanism)
+            track=self._track(timeline.flow_id), flow_id=timeline.flow_id,
+            in_port=in_port, mechanism=self.mechanism, **self._extra)
 
     def _on_buffer_stored(self, time: float, packet, buffer_id) -> None:
         timeline = self._timeline(packet)
@@ -161,9 +181,9 @@ class FlowSetupTracer:
             timeline.stored = True
         self.recorder.instant(
             EVENT_BUFFER_ADMIT, t=time, category=CAT_SWITCH,
-            track=f"flow-{timeline.flow_id}", flow_id=timeline.flow_id,
+            track=self._track(timeline.flow_id), flow_id=timeline.flow_id,
             buffer_id=buffer_id, first_packet=first,
-            mechanism=self.mechanism)
+            mechanism=self.mechanism, **self._extra)
 
     def _on_packet_in_sent(self, time: float, message) -> None:
         timeline = self._timeline(getattr(message, "packet", None))
@@ -173,9 +193,9 @@ class FlowSetupTracer:
             timeline.retries += 1
             self.recorder.instant(
                 EVENT_PACKET_IN_RETRY, t=time, category=CAT_SWITCH,
-                track=f"flow-{timeline.flow_id}",
+                track=self._track(timeline.flow_id),
                 flow_id=timeline.flow_id, retry=timeline.retries,
-                mechanism=self.mechanism)
+                mechanism=self.mechanism, **self._extra)
         elif timeline.packet_in_sent is None:
             timeline.packet_in_sent = time
             timeline.packet_in_xid = message.xid
@@ -196,8 +216,9 @@ class FlowSetupTracer:
             return
         self.recorder.instant(
             EVENT_BUFFER_RELEASE, t=time, category=CAT_SWITCH,
-            track=f"flow-{timeline.flow_id}", flow_id=timeline.flow_id,
-            buffer_id=timeline.buffer_id, mechanism=self.mechanism)
+            track=self._track(timeline.flow_id), flow_id=timeline.flow_id,
+            buffer_id=timeline.buffer_id, mechanism=self.mechanism,
+            **self._extra)
 
     def _on_egress(self, time: float, packet, out_port: int) -> None:
         timeline = self._timeline(packet)
@@ -213,8 +234,8 @@ class FlowSetupTracer:
             return
         self.recorder.instant(
             EVENT_PACKET_DROP, t=time, category=CAT_SWITCH,
-            track=f"flow-{timeline.flow_id}", flow_id=timeline.flow_id,
-            drop_reason=reason, mechanism=self.mechanism)
+            track=self._track(timeline.flow_id), flow_id=timeline.flow_id,
+            drop_reason=reason, mechanism=self.mechanism, **self._extra)
         if packet.uid == timeline.first_uid:
             timeline.drop_reason = reason
 
@@ -244,10 +265,10 @@ class FlowSetupTracer:
         """The first packet left: emit the flow's whole span tree."""
         timeline.done = True
         self.flows_traced += 1
-        track = f"flow-{timeline.flow_id}"
+        track = self._track(timeline.flow_id)
         attrs = dict(flow_id=timeline.flow_id, mechanism=self.mechanism,
                      in_port=timeline.in_port, missed=timeline.missed,
-                     stored=timeline.stored)
+                     stored=timeline.stored, **self._extra)
         if self.switch:
             attrs["switch"] = self.switch
         if timeline.buffer_id is not None:
@@ -281,7 +302,7 @@ class FlowSetupTracer:
             self.recorder.add_span(
                 name, start, max(start, end), category=category,
                 track=track, parent=parent, flow_id=timeline.flow_id,
-                mechanism=self.mechanism)
+                mechanism=self.mechanism, **self._extra)
         # The timeline stays in the map so later packets of the flow do
         # not restart it, but the xid map entries are no longer needed.
         if timeline.packet_in_xid is not None:

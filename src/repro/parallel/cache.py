@@ -26,7 +26,9 @@ from ..metrics import RunMetrics
 from .tasks import SweepJob, SweepTask, factory_fingerprint
 
 #: Bump when the cached payload's meaning changes.
-CACHE_SCHEMA = 1
+#: v2: the scenario (topology) joined the key — before that, runs of the
+#: same mechanism on different topologies could poison each other.
+CACHE_SCHEMA = 2
 
 
 def default_cache_dir() -> Path:
@@ -58,17 +60,23 @@ def _canonical(obj: object) -> str:
 def task_key(job: SweepJob, task: SweepTask) -> str:
     """Content hash identifying one repetition's full input set.
 
-    Deliberately excludes ``job_id`` (a process-local counter) and
-    anything about scheduling, so the same logical run hits the same
-    entry across processes, worker counts and sessions.
+    Deliberately excludes ``job_id`` (a process-local counter), the
+    display-only ``label_override``, and anything about scheduling, so
+    the same logical run hits the same entry across processes, worker
+    counts and sessions.  The scenario participates through its
+    canonical :meth:`~repro.scenarios.ScenarioSpec.cache_token`: two
+    specs differing only in topology never share an entry.
     """
     from .. import __version__
+    from ..scenarios import SINGLE
+    scenario = job.scenario if job.scenario is not None else SINGLE
     payload = "|".join((
         f"schema={CACHE_SCHEMA}",
         f"repro={__version__}",
         f"config={_canonical(job.config)}",
         f"calibration={_canonical(job.calibration)}",
         f"factory={factory_fingerprint(job.factory)}",
+        f"scenario={scenario.cache_token()}",
         f"rate={task.rate_mbps!r}",
         f"rep={task.rep}",
         f"seed={task.seed}",

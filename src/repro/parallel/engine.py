@@ -30,6 +30,7 @@ from ..experiments.calibration import TestbedCalibration
 from ..experiments.runner import (SweepResult, WorkloadFactory, aggregate)
 from ..metrics import RunMetrics
 from ..obs import ObsCollector, RunObservation
+from ..scenarios import ScenarioSpec
 from .cache import ResultCache, task_key
 from .progress import ProgressTracker, stderr_emit
 from .tasks import (SweepJob, SweepTask, execute_task_observed,
@@ -303,16 +304,19 @@ def parallel_sweep(buffer_config: BufferConfig,
                    progress: ProgressLike = None,
                    max_task_retries: int = 2,
                    raise_on_failure: bool = True,
-                   obs: Optional[ObsCollector] = None) -> SweepResult:
+                   obs: Optional[ObsCollector] = None,
+                   scenario: Optional["ScenarioSpec"] = None) -> SweepResult:
     """Drop-in parallel equivalent of :func:`repro.experiments.sweep`.
 
     With ``raise_on_failure`` (the default) a partial failure raises
     :class:`SweepExecutionError` carrying the engine report; pass False
-    to get whatever rows survived instead.
+    to get whatever rows survived instead.  ``scenario`` selects the
+    topology every repetition runs on (and keys the cache).
     """
     job = SweepJob(config=buffer_config, factory=workload_factory,
                    rates_mbps=tuple(rates_mbps), repetitions=repetitions,
-                   calibration=calibration, base_seed=base_seed)
+                   calibration=calibration, base_seed=base_seed,
+                   scenario=scenario)
     sweeps, report = run_sweep_jobs(
         [job], workers=workers, cache=cache, progress=progress,
         max_task_retries=max_task_retries, obs=obs)

@@ -27,6 +27,7 @@ from ..experiments.calibration import TestbedCalibration
 from ..experiments.runner import (WorkloadFactory, derive_seed, run_once)
 from ..metrics import RunMetrics
 from ..obs import ObsConfig, RunObservation, RunObserver
+from ..scenarios import ScenarioSpec
 from ..simkit import RandomStreams, mbps
 
 
@@ -64,6 +65,13 @@ class SweepJob:
     #: ship the picklable :class:`repro.obs.RunObservation` back with the
     #: run metrics.  Frozen/picklable, so it crosses the fork boundary.
     obs_config: Optional[ObsConfig] = None
+    #: Topology every repetition runs on (None = single-switch default).
+    #: Frozen/hashable; participates in the result-cache content hash.
+    scenario: Optional[ScenarioSpec] = None
+    #: Override for the sweep's result label.  Parameter studies that
+    #: reuse one mechanism across scenarios (e.g. buffer-256 on line:1
+    #: vs line:4) need distinct labels for the engine's uniqueness check.
+    label_override: Optional[str] = None
     #: Assigned by :func:`register_jobs`; unique within the process.
     job_id: Optional[int] = field(default=None, compare=False)
 
@@ -75,8 +83,9 @@ class SweepJob:
 
     @property
     def label(self) -> str:
-        """The mechanism label this job's rows carry."""
-        return self.config.label
+        """The label this job's rows carry (mechanism, unless overridden)."""
+        return (self.label_override if self.label_override is not None
+                else self.config.label)
 
     def tasks(self) -> List[SweepTask]:
         """Shard the job into its full task grid, in canonical order."""
@@ -127,7 +136,8 @@ def execute_task_observed(
                 if job.obs_config is not None else None)
     metrics = run_once(job.config, workload, calibration=job.calibration,
                        seed=task.seed, settle=job.settle, drain=job.drain,
-                       max_extends=job.max_extends, obs=observer)
+                       max_extends=job.max_extends, obs=observer,
+                       scenario=job.scenario)
     return metrics, (observer.observation if observer is not None else None)
 
 

@@ -1,0 +1,141 @@
+"""Declarative scenario descriptions: what topology to build, not how.
+
+A :class:`ScenarioSpec` is a frozen, hashable value object naming a
+topology *shape* (``single``, ``line``, ``fanin``), its size, the
+calibration to resolve by name, and optional per-switch config
+overrides.  Because it is immutable and canonical it can ride inside
+:class:`~repro.parallel.tasks.SweepJob`, cross the fork boundary, and
+feed the result cache's content hash — two specs that differ in any way
+never share a cache entry (see :func:`ScenarioSpec.cache_token`).
+
+Shapes shipped here:
+
+* ``single`` — the paper's Fig. 1 testbed: host1 — switch — host2.
+* ``line``  — host1 — s1 — ... — sN — host2, one shared controller
+  (the per-path control-overhead compounding study).
+* ``fanin`` — k traffic-source hosts converging through one switch onto
+  one egress host (incast-style flow arrivals).
+
+Builders for each shape live in :mod:`repro.scenarios.builders`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: Override payload: ((datapath_id, ((field, value), ...)), ...).
+SwitchOverrides = Tuple[Tuple[int, Tuple[Tuple[str, object], ...]], ...]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One topology scenario, hashable and picklable.
+
+    ``calibration`` names a registered calibration factory (resolved
+    lazily by the builder registry so an explicit
+    :class:`~repro.experiments.calibration.TestbedCalibration` object
+    passed to ``build_scenario`` always wins).  ``switch_overrides``
+    replaces individual :class:`~repro.switchsim.SwitchConfig` fields on
+    specific datapaths, e.g. a slower middle switch on a line.
+    """
+
+    #: Topology shape; must name a registered builder.
+    shape: str = "single"
+    #: Switches on the data path (``line`` length; 1 for the others).
+    n_switches: int = 1
+    #: Traffic-source hosts (``fanin`` width; 1 for the others).
+    n_sources: int = 1
+    #: Named calibration, resolved by the builder registry.
+    calibration: str = "default"
+    #: Per-datapath SwitchConfig field replacements, canonicalized.
+    switch_overrides: SwitchOverrides = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.shape or not isinstance(self.shape, str):
+            raise ValueError(f"shape must be a non-empty string, "
+                             f"got {self.shape!r}")
+        if self.n_switches < 1:
+            raise ValueError(
+                f"need at least one switch, got {self.n_switches}")
+        if self.n_sources < 1:
+            raise ValueError(
+                f"need at least one source host, got {self.n_sources}")
+        # Canonicalize overrides so logically equal specs hash equal
+        # (and produce the same cache token) regardless of input order.
+        canonical = tuple(sorted(
+            (int(dpid), tuple(sorted((str(k), v) for k, v in fields)))
+            for dpid, fields in self.switch_overrides))
+        object.__setattr__(self, "switch_overrides", canonical)
+
+    @property
+    def name(self) -> str:
+        """CLI-style name: ``single``, ``line:4``, ``fanin:3``."""
+        if self.shape == "line":
+            return f"line:{self.n_switches}"
+        if self.shape == "fanin":
+            return f"fanin:{self.n_sources}"
+        return self.shape
+
+    def override_for(self, datapath_id: int) -> Dict[str, object]:
+        """SwitchConfig field replacements for one datapath (may be {})."""
+        for dpid, fields in self.switch_overrides:
+            if dpid == datapath_id:
+                return dict(fields)
+        return {}
+
+    def cache_token(self) -> str:
+        """Canonical text for the result cache's content hash.
+
+        Every field participates: two specs differing only in topology
+        (or calibration name, or one override) must never collide.
+        """
+        return (f"shape={self.shape}|switches={self.n_switches}"
+                f"|sources={self.n_sources}|calibration={self.calibration}"
+                f"|overrides={self.switch_overrides!r}")
+
+
+#: The default spec: the paper's single-switch Fig. 1 testbed.
+SINGLE = ScenarioSpec()
+
+
+def single_scenario(calibration: str = "default") -> ScenarioSpec:
+    """The paper's Fig. 1 testbed."""
+    return ScenarioSpec(shape="single", calibration=calibration)
+
+
+def line_scenario(n_switches: int,
+                  calibration: str = "default") -> ScenarioSpec:
+    """host1 — s1 — ... — sN — host2 with one shared controller."""
+    return ScenarioSpec(shape="line", n_switches=n_switches,
+                        calibration=calibration)
+
+
+def fanin_scenario(n_sources: int,
+                   calibration: str = "default") -> ScenarioSpec:
+    """k source hosts converging through one switch onto one egress."""
+    return ScenarioSpec(shape="fanin", n_sources=n_sources,
+                        calibration=calibration)
+
+
+def parse_scenario(text: str) -> ScenarioSpec:
+    """Parse a CLI scenario string: ``single``, ``line:4``, ``fanin:3``."""
+    shape, _, arg = text.strip().partition(":")
+    shape = shape.strip().lower()
+    if shape == "single":
+        if arg:
+            raise ValueError(f"'single' takes no size, got {text!r}")
+        return single_scenario()
+    if shape in ("line", "fanin"):
+        if not arg:
+            raise ValueError(
+                f"{shape!r} needs a size, e.g. '{shape}:3' (got {text!r})")
+        try:
+            size = int(arg)
+        except ValueError:
+            raise ValueError(
+                f"scenario size must be an integer, got {text!r}") from None
+        return (line_scenario(size) if shape == "line"
+                else fanin_scenario(size))
+    raise ValueError(f"unknown scenario {text!r}; expected 'single', "
+                     f"'line:N' or 'fanin:K'")

@@ -6,7 +6,7 @@ from typing import Optional
 
 from ..core import BufferMechanism
 from ..netsim import DuplexLink
-from ..obs.registry import MetricsRegistry
+from ..obs.registry import MetricsRegistry, label_set
 from ..openflow import ControlChannel
 from ..simkit import EventEmitter, Simulator
 from .agent import OpenFlowAgent
@@ -34,6 +34,7 @@ class Switch:
         self.sim = sim
         self.config = config
         self.name = name
+        self.datapath_id = datapath_id
         self.mechanism = mechanism
         self.events = EventEmitter()
         #: The run's metrics registry (a private one when none is shared);
@@ -50,9 +51,14 @@ class Switch:
                                    registry=self.registry, switch=name)
         # The mechanism's packet buffer exists below this layer; adopt
         # its standalone metrics into the run's registry when it has any.
+        # The buffer creates them unlabeled (it does not know its switch),
+        # so label them here — like the datapath/agent counters — which
+        # also keeps per-switch buffers distinct in a shared registry.
         buffer_obj = getattr(mechanism, "buffer", None)
         if buffer_obj is not None and hasattr(buffer_obj, "metrics"):
             for metric in buffer_obj.metrics():
+                if not metric.labels:
+                    metric.labels = label_set({"switch": name})
                 self.registry.register(metric)
 
     def attach_port(self, port_no: int, cable: DuplexLink,

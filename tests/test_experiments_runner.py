@@ -293,3 +293,66 @@ def test_cli_exits_nonzero_when_experiment_raises(capsys, monkeypatch):
     code = cli_main(["fig2a", "--rates", "20", "--reps", "1"])
     assert code == 1
     assert "sweep exploded" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# CLI: scenario selection and the path-length figure
+# ---------------------------------------------------------------------------
+
+def test_cli_scenario_flag_runs_figure_on_line_topology(capsys):
+    code = cli_main(["fig2a", "--rates", "20", "--reps", "1",
+                     "--flows", "15", "--scenario", "line:2"])
+    assert code == 0
+    assert "fig2a" in capsys.readouterr().out
+
+
+def test_cli_switches_flag_is_line_shorthand(capsys):
+    import json
+    args = ["fig2a", "--rates", "20", "--reps", "1", "--flows", "15",
+            "--json"]
+    assert cli_main(args + ["--scenario", "line:2"]) == 0
+    via_scenario = json.loads(capsys.readouterr().out)
+    assert cli_main(args + ["--switches", "2"]) == 0
+    via_switches = json.loads(capsys.readouterr().out)
+    assert via_switches == via_scenario
+
+
+def test_cli_scenario_and_switches_are_mutually_exclusive(capsys):
+    code = cli_main(["fig2a", "--scenario", "line:2", "--switches", "3"])
+    assert code == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_cli_rejects_malformed_scenario(capsys):
+    assert cli_main(["fig2a", "--scenario", "bogus:2"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+    assert cli_main(["fig2a", "--scenario", "line"]) == 2
+    assert "needs a size" in capsys.readouterr().err
+
+
+def test_cli_figpath_renders_table(capsys):
+    code = cli_main(["figpath", "--rates", "20", "--reps", "1",
+                     "--workers", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "control overhead vs path length" in out
+    for label in ("buffer-256", "flow-buffer-256"):
+        assert label in out
+
+
+def test_cli_figpath_json_payload(capsys):
+    import json
+    code = cli_main(["figpath", "--rates", "20", "--reps", "1",
+                     "--workers", "2", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    fig = payload["figpath"]
+    assert fig["rate_mbps"] == 20.0
+    assert fig["lengths"] == [1, 2, 4]
+    assert set(fig["series"]) == {"packet_ins_per_run",
+                                  "control_load_up_mbps",
+                                  "control_load_down_mbps",
+                                  "setup_delay_ms"}
+    for series in fig["series"].values():
+        assert set(series) == {"buffer-256", "flow-buffer-256"}
+        assert all(len(points) == 3 for points in series.values())

@@ -158,6 +158,32 @@ def test_topology_duplicate_node_rejected(sim):
         topo.add_node("h1", object())
 
 
+def test_topology_duplicate_node_error_names_the_key(sim):
+    topo = Topology(sim)
+    topo.add_node("h1", object())
+    with pytest.raises(ValueError, match="'h1' already exists"):
+        topo.add_node("h1", object())
+
+
+def test_topology_duplicate_cable_error_names_both_endpoints(sim):
+    topo = Topology(sim)
+    topo.add_node("a", object())
+    topo.add_node("b", object())
+    topo.add_cable("a", "b", mbps(100))
+    with pytest.raises(ValueError, match="'b' and 'a' already exists"):
+        topo.add_cable("b", "a", mbps(100))
+
+
+def test_topology_len_and_node_iteration(sim):
+    topo = Topology(sim)
+    assert len(topo) == 0
+    objects = {"h1": object(), "h2": object(), "s1": None}
+    for name, node in objects.items():
+        topo.add_node(name, node)
+    assert len(topo) == 3                       # placeholders count too
+    assert dict(topo.nodes()) == objects
+
+
 def test_topology_unknown_node_lookup_raises(sim):
     topo = Topology(sim)
     with pytest.raises(KeyError):

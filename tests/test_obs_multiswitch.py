@@ -1,0 +1,133 @@
+"""Observation on multi-switch paths: per-datapath spans and labels.
+
+Satellite acceptance for the scenario refactor: on a ``line:N`` run one
+``flow_setup`` span tree exists per (flow, switch), every emission
+carries the right switch/datapath labels and a switch-scoped track, the
+five-stage tiling (the paper's §III.B decomposition) holds per switch,
+and the shared metrics registry keeps per-switch counters apart.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import buffer_16, no_buffer
+from repro.experiments import run_once
+from repro.obs import ObsConfig, RunObserver, validate_nesting
+from repro.obs.flowtrace import (SPAN_CHANNEL_DOWN, SPAN_CHANNEL_UP,
+                                 SPAN_CONTROLLER_APP, SPAN_FLOW_SETUP,
+                                 SPAN_SWITCH_APPLY, SPAN_SWITCH_MISS)
+from repro.obs.spans import KIND_SPAN
+from repro.scenarios import line_scenario
+from repro.simkit import RandomStreams, mbps
+from repro.trafficgen import single_packet_flows
+
+_CHILD_ORDER = (SPAN_SWITCH_MISS, SPAN_CHANNEL_UP, SPAN_CONTROLLER_APP,
+                SPAN_CHANNEL_DOWN, SPAN_SWITCH_APPLY)
+
+_N_FLOWS = 12
+
+
+def _observed_line_run(n_switches=2, config=None, seed=13):
+    workload = single_packet_flows(mbps(20), n_flows=_N_FLOWS,
+                                   rng=RandomStreams(seed))
+    config = config if config is not None else buffer_16()
+    observer = RunObserver(ObsConfig(trace_sample=1), label=config.label)
+    metrics = run_once(config, workload, seed=seed,
+                       scenario=line_scenario(n_switches), obs=observer)
+    return metrics, observer.observation
+
+
+def _span_tree(spans):
+    roots = [s for s in spans if s.name == SPAN_FLOW_SETUP]
+    children = {}
+    for span in spans:
+        if span.kind == KIND_SPAN and span.parent_id is not None:
+            children.setdefault(span.parent_id, []).append(span)
+    return roots, children
+
+
+def test_one_setup_tree_per_flow_per_switch():
+    metrics, observation = _observed_line_run(n_switches=2)
+    assert metrics.completed_flows == _N_FLOWS
+    roots, _ = _span_tree(observation.spans)
+    assert len(roots) == observation.flows_traced == 2 * _N_FLOWS
+
+    by_switch = {}
+    for root in roots:
+        by_switch.setdefault(root.attrs["switch"], []).append(root)
+    assert sorted(by_switch) == ["s1", "s2"]
+    assert len(by_switch["s1"]) == len(by_switch["s2"]) == _N_FLOWS
+    # each switch traces every flow exactly once
+    for name, group in by_switch.items():
+        assert sorted(r.attrs["flow_id"] for r in group) \
+            == sorted(range(_N_FLOWS))
+
+
+def test_datapath_labels_and_scoped_tracks():
+    _, observation = _observed_line_run(n_switches=2)
+    datapath_of = {"s1": 1, "s2": 2}
+    roots, children = _span_tree(observation.spans)
+    for root in roots:
+        switch = root.attrs["switch"]
+        assert root.attrs["datapath"] == datapath_of[switch]
+        assert root.track == f"{switch}/flow-{root.attrs['flow_id']}"
+        # every child rides the same lane with the same datapath label
+        for kid in children[root.span_id]:
+            assert kid.attrs["datapath"] == datapath_of[switch]
+            assert kid.track == root.track
+
+
+def test_decomposition_identity_holds_per_switch():
+    """§III.B: the five stages exactly tile flow setup, on every hop."""
+    _, observation = _observed_line_run(n_switches=2)
+    assert validate_nesting(observation.spans) == []
+    roots, children = _span_tree(observation.spans)
+    assert roots, "no flow_setup spans traced"
+    for root in roots:
+        kids = children[root.span_id]
+        assert [k.name for k in kids] == list(_CHILD_ORDER)
+        assert kids[0].start == root.start
+        assert kids[-1].end == root.end
+        for left, right in zip(kids, kids[1:]):
+            assert right.start == left.end
+        assert sum(k.duration for k in kids) \
+            == pytest.approx(root.duration, rel=1e-9, abs=1e-12)
+
+
+def test_merged_counters_are_labelled_per_switch():
+    _, observation = _observed_line_run(n_switches=2, config=buffer_16())
+    counters = observation.metrics.counters
+
+    def value(name, switch):
+        key = (name, (("run", "buffer-16"), ("switch", switch)))
+        assert key in counters, f"missing {key}"
+        return counters[key]
+
+    for switch in ("s1", "s2"):
+        assert value("switch_packet_ins_sent_total", switch) == _N_FLOWS
+        assert value("switch_flow_mods_applied_total", switch) >= _N_FLOWS
+    # the per-switch buffer metrics stayed apart too (labelled at
+    # adoption into the shared registry)
+    buffered = [key for key in counters
+                if key[0] == "pktbuf_buffered_total"]
+    assert {dict(labels)["switch"] for _, labels in buffered} \
+        == {"s1", "s2"}
+
+
+def test_incomplete_run_bumps_structured_counter():
+    """Exhausting the extension budget leaves a machine-readable mark."""
+    observer = RunObserver(ObsConfig(trace=False))
+    workload = single_packet_flows(mbps(95), n_flows=100,
+                                   rng=RandomStreams(5))
+    with pytest.warns(RuntimeWarning, match="incomplete"):
+        run_once(no_buffer(), workload, seed=5, drain=0.0, max_extends=0,
+                 obs=observer)
+    counters = observer.observation.metrics.counters
+    assert counters[("run.incomplete_extends_exhausted", ())] == 1
+
+
+def test_complete_run_leaves_counter_unset():
+    _, observation = _observed_line_run(n_switches=2)
+    assert not any(name == "run.incomplete_extends_exhausted"
+                   for name, _ in observation.metrics.counters)

@@ -12,7 +12,7 @@ import repro
 _SUBPACKAGES = ["repro.simkit", "repro.packets", "repro.openflow",
                 "repro.netsim", "repro.switchsim", "repro.controllersim",
                 "repro.trafficgen", "repro.core", "repro.metrics",
-                "repro.experiments", "repro.parallel"]
+                "repro.scenarios", "repro.experiments", "repro.parallel"]
 
 
 @pytest.mark.parametrize("name", _SUBPACKAGES)

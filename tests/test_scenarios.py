@@ -1,0 +1,322 @@
+"""The scenario layer: specs, builders, and topology-agnostic sweeps.
+
+The two acceptance bars of the refactor:
+
+* the default single-switch sweep routed through the scenario layer is
+  **bit-identical** to the pre-refactor direct ``build_testbed`` path
+  (golden values below were captured on the pre-scenario code), and
+* a ``line(n)`` study runs end-to-end through the parallel engine with
+  caching and observation, producing the control-overhead-vs-path-length
+  figure for n in {1, 2, 4}.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import buffer_16, buffer_256
+from repro.experiments import run_once, run_path_experiment, sweep
+from repro.experiments.figures import workload_a_factory
+from repro.parallel import ResultCache, SweepJob
+from repro.parallel.cache import CACHE_SCHEMA, task_key
+from repro.scenarios import (SINGLE, ScenarioSpec, build_scenario,
+                             fanin_scenario, line_scenario, parse_scenario,
+                             shard_workload, single_scenario)
+from repro.scenarios.builders import available_shapes, register_builder
+from repro.simkit import RandomStreams, mbps
+from repro.trafficgen import single_packet_flows
+
+
+# ---------------------------------------------------------------------------
+# ScenarioSpec + parse_scenario
+# ---------------------------------------------------------------------------
+
+def test_spec_names():
+    assert single_scenario().name == "single"
+    assert line_scenario(4).name == "line:4"
+    assert fanin_scenario(3).name == "fanin:3"
+
+
+def test_parse_scenario_round_trips():
+    for text in ("single", "line:1", "line:4", "fanin:2"):
+        assert parse_scenario(text).name == text
+
+
+def test_parse_scenario_rejects_bad_input():
+    with pytest.raises(ValueError, match="takes no size"):
+        parse_scenario("single:2")
+    with pytest.raises(ValueError, match="needs a size"):
+        parse_scenario("line")
+    with pytest.raises(ValueError, match="must be an integer"):
+        parse_scenario("line:x")
+    with pytest.raises(ValueError, match="unknown scenario"):
+        parse_scenario("ring:3")
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        line_scenario(0)
+    with pytest.raises(ValueError):
+        fanin_scenario(0)
+    with pytest.raises(ValueError):
+        ScenarioSpec(shape="")
+
+
+def test_spec_is_frozen_and_hashable():
+    spec = line_scenario(2)
+    assert spec == line_scenario(2)
+    assert hash(spec) == hash(line_scenario(2))
+    assert spec != line_scenario(3)
+    assert len({single_scenario(), SINGLE, line_scenario(2)}) == 2
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        spec.n_switches = 5
+
+
+def test_spec_overrides_are_canonicalized_per_datapath():
+    spec = ScenarioSpec(
+        shape="line", n_switches=2,
+        switch_overrides=((2, (("cpu_cores", 4),)),
+                          (1, (("cpu_cores", 2),))))
+    assert spec.override_for(1) == {"cpu_cores": 2}
+    assert spec.override_for(2) == {"cpu_cores": 4}
+    assert spec.override_for(3) == {}
+    # canonical order makes construction-order irrelevant for equality
+    flipped = ScenarioSpec(
+        shape="line", n_switches=2,
+        switch_overrides=((1, (("cpu_cores", 2),)),
+                          (2, (("cpu_cores", 4),))))
+    assert spec == flipped and hash(spec) == hash(flipped)
+
+
+def test_cache_tokens_distinguish_topologies():
+    tokens = {single_scenario().cache_token(),
+              line_scenario(1).cache_token(),
+              line_scenario(2).cache_token(),
+              fanin_scenario(2).cache_token()}
+    assert len(tokens) == 4
+
+
+# ---------------------------------------------------------------------------
+# Builder registry
+# ---------------------------------------------------------------------------
+
+def test_registered_shapes():
+    assert set(available_shapes()) >= {"single", "line", "fanin"}
+
+
+def test_duplicate_builder_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        @register_builder("single")
+        def clone(*args):
+            """Never installed."""
+
+
+def test_unknown_shape_raises_with_known_list():
+    workload = single_packet_flows(mbps(20), n_flows=3,
+                                   rng=RandomStreams(0))
+    with pytest.raises(ValueError, match="registered"):
+        build_scenario(ScenarioSpec(shape="ring"), buffer_16(), workload)
+
+
+def test_unknown_calibration_name_raises():
+    workload = single_packet_flows(mbps(20), n_flows=3,
+                                   rng=RandomStreams(0))
+    with pytest.raises(ValueError, match="unknown calibration"):
+        build_scenario(ScenarioSpec(calibration="lab"), buffer_16(),
+                       workload)
+
+
+# ---------------------------------------------------------------------------
+# Golden bit-identity: the default sweep through the scenario layer
+# ---------------------------------------------------------------------------
+
+#: Captured on the pre-refactor code path (direct build_testbed), from
+#: sweep(buffer_16(), workload_a_factory(n_flows=25), (20.0, 60.0), 2,
+#: base_seed=3).  Exact floats — the refactor must not move a single bit.
+_GOLDEN_ROWS = (
+    (20.0, 2.56922477067475, 2.723378256915235, 13.265,
+     198.60399999999998, 0.001089000275862074, 0.0007028399999999993,
+     0.00038616027586207274, 0.001089000275862074, 5.5, 12.0, 25.0,
+     25.0, 25, 0.0),
+    (60.0, 10.901547045203365, 12.13357119757224, 5.0, 180.0,
+     0.001218363486896557, 0.0007800192000000004,
+     0.0004383442868965559, 0.001218363486896557, 0.0, 16.0, 25.0,
+     25.0, 25, 0.0),
+)
+
+
+def _row_tuple(r):
+    return (r.rate_mbps, r.load_up_mbps, r.load_down_mbps,
+            r.controller_usage.mean, r.switch_usage.mean,
+            r.setup_delay.mean, r.controller_delay.mean,
+            r.switch_delay.mean, r.forwarding_delay.mean,
+            r.buffer_avg_units, r.buffer_max_units, r.packet_ins_per_run,
+            r.completed_flows, r.total_flows, r.packets_dropped)
+
+
+def test_default_sweep_is_bit_identical_to_pre_refactor_golden():
+    """ACCEPTANCE: scenario-layer default == historical testbed, exactly."""
+    result = sweep(buffer_16(), workload_a_factory(n_flows=25),
+                   (20.0, 60.0), 2, base_seed=3)
+    assert tuple(_row_tuple(row) for row in result.rows) == _GOLDEN_ROWS
+
+
+def test_sweep_explicit_single_scenario_matches_default():
+    kwargs = dict(rates_mbps=(20.0,), repetitions=1, base_seed=7)
+    default = sweep(buffer_16(), workload_a_factory(n_flows=15), **kwargs)
+    explicit = sweep(buffer_16(), workload_a_factory(n_flows=15),
+                     scenario=single_scenario(), **kwargs)
+    assert [_row_tuple(r) for r in default.rows] \
+        == [_row_tuple(r) for r in explicit.rows]
+
+
+# ---------------------------------------------------------------------------
+# Line and fan-in runs
+# ---------------------------------------------------------------------------
+
+def _workload(n_flows=10, seed=9, rate=20):
+    return single_packet_flows(mbps(rate), n_flows=n_flows,
+                               rng=RandomStreams(seed))
+
+
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_line_run_pays_one_setup_per_switch(n):
+    metrics = run_once(buffer_256(), _workload(), seed=9,
+                       scenario=line_scenario(n))
+    assert metrics.completed_flows == metrics.total_flows == 10
+    assert metrics.packet_in_count == n * 10
+    assert metrics.packets_dropped == 0
+
+
+def test_line_testbed_exposes_per_switch_accounting():
+    testbed = build_scenario(line_scenario(2), buffer_256(), _workload(),
+                             seed=9)
+    try:
+        assert [s.name for s in testbed.switches] == ["s1", "s2"]
+        assert [s.datapath_id for s in testbed.switches] == [1, 2]
+        assert len(testbed.control_cables) == 2
+        assert len(testbed.topology) == 2 + 2 + 1   # hosts+switches+ctrl
+    finally:
+        testbed.shutdown()
+
+
+def test_fanin_build_and_run():
+    spec = fanin_scenario(3)
+    testbed = build_scenario(spec, buffer_256(), _workload(n_flows=12),
+                             seed=9)
+    try:
+        assert len(testbed.hosts) == 4                  # 3 sources + egress
+        assert [h.name for h in testbed.hosts[:-1]] \
+            == ["src1", "src2", "src3"]
+        assert len(testbed.pktgens) == 3
+    finally:
+        testbed.shutdown()
+    metrics = run_once(buffer_256(), _workload(n_flows=12), seed=9,
+                       scenario=spec)
+    assert metrics.completed_flows == metrics.total_flows == 12
+    assert metrics.packets_dropped == 0
+
+
+def test_shard_workload_partitions_by_flow():
+    workload = _workload(n_flows=10)
+    shards = shard_workload(workload, 3)
+    assert sum(len(s.entries) for s in shards) == len(workload.entries)
+    assert sum(len(s.flows) for s in shards) == len(workload.flows)
+    for index, shard in enumerate(shards):
+        assert all(fid % 3 == index for fid in shard.flows)
+    with pytest.raises(ValueError):
+        shard_workload(workload, 0)
+
+
+# ---------------------------------------------------------------------------
+# Cache keys: the poisoning regression (satellite 1)
+# ---------------------------------------------------------------------------
+
+def _job(scenario=None):
+    # job_id only gates tasks(); task_key deliberately excludes it.
+    return SweepJob(config=buffer_256(),
+                    factory=workload_a_factory(n_flows=10),
+                    rates_mbps=(20.0,), repetitions=1, base_seed=0,
+                    scenario=scenario, job_id=1)
+
+
+def test_cache_schema_bumped_for_scenario_keys():
+    assert CACHE_SCHEMA >= 2
+
+
+def test_cache_key_differs_for_specs_differing_only_in_topology():
+    """REGRESSION: two specs differing only in topology never share a
+    cache entry (the pre-scenario key omitted topology entirely)."""
+    base = _job()
+    keys = {task_key(job, next(iter(job.tasks())))
+            for job in (base, _job(line_scenario(2)), _job(line_scenario(4)),
+                        _job(fanin_scenario(2)))}
+    assert len(keys) == 4
+
+
+def test_cache_key_treats_none_and_single_as_the_same_run():
+    a, b = _job(None), _job(single_scenario())
+    assert task_key(a, next(iter(a.tasks()))) \
+        == task_key(b, next(iter(b.tasks())))
+
+
+def test_cache_never_returns_single_result_for_line_run(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    single_job = _job()
+    line_job = _job(line_scenario(2))
+    single_task = next(iter(single_job.tasks()))
+    metrics = run_once(buffer_256(), _workload(), seed=single_task.seed)
+    cache.put(task_key(single_job, single_task), metrics)
+    assert cache.get(task_key(line_job,
+                              next(iter(line_job.tasks())))) is None
+
+
+# ---------------------------------------------------------------------------
+# The path-length study (ACCEPTANCE: engine + cache + obs, n in {1,2,4})
+# ---------------------------------------------------------------------------
+
+def test_path_experiment_runs_with_engine_cache_and_obs(tmp_path):
+    from repro.obs import ObsCollector
+    cache = ResultCache(tmp_path / "cache")
+    obs = ObsCollector()
+    data = run_path_experiment(lengths=(1, 2, 4), rates_mbps=(30.0,),
+                               repetitions=1, n_flows=10,
+                               packets_per_flow=6, workers=2, cache=cache,
+                               obs=obs)
+    assert data.report.ok
+    assert data.lengths == (1, 2, 4)
+
+    for label in data.labels:
+        loads = data.series_vs_length(label, lambda r: r.load_up_mbps)
+        assert loads == sorted(loads)           # overhead grows with hops
+        assert loads[0] > 0
+    pkt = data.series_vs_length("buffer-256",
+                                lambda r: r.packet_ins_per_run)
+    flow = data.series_vs_length("flow-buffer-256",
+                                 lambda r: r.packet_ins_per_run)
+    # Flow granularity pays exactly one packet_in per (flow, switch);
+    # packet granularity pays at least one per packet of the first batch.
+    assert flow == [10.0, 20.0, 40.0]
+    assert all(f < p for f, p in zip(flow, pkt))
+
+    # Observation followed every task, labelled by composite sweep key.
+    assert {o.label for o in obs.observations} \
+        == {data.key(label, n) for label in data.labels
+            for n in data.lengths}
+
+    # A second, unobserved run resolves entirely from the cache.
+    again = run_path_experiment(lengths=(1, 2, 4), rates_mbps=(30.0,),
+                                repetitions=1, n_flows=10,
+                                packets_per_flow=6, workers=2, cache=cache)
+    assert again.report.cached == again.report.total_tasks == 6
+    for label in again.labels:
+        for n in again.lengths:
+            assert _row_tuple(again.sweep_for(label, n).rows[0]) \
+                == _row_tuple(data.sweep_for(label, n).rows[0])
+
+
+def test_path_experiment_rejects_empty_lengths():
+    with pytest.raises(ValueError, match="at least one line length"):
+        run_path_experiment(lengths=())
