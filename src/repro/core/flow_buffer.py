@@ -53,7 +53,9 @@ class FlowPacketBuffer:
         self.total_released = 0
         self.full_rejections = 0
         self.overflow_drops = 0
+        self.abandoned_drops = 0
         self.unknown_releases = 0
+        self.unknown_appends = 0
         self.peak_units = 0
         self.peak_packets = 0
         self._packets_stored = 0
@@ -121,7 +123,9 @@ class FlowPacketBuffer:
         """
         queue = self._queues.get(buffer_id)
         if queue is None:
-            self.unknown_releases += 1
+            # An append to a vanished unit is not a release; keep the
+            # release metric honest and count it on its own.
+            self.unknown_appends += 1
             return False
         if (self.max_packets_per_flow is not None
                 and len(queue) >= self.max_packets_per_flow):
@@ -155,6 +159,26 @@ class FlowPacketBuffer:
         self._packets_stored -= len(packets)
         return packets
 
+    def drop_all(self, buffer_id: int) -> list[Packet]:
+        """Drain a unit counting its packets as ``abandoned_drops``.
+
+        This is the retry-exhaustion path (Algorithm 1 gives up on the
+        flow): the unit is freed exactly like :meth:`release_all`, but
+        the packets were *dropped*, never forwarded, so they must not
+        inflate ``total_released`` (Fig. 13-style release accounting).
+        Returns an empty list for an unknown id, without counting it.
+        """
+        queue = self._queues.pop(buffer_id, None)
+        if queue is None:
+            return []
+        flow = self._flow_by_id.pop(buffer_id)
+        self._id_by_flow.pop(flow, None)
+        self._stored_at.pop(buffer_id, None)
+        packets = list(queue)
+        self.abandoned_drops += len(packets)
+        self._packets_stored -= len(packets)
+        return packets
+
     def flow_of(self, buffer_id: int) -> Optional[FiveTuple]:
         """The flow owning a unit (diagnostics)."""
         return self._flow_by_id.get(buffer_id)
@@ -167,13 +191,20 @@ class FlowPacketBuffer:
     def __contains__(self, buffer_id: int) -> bool:
         return buffer_id in self._queues
 
-    def expire_older_than(self, cutoff: float) -> list[int]:
-        """Free units created before ``cutoff``; returns the expired ids."""
+    def expire_older_than(self, cutoff: float,
+                          now: Optional[float] = None) -> list[int]:
+        """Free units created before ``cutoff``; returns the expired ids.
+
+        ``now`` is accepted for signature parity with
+        :meth:`~repro.openflow.pktbuffer.PacketBuffer.expire_older_than`;
+        flow units have no reclaim-cooling ring, so it is unused here.
+        """
         expired = [bid for bid, t in self._stored_at.items() if t < cutoff]
         for bid in expired:
-            dropped = self.release_all(bid)
-            # release_all counted them as released; reclassify as drops.
-            self.total_released -= len(dropped)
+            dropped = self.drop_all(bid)
+            # drop_all books abandonments; ageout expiries stay in the
+            # historical overflow-drop class.
+            self.abandoned_drops -= len(dropped)
             self.overflow_drops += len(dropped)
         return expired
 

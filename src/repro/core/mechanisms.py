@@ -350,8 +350,10 @@ class FlowGranularityBuffer(BufferMechanism):
             return
         if pending.retries >= self.max_retries:
             # Give up: drop the flow's buffered packets to free the unit.
+            # These packets are never forwarded, so they must count as
+            # drops, not releases (Fig. 13 release accounting).
             self._pending.pop(buffer_id, None)
-            self.buffer.release_all(buffer_id)
+            self.buffer.drop_all(buffer_id)
             self.flows_abandoned += 1
             return
         pending.retries += 1

@@ -6,19 +6,22 @@ from .calibration import (CONTROL_LINK_RATE_BPS, DATA_LINK_RATE_BPS,
                           QUICK_REPETITIONS, TABLE_I, TestbedCalibration,
                           default_calibration, default_controller_config,
                           default_switch_config, format_table_1)
-from .export import (experiment_to_csv, save_experiment_csv, sweep_rows,
+from .export import (experiment_to_csv, resilience_to_csv,
+                     save_experiment_csv, save_resilience_csv, sweep_rows,
                      sweep_to_csv)
-from .figures import (FIGURES, PATH_LENGTHS, ExperimentData, FigureSpec,
-                      PathExperimentData, figure_series,
-                      run_benefits_experiment, run_mechanism_experiment,
-                      run_path_experiment, workload_a_factory,
+from .figures import (FIGURES, PATH_LENGTHS, RESILIENCE_LOSS_RATES,
+                      RESILIENCE_RATE_MBPS, ExperimentData, FigureSpec,
+                      PathExperimentData, ResilienceExperimentData,
+                      figure_series, run_benefits_experiment,
+                      run_mechanism_experiment, run_path_experiment,
+                      run_resilience_experiment, workload_a_factory,
                       workload_b_factory)
 from .multiswitch import MultiSwitchTestbed, build_line_testbed
 from .paper_data import (PAPER_QUOTED, QuotedComparison, QuotedValue,
                          compare_quoted, format_quoted)
 from .report import (format_experiment, format_figure, format_headlines,
-                     format_path_experiment, headline_claims,
-                     headline_series)
+                     format_path_experiment, format_resilience_experiment,
+                     headline_claims, headline_series)
 from .runner import (RateAggregate, SweepResult, aggregate, derive_seed,
                      run_once, sweep)
 from .testbed import PORT_HOST1, PORT_HOST2, Testbed, build_testbed
@@ -32,16 +35,18 @@ __all__ = [
     "Testbed", "build_testbed", "PORT_HOST1", "PORT_HOST2",
     "MultiSwitchTestbed", "build_line_testbed",
     "sweep_to_csv", "experiment_to_csv", "save_experiment_csv",
-    "sweep_rows",
+    "sweep_rows", "resilience_to_csv", "save_resilience_csv",
     "run_once", "sweep", "aggregate", "derive_seed", "RateAggregate",
     "SweepResult",
     "FIGURES", "FigureSpec", "ExperimentData", "figure_series",
     "PATH_LENGTHS", "PathExperimentData",
+    "RESILIENCE_LOSS_RATES", "RESILIENCE_RATE_MBPS",
+    "ResilienceExperimentData",
     "run_benefits_experiment", "run_mechanism_experiment",
-    "run_path_experiment",
+    "run_path_experiment", "run_resilience_experiment",
     "workload_a_factory", "workload_b_factory",
     "format_figure", "format_experiment", "format_headlines",
-    "format_path_experiment",
+    "format_path_experiment", "format_resilience_experiment",
     "headline_claims", "headline_series",
     "PAPER_QUOTED", "QuotedValue", "QuotedComparison", "compare_quoted",
     "format_quoted",

@@ -20,11 +20,14 @@ from typing import Optional, Sequence
 from .. import __version__
 from .calibration import format_table_1
 from .figures import (FIGURES, run_benefits_experiment,
-                      run_mechanism_experiment, run_path_experiment)
+                      run_mechanism_experiment, run_path_experiment,
+                      run_resilience_experiment)
 from .report import (format_figure, format_headlines,
-                     format_path_experiment, headline_claims)
+                     format_path_experiment, format_resilience_experiment,
+                     headline_claims)
 
-_SPECIAL = ("table1", "headline", "quoted", "figpath", "all")
+_SPECIAL = ("table1", "headline", "quoted", "figpath", "figresilience",
+            "all")
 
 
 def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
@@ -50,6 +53,17 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
                              "line:N, or fanin:K (default: single)")
     parser.add_argument("--switches", type=int, default=None, metavar="N",
                         help="shorthand for --scenario line:N")
+    parser.add_argument("--loss", type=float, default=None, metavar="P",
+                        help="inject symmetric control-channel loss with "
+                             "probability P into the benefits/mechanism "
+                             "experiments (shorthand for --fault loss=P)")
+    parser.add_argument("--fault", metavar="SPEC", default=None,
+                        help="inject control-plane faults into the "
+                             "benefits/mechanism experiments; SPEC is "
+                             "comma-separated key=value, e.g. "
+                             "'loss=0.01,jitter_down=0.002,"
+                             "stall=1.0:1.5' (figresilience sweeps its "
+                             "own loss grid and ignores this)")
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of tables")
     parser.add_argument("--chart", action="store_true",
@@ -90,7 +104,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if "all" in targets:
         targets = (["table1"] + list(FIGURES)
-                   + ["figpath", "headline", "quoted"])
+                   + ["figpath", "figresilience", "headline", "quoted"])
 
     if args.scenario is not None and args.switches is not None:
         print("--scenario and --switches are mutually exclusive",
@@ -107,6 +121,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(str(exc), file=sys.stderr)
             return 2
 
+    if args.loss is not None and args.fault is not None:
+        print("--loss and --fault are mutually exclusive", file=sys.stderr)
+        return 2
+    faults = None
+    if args.loss is not None or args.fault is not None:
+        from ..faults import loss_fault, parse_fault
+        try:
+            faults = (parse_fault(args.fault)
+                      if args.fault is not None
+                      else loss_fault(args.loss))
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if faults.is_null:
+            faults = None
+
     quick = not args.full
     need_benefits = any(
         t in ("headline", "quoted")
@@ -117,6 +147,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         or (t in FIGURES and FIGURES[t].experiment == "mechanism")
         for t in targets)
     need_path = "figpath" in targets
+    need_resilience = "figresilience" in targets
 
     from ..parallel import ResultCache
     workers = (args.workers if args.workers is not None
@@ -133,8 +164,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         obs = ObsCollector(ObsConfig(trace=args.trace_out is not None,
                                      trace_sample=args.trace_sample))
 
-    benefits = mechanism = path_data = None
-    any_experiment = need_benefits or need_mechanism or need_path
+    benefits = mechanism = path_data = resilience = None
+    any_experiment = (need_benefits or need_mechanism or need_path
+                      or need_resilience)
     kwargs = dict(rates_mbps=args.rates, repetitions=args.reps,
                   quick=quick, base_seed=args.seed, workers=workers,
                   cache=cache, progress=True, obs=obs)
@@ -146,7 +178,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.flows is not None:
             a_kwargs["n_flows"] = args.flows
         try:
-            benefits = run_benefits_experiment(scenario=scenario, **a_kwargs)
+            benefits = run_benefits_experiment(scenario=scenario,
+                                               faults=faults, **a_kwargs)
         except Exception as exc:
             print(f"# benefits experiment failed: {exc}", file=sys.stderr)
             return 1
@@ -156,7 +189,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               file=sys.stderr)
         start = time.time()
         try:
-            mechanism = run_mechanism_experiment(scenario=scenario, **kwargs)
+            mechanism = run_mechanism_experiment(scenario=scenario,
+                                                 faults=faults, **kwargs)
         except Exception as exc:
             print(f"# mechanism experiment failed: {exc}", file=sys.stderr)
             return 1
@@ -173,6 +207,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"# path experiment failed: {exc}", file=sys.stderr)
             return 1
         print(f"# done in {time.time() - start:.1f}s", file=sys.stderr)
+    if need_resilience:
+        # figresilience sweeps its own loss grid at one fixed sending
+        # rate; --rates/--scenario/--fault do not apply to it.
+        print("# running resilience experiment (workload A over a "
+              "control-channel loss sweep)...", file=sys.stderr)
+        start = time.time()
+        r_kwargs = dict(repetitions=args.reps, quick=quick,
+                        base_seed=args.seed, workers=workers,
+                        cache=cache, progress=True, obs=obs)
+        if args.flows is not None:
+            r_kwargs["n_flows"] = args.flows
+        try:
+            resilience = run_resilience_experiment(**r_kwargs)
+        except Exception as exc:
+            print(f"# resilience experiment failed: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"# done in {time.time() - start:.1f}s", file=sys.stderr)
     if cache is not None and any_experiment:
         print(f"# cache: {cache.stats()}", file=sys.stderr)
     if obs is not None and any_experiment:
@@ -187,21 +239,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # Partial failure (a repetition exhausted its retry budget) is a
     # non-zero exit even though the surviving rows are still printed.
     exit_code = 0
-    for data in (benefits, mechanism, path_data):
+    for data in (benefits, mechanism, path_data, resilience):
         if data is not None and data.report is not None \
                 and not data.report.ok:
             print(data.report.format(), file=sys.stderr)
             exit_code = 1
 
     if args.csv is not None:
-        from .export import save_experiment_csv
+        from .export import save_experiment_csv, save_resilience_csv
         for data in (benefits, mechanism):
             if data is not None:
                 csv_path = save_experiment_csv(data, args.csv)
                 print(f"# wrote {csv_path}", file=sys.stderr)
+        if resilience is not None:
+            csv_path = save_resilience_csv(resilience, args.csv)
+            print(f"# wrote {csv_path}", file=sys.stderr)
 
     if args.json:
-        print(json.dumps(_json_payload(targets, benefits, mechanism, path_data),
+        print(json.dumps(_json_payload(targets, benefits, mechanism,
+                                       path_data, resilience),
                          indent=2))
         return exit_code
 
@@ -222,6 +278,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         elif target == "figpath":
             assert path_data is not None
             blocks.append(format_path_experiment(path_data))
+        elif target == "figresilience":
+            assert resilience is not None
+            blocks.append(format_resilience_experiment(resilience))
         else:
             spec = FIGURES[target]
             data = benefits if spec.experiment == "benefits" else mechanism
@@ -238,7 +297,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     return exit_code
 
 
-def _json_payload(targets, benefits, mechanism, path=None) -> dict:
+def _json_payload(targets, benefits, mechanism, path=None,
+                  resilience=None) -> dict:
     """Machine-readable rendering of the requested targets."""
     from .figures import figure_series
     payload: dict = {}
@@ -246,6 +306,18 @@ def _json_payload(targets, benefits, mechanism, path=None) -> dict:
         if target == "table1":
             from .calibration import TABLE_I
             payload["table1"] = [list(row) for row in TABLE_I]
+        elif target == "figresilience":
+            from .report import RESILIENCE_METRICS
+            assert resilience is not None
+            payload["figresilience"] = {
+                "title": "Flow setup vs control-channel loss",
+                "rate_mbps": resilience.rate_mbps,
+                "loss_rates": list(resilience.loss_rates),
+                "series": {
+                    name: {label: resilience.series_vs_loss(label, getter)
+                           for label in resilience.labels}
+                    for name, _, getter in RESILIENCE_METRICS},
+            }
         elif target == "figpath":
             from .report import PATH_METRICS
             assert path is not None

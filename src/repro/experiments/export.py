@@ -13,7 +13,7 @@ import io
 import pathlib
 from typing import Optional
 
-from .figures import ExperimentData
+from .figures import ExperimentData, ResilienceExperimentData
 from .runner import RateAggregate, SweepResult
 
 #: Exported columns: (header, extractor).
@@ -77,4 +77,47 @@ def save_experiment_csv(data: ExperimentData, directory: str,
     path.mkdir(parents=True, exist_ok=True)
     target = path / f"{stem or data.name}.csv"
     target.write_text(experiment_to_csv(data))
+    return target
+
+
+#: Resilience CSV columns beyond (loss_rate, mechanism): figure-ready
+#: loss-sweep quantities, delays in milliseconds like COLUMNS.
+RESILIENCE_COLUMNS = (
+    ("rate_mbps", lambda r: r.rate_mbps),
+    ("repetitions", lambda r: r.repetitions),
+    ("completion_pct", lambda r: r.completion_rate * 100.0),
+    ("completed_flows", lambda r: r.completed_flows),
+    ("total_flows", lambda r: r.total_flows),
+    ("retries_per_run", lambda r: r.retries_per_run),
+    ("flows_abandoned_per_run", lambda r: r.flows_abandoned),
+    ("setup_delay_ms", lambda r: r.setup_delay.mean * 1e3),
+    ("setup_delay_p99_ms", lambda r: r.setup_delay_p99 * 1e3),
+    ("packet_ins_per_run", lambda r: r.packet_ins_per_run),
+    ("packets_dropped", lambda r: r.packets_dropped),
+)
+
+
+def resilience_to_csv(data: ResilienceExperimentData) -> str:
+    """Combined loss-sweep CSV: one row per (loss rate, mechanism)."""
+    stream = io.StringIO()
+    fieldnames = (["loss_rate", "mechanism"]
+                  + [h for h, _ in RESILIENCE_COLUMNS])
+    writer = csv.DictWriter(stream, fieldnames=fieldnames)
+    writer.writeheader()
+    for loss in data.loss_rates:
+        for label in data.labels:
+            row = data.row_for(label, loss)
+            writer.writerow({"loss_rate": loss, "mechanism": label,
+                             **{header: extractor(row)
+                                for header, extractor in RESILIENCE_COLUMNS}})
+    return stream.getvalue()
+
+
+def save_resilience_csv(data: ResilienceExperimentData, directory: str,
+                        stem: Optional[str] = None) -> pathlib.Path:
+    """Write ``<directory>/<stem>.csv``; returns the path."""
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    target = path / f"{stem or data.name}.csv"
+    target.write_text(resilience_to_csv(data))
     return target

@@ -79,8 +79,8 @@ class ExperimentData:
 
 def _run_experiment_sweeps(name, configs, factory, rates_mbps, repetitions,
                            calibration, base_seed, workers, cache,
-                           progress, obs=None,
-                           scenario=None) -> ExperimentData:
+                           progress, obs=None, scenario=None,
+                           faults=None) -> ExperimentData:
     """Run one experiment's sweeps, serially or on the parallel engine.
 
     The engine path shards *all* mechanisms' (rates × repetitions) tasks
@@ -89,7 +89,8 @@ def _run_experiment_sweeps(name, configs, factory, rates_mbps, repetitions,
     ``obs`` (a :class:`repro.obs.ObsCollector`) captures traces and
     metric snapshots on whichever path runs; ``scenario`` (a
     :class:`repro.scenarios.ScenarioSpec`) selects the topology every
-    repetition runs on.
+    repetition runs on; ``faults`` (a :class:`repro.faults.FaultSpec`)
+    arms control-plane fault injection on each one.
     """
     data = ExperimentData(name=name)
     if workers is None and cache is None and progress is None:
@@ -97,13 +98,13 @@ def _run_experiment_sweeps(name, configs, factory, rates_mbps, repetitions,
             data.sweeps[config.label] = sweep(
                 config, factory, rates_mbps, repetitions,
                 calibration=calibration, base_seed=base_seed, obs=obs,
-                scenario=scenario)
+                scenario=scenario, faults=faults)
         return data
     from ..parallel import SweepJob, run_sweep_jobs
     jobs = [SweepJob(config=config, factory=factory,
                      rates_mbps=tuple(rates_mbps), repetitions=repetitions,
                      calibration=calibration, base_seed=base_seed,
-                     scenario=scenario)
+                     scenario=scenario, faults=faults)
             for config in configs]
     sweeps, report = run_sweep_jobs(jobs, workers=workers, cache=cache,
                                     progress=progress, obs=obs)
@@ -120,7 +121,8 @@ def run_benefits_experiment(
         n_flows: int = WORKLOAD_A_FLOWS,
         quick: bool = True, base_seed: int = 0,
         workers: Optional[int] = None, cache=None,
-        progress=None, obs=None, scenario=None) -> ExperimentData:
+        progress=None, obs=None, scenario=None,
+        faults=None) -> ExperimentData:
     """§IV: the three buffer settings over the sending-rate sweep."""
     if rates_mbps is None:
         rates_mbps = QUICK_RATE_SWEEP_MBPS if quick else FULL_RATE_SWEEP_MBPS
@@ -130,7 +132,7 @@ def run_benefits_experiment(
     return _run_experiment_sweeps(
         "benefits", (no_buffer(), buffer_16(), buffer_256()), factory,
         rates_mbps, repetitions, calibration, base_seed, workers, cache,
-        progress, obs=obs, scenario=scenario)
+        progress, obs=obs, scenario=scenario, faults=faults)
 
 
 def run_mechanism_experiment(
@@ -141,7 +143,8 @@ def run_mechanism_experiment(
         packets_per_flow: int = WORKLOAD_B_PACKETS_PER_FLOW,
         quick: bool = True, base_seed: int = 0,
         workers: Optional[int] = None, cache=None,
-        progress=None, obs=None, scenario=None) -> ExperimentData:
+        progress=None, obs=None, scenario=None,
+        faults=None) -> ExperimentData:
     """§V: packet-granularity vs flow-granularity, both at 256 units.
 
     Runs on :func:`~repro.experiments.calibration.prototype_calibration`
@@ -159,7 +162,7 @@ def run_mechanism_experiment(
     return _run_experiment_sweeps(
         "mechanism", (buffer_256(), flow_buffer_256()), factory,
         rates_mbps, repetitions, calibration, base_seed, workers, cache,
-        progress, obs=obs, scenario=scenario)
+        progress, obs=obs, scenario=scenario, faults=faults)
 
 
 # ---------------------------------------------------------------------------
@@ -259,6 +262,108 @@ def run_path_experiment(
                      scenario=line_scenario(length),
                      label_override=data.key(config.label, length))
             for length in lengths for config in configs]
+    sweeps, report = run_sweep_jobs(jobs, workers=workers, cache=cache,
+                                    progress=progress, obs=obs)
+    for job in jobs:
+        data.sweeps[job.label] = sweeps[job.label]
+    data.report = report
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Resilience experiment (control-channel loss sweep)
+# ---------------------------------------------------------------------------
+
+#: Control-channel loss grid of the resilience figure; 0.0 is the
+#: faultless baseline every other point is read against.
+RESILIENCE_LOSS_RATES = (0.0, 0.005, 0.01, 0.02, 0.05)
+#: Fixed sending rate for the loss sweep — comfortably inside every
+#: mechanism's stable region, so completion differences are attributable
+#: to the lossy control channel, not congestion.
+RESILIENCE_RATE_MBPS = 30.0
+
+
+@dataclass
+class ResilienceExperimentData:
+    """Sweeps of the resilience experiment.
+
+    One single-rate sweep per (mechanism, loss rate), keyed by the
+    composite label ``"flow-buffer-256@loss:0.01"`` (see :meth:`key`).
+    """
+
+    name: str
+    loss_rates: tuple
+    labels: tuple
+    rate_mbps: float
+    sweeps: Dict[str, SweepResult] = field(default_factory=dict)
+    #: Engine telemetry (an :class:`~repro.parallel.EngineReport`).
+    report: Optional[object] = None
+
+    @staticmethod
+    def key(label: str, loss: float) -> str:
+        """Sweep key of one (mechanism, loss rate) combination."""
+        return f"{label}@loss:{loss:g}"
+
+    def sweep_for(self, label: str, loss: float) -> SweepResult:
+        """One mechanism's sweep at one loss rate."""
+        return self.sweeps[self.key(label, loss)]
+
+    def row_for(self, label: str, loss: float) -> RateAggregate:
+        """The single figure row of one (mechanism, loss) combination."""
+        return self.sweep_for(label, loss).row_at(self.rate_mbps)
+
+    def series_vs_loss(self, label: str,
+                       getter: MetricGetter) -> list[float]:
+        """One mechanism's metric against control-channel loss rate."""
+        return [getter(self.row_for(label, loss))
+                for loss in self.loss_rates]
+
+
+def run_resilience_experiment(
+        loss_rates: Sequence[float] = RESILIENCE_LOSS_RATES,
+        rate_mbps: float = RESILIENCE_RATE_MBPS,
+        repetitions: Optional[int] = None,
+        calibration: Optional[TestbedCalibration] = None,
+        n_flows: int = WORKLOAD_A_FLOWS,
+        quick: bool = True, base_seed: int = 0,
+        workers: Optional[int] = None, cache=None,
+        progress=None, obs=None) -> ResilienceExperimentData:
+    """Flow setup under a lossy control channel: the re-request payoff.
+
+    Sweeps symmetric control-channel loss over ``loss_rates`` at one
+    fixed sending rate, for the no-buffer, packet-granularity and
+    flow-granularity mechanisms.  Only the flow-granularity mechanism
+    (Algorithm 1) re-requests on timeout: under loss it shows
+    ``retries_sent > 0`` and keeps its completion rate near 100 %,
+    while the other two silently lose whatever the channel eats — the
+    resilience benefit of §V's buffering design, which no figure of the
+    paper measures directly.
+
+    Always executes on the :mod:`repro.parallel` engine (inline when
+    ``workers=1``): composite per-loss labels keep sweeps, cache entries
+    and observations distinct across fault specs.
+    """
+    from ..faults import loss_fault
+    if not loss_rates:
+        raise ValueError("loss_rates must name at least one loss rate")
+    for loss in loss_rates:
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(
+                f"loss rates must be in [0, 1), got {loss!r}")
+    if repetitions is None:
+        repetitions = QUICK_REPETITIONS if quick else FULL_REPETITIONS
+    factory = workload_a_factory(n_flows=n_flows)
+    configs = (no_buffer(), buffer_256(), flow_buffer_256())
+    data = ResilienceExperimentData(
+        name="resilience", loss_rates=tuple(loss_rates),
+        labels=tuple(c.label for c in configs), rate_mbps=rate_mbps)
+    from ..parallel import SweepJob, run_sweep_jobs
+    jobs = [SweepJob(config=config, factory=factory,
+                     rates_mbps=(rate_mbps,), repetitions=repetitions,
+                     calibration=calibration, base_seed=base_seed,
+                     faults=(loss_fault(loss) if loss > 0 else None),
+                     label_override=data.key(config.label, loss))
+            for loss in data.loss_rates for config in configs]
     sweeps, report = run_sweep_jobs(jobs, workers=workers, cache=cache,
                                     progress=progress, obs=obs)
     for job in jobs:

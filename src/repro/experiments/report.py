@@ -6,7 +6,8 @@ from typing import Dict, Optional, Sequence
 
 from ..core import HeadlineClaim, build_headline_claims
 from .figures import (FIGURES, ExperimentData, FigureSpec,
-                      PathExperimentData, figure_series)
+                      PathExperimentData, ResilienceExperimentData,
+                      figure_series)
 
 
 def format_figure(spec: FigureSpec, data: ExperimentData) -> str:
@@ -76,6 +77,46 @@ def format_path_experiment(data: PathExperimentData,
             cells = "  ".join(f"{series[label][i]:>{label_width}.3f}"
                               for label in data.labels)
             lines.append(f"{length:>10d}  {cells}")
+    return "\n".join(lines)
+
+
+#: Metrics of the resilience-vs-loss figure: ``(json_name, column_title,
+#: getter)``.
+RESILIENCE_METRICS = (
+    ("completion_pct", "flow setup completion (%)",
+     lambda r: r.completion_rate * 100.0),
+    ("retries_per_run", "retries sent per run",
+     lambda r: r.retries_per_run),
+    ("flows_abandoned_per_run", "flows abandoned per run",
+     lambda r: r.flows_abandoned),
+    ("setup_delay_p99_ms", "flow setup delay p99 (ms)",
+     lambda r: r.setup_delay_p99 * 1000.0),
+)
+
+
+def format_resilience_experiment(data: ResilienceExperimentData) -> str:
+    """The resilience-vs-loss figure as text tables.
+
+    One table per metric in :data:`RESILIENCE_METRICS`: loss rates down,
+    mechanisms across, values taken at the experiment's fixed sending
+    rate.
+    """
+    label_width = max(12, *(len(label) for label in data.labels))
+    cols = "  ".join(label.rjust(label_width) for label in data.labels)
+    lines = [f"figresilience: flow setup vs control-channel loss at "
+             f"{data.rate_mbps:g} Mbps",
+             "  expected shape: only the flow-granularity mechanism "
+             "retries lost packet_ins; its completion stays ~100% while "
+             "the others shed flows as loss grows"]
+    for _, title, getter in RESILIENCE_METRICS:
+        series = {label: data.series_vs_loss(label, getter)
+                  for label in data.labels}
+        lines.append(f"  {title}")
+        lines.append(f"{'loss':>10}  {cols}")
+        for i, loss in enumerate(data.loss_rates):
+            cells = "  ".join(f"{series[label][i]:>{label_width}.3f}"
+                              for label in data.labels)
+            lines.append(f"{loss:>10g}  {cells}")
     return "\n".join(lines)
 
 

@@ -13,7 +13,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 from ..core import BufferConfig
-from ..metrics import RunMetrics, Summary, summarize
+from ..faults import FaultSpec, install_faults
+from ..metrics import RunMetrics, Summary, percentile, summarize
 from ..scenarios import SINGLE, ScenarioSpec, build_scenario
 from ..simkit import RandomStreams, mbps
 from ..trafficgen import Workload
@@ -49,13 +50,17 @@ def run_once(buffer_config: BufferConfig, workload: Workload,
              seed: int = 0, settle: float = 0.020, drain: float = 0.250,
              max_extends: int = 20,
              obs: Optional["RunObserver"] = None,
-             scenario: Optional[ScenarioSpec] = None) -> RunMetrics:
+             scenario: Optional[ScenarioSpec] = None,
+             faults: Optional[FaultSpec] = None) -> RunMetrics:
     """One repetition: build a fresh testbed, play the workload, snapshot.
 
     ``scenario`` selects the topology (a
     :class:`~repro.scenarios.ScenarioSpec`); the default is the paper's
     single-switch Fig. 1 testbed, bit-identical to the historical direct
-    ``build_testbed`` path.  ``settle`` gives the OpenFlow handshake time
+    ``build_testbed`` path.  ``faults`` (a
+    :class:`~repro.faults.FaultSpec`) arms deterministic control-plane
+    fault injection on the built testbed; ``None`` (or a null spec)
+    leaves the run untouched.  ``settle`` gives the OpenFlow handshake time
     to finish before traffic; ``drain`` lets in-flight control traffic
     land after the last send.  If flows are still incomplete at the
     nominal deadline (deep queues at high rates), the run is extended in
@@ -71,6 +76,7 @@ def run_once(buffer_config: BufferConfig, workload: Workload,
     testbed = build_scenario(scenario if scenario is not None else SINGLE,
                              buffer_config, workload,
                              calibration=calibration, seed=seed)
+    install_faults(testbed, faults)
     sim = testbed.sim
     if obs is not None:
         obs.attach(testbed)
@@ -144,6 +150,17 @@ class RateAggregate:
     completed_flows: float
     total_flows: int
     packets_dropped: float
+    # Resilience accounting (figresilience; zero for faultless sweeps).
+    flows_abandoned: float = 0.0
+    #: p99 of the pooled setup delays, seconds (0 when nothing pooled).
+    setup_delay_p99: float = 0.0
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of flows whose setup completed (1.0 = all)."""
+        if self.total_flows <= 0:
+            return 0.0
+        return self.completed_flows / self.total_flows
 
 
 def aggregate(rate_mbps: float, label: str,
@@ -183,6 +200,10 @@ def aggregate(rate_mbps: float, label: str,
         completed_flows=sum(r.completed_flows for r in runs) / n,
         total_flows=runs[0].total_flows,
         packets_dropped=sum(r.packets_dropped for r in runs) / n,
+        flows_abandoned=sum(
+            getattr(r, "flows_abandoned", 0) for r in runs) / n,
+        setup_delay_p99=(percentile(pooled_setup, 99)
+                         if pooled_setup else 0.0),
     )
 
 
@@ -217,7 +238,8 @@ def sweep(buffer_config: BufferConfig, workload_factory: WorkloadFactory,
           cache: Optional["ResultCache"] = None,
           progress: "None | bool | ProgressTracker" = None,
           obs: Optional["ObsCollector"] = None,
-          scenario: Optional[ScenarioSpec] = None) -> SweepResult:
+          scenario: Optional[ScenarioSpec] = None,
+          faults: Optional[FaultSpec] = None) -> SweepResult:
     """The paper's method: repetitions at every sending rate.
 
     ``workers``/``cache``/``progress`` hand the sweep to the
@@ -238,7 +260,7 @@ def sweep(buffer_config: BufferConfig, workload_factory: WorkloadFactory,
                               repetitions, calibration=calibration,
                               base_seed=base_seed, workers=workers,
                               cache=cache, progress=progress, obs=obs,
-                              scenario=scenario)
+                              scenario=scenario, faults=faults)
     # The seed table is computed up front from grid coordinates alone;
     # the in-loop assertion guards the determinism invariant the parallel
     # engine's bit-identical guarantee rests on.
@@ -259,7 +281,8 @@ def sweep(buffer_config: BufferConfig, workload_factory: WorkloadFactory,
                         if obs is not None else None)
             runs.append(run_once(buffer_config, workload,
                                  calibration=calibration, seed=seed,
-                                 obs=observer, scenario=scenario))
+                                 obs=observer, scenario=scenario,
+                                 faults=faults))
             if obs is not None:
                 obs.add(observer.observation)
         result.rows.append(aggregate(rate, buffer_config.label, runs))

@@ -1,0 +1,26 @@
+"""Deterministic, seeded fault injection for the control plane.
+
+The paper's flow-granularity mechanism exists for an unreliable control
+path — the Algorithm 1 line 12–13 timeout re-request is its whole
+robustness story — yet a lossless simulator never exercises it.  This
+subsystem makes control-plane stress a first-class, cacheable experiment
+input:
+
+* :class:`FaultSpec` — frozen/hashable description of per-direction
+  control-channel loss, duplication and delivery jitter, controller
+  stall windows, and forced buffer-ageout pressure.  Rides inside
+  :class:`~repro.parallel.tasks.SweepJob` and keys the result cache.
+* :func:`install_faults` — arms a spec on a built testbed, drawing
+  every decision from dedicated named RNG substreams so identical
+  ``(seed, spec)`` pairs are bit-identical and a null spec changes
+  nothing.
+* :func:`parse_fault` / :func:`loss_fault` — CLI/text front ends.
+"""
+
+from .inject import DirectionInjector, install_faults
+from .spec import NO_FAULTS, FaultSpec, loss_fault, parse_fault
+
+__all__ = [
+    "FaultSpec", "NO_FAULTS", "loss_fault", "parse_fault",
+    "DirectionInjector", "install_faults",
+]

@@ -1,0 +1,205 @@
+"""Declarative fault descriptions: what to break, not how.
+
+A :class:`FaultSpec` is a frozen, hashable value object describing the
+control-plane stress one run is subjected to: per-direction message loss,
+duplication and extra delivery jitter on every control channel,
+controller stall (crash/restart) windows during which the OpenFlow
+connection is dead both ways, and forced buffer-ageout pressure on the
+switches.  Because it is immutable and canonical it can ride inside
+:class:`~repro.parallel.tasks.SweepJob`, cross the fork boundary, and
+feed the result cache's content hash — two specs that differ in any way
+never share a cache entry (see :meth:`FaultSpec.cache_token`), exactly
+like :class:`~repro.scenarios.ScenarioSpec` does for topologies.
+
+Determinism: the spec carries no randomness itself.  All fault decisions
+are drawn from dedicated named substreams of the run's
+:class:`~repro.simkit.RandomStreams` (see :mod:`repro.faults.inject`),
+so identical ``(seed, FaultSpec)`` pairs produce bit-identical runs and
+a null spec perturbs nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: ((start, end), ...) in simulated seconds; canonicalized sorted.
+StallWindows = Tuple[Tuple[float, float], ...]
+
+
+def _probability(name: str, value: float) -> float:
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One run's fault-injection plan, hashable and picklable.
+
+    Directions follow the control channel's convention: ``up`` is
+    switch → controller, ``down`` is controller → switch.  Loss and
+    duplication are per-message probabilities; jitter is the maximum
+    extra delivery delay in seconds (uniform in ``[0, jitter]``).
+    ``stall_windows`` are intervals during which the controller is down:
+    every control message in either direction is dropped, which is what
+    a dead TCP connection looks like from both ends.  ``ageout``
+    (seconds) overrides every switch's ``buffer_ageout`` to force
+    expiry pressure; ``ageout_interval`` optionally overrides the sweep
+    period too.
+    """
+
+    loss_up: float = 0.0
+    loss_down: float = 0.0
+    dup_up: float = 0.0
+    dup_down: float = 0.0
+    jitter_up: float = 0.0
+    jitter_down: float = 0.0
+    stall_windows: StallWindows = field(default=())
+    ageout: Optional[float] = None
+    ageout_interval: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name in ("loss_up", "loss_down", "dup_up", "dup_down"):
+            object.__setattr__(self, name,
+                               _probability(name, getattr(self, name)))
+        for name in ("jitter_up", "jitter_down"):
+            value = float(getattr(self, name))
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+            object.__setattr__(self, name, value)
+        windows = []
+        for window in self.stall_windows:
+            start, end = (float(window[0]), float(window[1]))
+            if start < 0 or end <= start:
+                raise ValueError(
+                    f"stall window must satisfy 0 <= start < end, "
+                    f"got {window!r}")
+            windows.append((start, end))
+        # Canonicalize so logically equal specs hash (and cache-key)
+        # equal regardless of the order windows were listed in.
+        object.__setattr__(self, "stall_windows", tuple(sorted(windows)))
+        if self.ageout is not None and float(self.ageout) <= 0:
+            raise ValueError(f"ageout must be positive, got {self.ageout}")
+        if (self.ageout_interval is not None
+                and float(self.ageout_interval) <= 0):
+            raise ValueError(f"ageout_interval must be positive, "
+                             f"got {self.ageout_interval}")
+
+    @property
+    def is_null(self) -> bool:
+        """True when this spec injects nothing (equivalent to ``None``)."""
+        return (self.loss_up == 0.0 and self.loss_down == 0.0
+                and self.dup_up == 0.0 and self.dup_down == 0.0
+                and self.jitter_up == 0.0 and self.jitter_down == 0.0
+                and not self.stall_windows
+                and self.ageout is None and self.ageout_interval is None)
+
+    @property
+    def name(self) -> str:
+        """Compact display name, e.g. ``loss:0.01`` or ``none``."""
+        if self.is_null:
+            return "none"
+        parts = []
+        if self.loss_up == self.loss_down and self.loss_up > 0:
+            parts.append(f"loss:{self.loss_up:g}")
+        else:
+            if self.loss_up:
+                parts.append(f"loss_up:{self.loss_up:g}")
+            if self.loss_down:
+                parts.append(f"loss_down:{self.loss_down:g}")
+        if self.dup_up or self.dup_down:
+            parts.append(f"dup:{max(self.dup_up, self.dup_down):g}")
+        if self.jitter_up or self.jitter_down:
+            parts.append(
+                f"jitter:{max(self.jitter_up, self.jitter_down):g}")
+        if self.stall_windows:
+            parts.append(f"stall:{len(self.stall_windows)}")
+        if self.ageout is not None:
+            parts.append(f"ageout:{self.ageout:g}")
+        return "+".join(parts)
+
+    def cache_token(self) -> str:
+        """Canonical text for the result cache's content hash.
+
+        Every field participates: two specs differing in any fault knob
+        must never collide (the cross-config cache-poisoning class the
+        scenario token closed for topologies).
+        """
+        return (f"loss_up={self.loss_up!r}|loss_down={self.loss_down!r}"
+                f"|dup_up={self.dup_up!r}|dup_down={self.dup_down!r}"
+                f"|jitter_up={self.jitter_up!r}"
+                f"|jitter_down={self.jitter_down!r}"
+                f"|stall={self.stall_windows!r}"
+                f"|ageout={self.ageout!r}"
+                f"|ageout_interval={self.ageout_interval!r}")
+
+    def stalled_at(self, now: float) -> bool:
+        """True when ``now`` falls inside a controller stall window."""
+        for start, end in self.stall_windows:
+            if start <= now < end:
+                return True
+        return False
+
+
+#: The default spec: inject nothing (equivalent to passing no spec).
+NO_FAULTS = FaultSpec()
+
+
+def loss_fault(probability: float) -> FaultSpec:
+    """Symmetric control-channel loss at ``probability`` per message."""
+    return FaultSpec(loss_up=probability, loss_down=probability)
+
+
+def _parse_windows(text: str) -> StallWindows:
+    """Parse ``start:end`` windows joined by ``+``."""
+    windows = []
+    for part in text.split("+"):
+        start, sep, end = part.partition(":")
+        if not sep:
+            raise ValueError(
+                f"stall window needs start:end, got {part!r}")
+        windows.append((float(start), float(end)))
+    return tuple(windows)
+
+
+def parse_fault(text: str) -> FaultSpec:
+    """Parse a CLI fault string into a :class:`FaultSpec`.
+
+    Grammar: comma-separated ``key=value`` pairs.  Keys: ``loss``,
+    ``dup`` and ``jitter`` (symmetric, both directions), their
+    ``_up``/``_down`` variants, ``ageout``, ``ageout_interval``, and
+    ``stall=START:END`` (several windows joined with ``+``)::
+
+        loss=0.01
+        loss_up=0.02,jitter=0.0005,stall=0.5:0.8+1.2:1.4
+    """
+    kwargs: dict = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        key = key.strip().lower()
+        if not sep:
+            raise ValueError(f"fault clause needs key=value, got {item!r}")
+        value = value.strip()
+        if key in ("loss", "dup", "jitter"):
+            kwargs[f"{key}_up"] = float(value)
+            kwargs[f"{key}_down"] = float(value)
+        elif key in ("loss_up", "loss_down", "dup_up", "dup_down",
+                     "jitter_up", "jitter_down", "ageout",
+                     "ageout_interval"):
+            kwargs[key] = float(value)
+        elif key == "stall":
+            kwargs["stall_windows"] = _parse_windows(value)
+        else:
+            raise ValueError(
+                f"unknown fault key {key!r} in {text!r}; expected loss, "
+                f"dup, jitter (or *_up/*_down), stall, ageout, "
+                f"ageout_interval")
+    try:
+        return FaultSpec(**kwargs)
+    except ValueError as exc:
+        raise ValueError(f"invalid fault spec {text!r}: {exc}") from None

@@ -54,6 +54,9 @@ class RunMetrics:
     completed_flows: int
     total_flows: int
     packets_dropped: int
+    #: Flows the flow-granularity mechanism gave up on after exhausting
+    #: its retry budget (0 for the other mechanisms and healthy runs).
+    flows_abandoned: int = 0
     #: True when the run ended with flows still incomplete (the runner's
     #: extend budget ran out or progress stalled): delay statistics then
     #: cover completed flows only.
@@ -192,6 +195,7 @@ class MetricsSuite:
             completed_flows=self.delay_tracker.completed_flows,
             total_flows=self.delay_tracker.total_flows,
             packets_dropped=self.switch.datapath.packets_dropped,
+            flows_abandoned=getattr(mechanism, "flows_abandoned", 0),
             incomplete=(self.delay_tracker.completed_flows
                         < self.delay_tracker.total_flows),
         )
@@ -350,6 +354,9 @@ class PathMetricsSuite:
             total_flows=self.delay_tracker.total_flows,
             packets_dropped=sum(s.datapath.packets_dropped
                                 for s in self.switches),
+            flows_abandoned=sum(
+                getattr(s.mechanism, "flows_abandoned", 0)
+                for s in self.switches),
             incomplete=(self.delay_tracker.completed_flows
                         < self.delay_tracker.total_flows),
         )

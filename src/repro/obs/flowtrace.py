@@ -50,12 +50,14 @@ EVENT_BUFFER_ADMIT = "buffer.admit"
 EVENT_BUFFER_RELEASE = "buffer.release"
 EVENT_PACKET_IN_RETRY = "packet_in.retry"
 EVENT_PACKET_DROP = "packet.drop"
+EVENT_FAULT_INJECTED = "fault.injected"
 
 #: Categories: exporters and the decomposition test group spans by these.
 CAT_FLOW = "flow"
 CAT_SWITCH = "switch"
 CAT_CHANNEL = "channel"
 CAT_CONTROLLER = "controller"
+CAT_FAULT = "fault"
 
 
 @dataclass
@@ -136,6 +138,7 @@ class FlowSetupTracer:
         switch_events.on("buffer_released", self._on_buffer_released)
         switch_events.on("packet_egress", self._on_egress)
         switch_events.on("packet_drop", self._on_drop)
+        switch_events.on("fault_injected", self._on_fault_injected)
         if controller_events is not None:
             controller_events.on("packet_in_received",
                                  self._on_ctrl_received)
@@ -238,6 +241,21 @@ class FlowSetupTracer:
             drop_reason=reason, mechanism=self.mechanism, **self._extra)
         if packet.uid == timeline.first_uid:
             timeline.drop_reason = reason
+
+    def _on_fault_injected(self, time: float, kind: str, direction: str,
+                           message) -> None:
+        """An injected control-channel fault hit ``message`` (any flow)."""
+        attrs = dict(kind=kind, direction=direction,
+                     message_type=type(message).__name__,
+                     mechanism=self.mechanism, **self._extra)
+        packet = getattr(message, "packet", None)
+        flow_id = getattr(packet, "flow_id", None)
+        if flow_id is not None:
+            attrs["flow_id"] = flow_id
+        track = (f"{self.switch}/faults"
+                 if self.scope_tracks and self.switch else "faults")
+        self.recorder.instant(EVENT_FAULT_INJECTED, t=time,
+                              category=CAT_FAULT, track=track, **attrs)
 
     # ------------------------------------------------------------------
     # Controller-side events

@@ -25,6 +25,12 @@ DEFAULT_ENCAPSULATION_OVERHEAD = 54
 
 MessageHandler = Callable[[OFMessage], None]
 
+#: A fault filter sits between wire delivery and the bound handler:
+#: it receives ``(message, deliver)`` and decides whether/how to call
+#: ``deliver(message)`` — possibly never (loss), twice (duplication),
+#: or later via the simulator (jitter).  See :mod:`repro.faults`.
+FaultFilter = Callable[[OFMessage, MessageHandler], None]
+
 
 class ControlChannel:
     """Bidirectional OpenFlow message transport between one switch and
@@ -45,6 +51,10 @@ class ControlChannel:
         #: Message counters per direction.
         self.to_controller_count = 0
         self.to_switch_count = 0
+        # Optional fault filters (installed by repro.faults); None keeps
+        # the historical zero-overhead delivery path.
+        self._fault_to_controller: Optional[FaultFilter] = None
+        self._fault_to_switch: Optional[FaultFilter] = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -56,6 +66,21 @@ class ControlChannel:
     def bind_controller(self, handler: MessageHandler) -> None:
         """Messages from the switch are delivered to ``handler``."""
         self._controller_handler = handler
+
+    def install_fault_filters(
+            self, to_controller: Optional[FaultFilter] = None,
+            to_switch: Optional[FaultFilter] = None) -> None:
+        """Route deliveries through per-direction fault filters.
+
+        A filter receives every message that completed its wire transit
+        in that direction, plus the dispatch callable; it decides how
+        many times (and when) to invoke it.  Passing ``None`` leaves a
+        direction's existing filter in place.
+        """
+        if to_controller is not None:
+            self._fault_to_controller = to_controller
+        if to_switch is not None:
+            self._fault_to_switch = to_switch
 
     # ------------------------------------------------------------------
     # Transport
@@ -82,10 +107,24 @@ class ControlChannel:
 
     def _deliver_to_controller(self, message: OFMessage) -> None:
         assert self._controller_handler is not None
-        self._controller_handler(message)
+        if self._fault_to_controller is not None:
+            self._fault_to_controller(message, self._dispatch_to_controller)
+        else:
+            self._dispatch_to_controller(message)
 
     def _deliver_to_switch(self, message: OFMessage) -> None:
         assert self._switch_handler is not None
+        if self._fault_to_switch is not None:
+            self._fault_to_switch(message, self._dispatch_to_switch)
+        else:
+            self._dispatch_to_switch(message)
+
+    def _dispatch_to_controller(self, message: OFMessage) -> None:
+        # Re-read the handler at dispatch time: a jittered delivery may
+        # land after the handler was rebound.
+        self._controller_handler(message)
+
+    def _dispatch_to_switch(self, message: OFMessage) -> None:
         self._switch_handler(message)
 
     def reset_accounting(self) -> None:

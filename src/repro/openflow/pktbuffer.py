@@ -59,12 +59,13 @@ class PacketBuffer:
         self._released = Counter("pktbuf_released_total")
         self._full_rejections = Counter("pktbuf_full_rejections_total")
         self._unknown_releases = Counter("pktbuf_unknown_releases_total")
+        self._expired = Counter("pktbuf_expired_total")
         self._peak = Gauge("pktbuf_peak_units")
 
     def metrics(self) -> tuple:
         """Metric objects for adoption into a run's registry."""
         return (self._buffered, self._released, self._full_rejections,
-                self._unknown_releases, self._peak)
+                self._unknown_releases, self._expired, self._peak)
 
     # -- legacy counter attributes (views over the metric objects) -------
     @property
@@ -82,6 +83,10 @@ class PacketBuffer:
     @property
     def unknown_releases(self) -> int:
         return self._unknown_releases.value
+
+    @property
+    def total_expired(self) -> int:
+        return self._expired.value
 
     @property
     def peak_units(self) -> int:
@@ -167,16 +172,26 @@ class PacketBuffer:
     def __contains__(self, buffer_id: int) -> bool:
         return buffer_id in self._units
 
-    def expire_older_than(self, cutoff: float) -> list[int]:
+    def expire_older_than(self, cutoff: float,
+                          now: Optional[float] = None) -> list[int]:
         """Free units stored before ``cutoff``; returns the expired ids.
 
         Real switches age out buffered packets whose ``packet_out`` never
         arrives; this keeps a crashed controller from pinning the buffer.
+        Expired units recycle through the same ``reclaim_delay`` cooling
+        ring as ``packet_out``-released ones (the §2 ring model: a slot
+        is a slot, however it was vacated).  ``now`` anchors the cooling
+        clock; it defaults to ``cutoff`` for callers without one, which
+        only shortens the cooling of already-overdue units.
         """
         expired = [bid for bid, t in self._stored_at.items() if t < cutoff]
+        when = cutoff if now is None else now
         for bid in expired:
             self._units.pop(bid, None)
             self._stored_at.pop(bid, None)
+            self._expired.inc()
+            if self.reclaim_delay > 0:
+                self._cooling.append(when + self.reclaim_delay)
         return expired
 
     def clear(self) -> None:
@@ -191,6 +206,7 @@ class PacketBuffer:
         self._released.reset()
         self._full_rejections.reset()
         self._unknown_releases.reset()
+        self._expired.reset()
         self._peak.reset(len(self._units))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -28,7 +28,9 @@ from .tasks import SweepJob, SweepTask, factory_fingerprint
 #: Bump when the cached payload's meaning changes.
 #: v2: the scenario (topology) joined the key — before that, runs of the
 #: same mechanism on different topologies could poison each other.
-CACHE_SCHEMA = 2
+#: v3: the fault spec joined the key — lossy and faultless runs of the
+#: same grid point must never share an entry.
+CACHE_SCHEMA = 3
 
 
 def default_cache_dir() -> Path:
@@ -65,11 +67,16 @@ def task_key(job: SweepJob, task: SweepTask) -> str:
     the same logical run hits the same entry across processes, worker
     counts and sessions.  The scenario participates through its
     canonical :meth:`~repro.scenarios.ScenarioSpec.cache_token`: two
-    specs differing only in topology never share an entry.
+    specs differing only in topology never share an entry.  Likewise the
+    fault spec (:meth:`~repro.faults.FaultSpec.cache_token`): a lossy
+    run can never satisfy a faultless lookup, and ``faults=None`` keys
+    identically to the explicit null spec.
     """
     from .. import __version__
+    from ..faults import NO_FAULTS
     from ..scenarios import SINGLE
     scenario = job.scenario if job.scenario is not None else SINGLE
+    faults = job.faults if job.faults is not None else NO_FAULTS
     payload = "|".join((
         f"schema={CACHE_SCHEMA}",
         f"repro={__version__}",
@@ -77,6 +84,7 @@ def task_key(job: SweepJob, task: SweepTask) -> str:
         f"calibration={_canonical(job.calibration)}",
         f"factory={factory_fingerprint(job.factory)}",
         f"scenario={scenario.cache_token()}",
+        f"faults={faults.cache_token()}",
         f"rate={task.rate_mbps!r}",
         f"rep={task.rep}",
         f"seed={task.seed}",

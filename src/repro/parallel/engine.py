@@ -28,6 +28,7 @@ from typing import (Callable, Dict, List, Optional, Sequence, Tuple, Union)
 from ..core import BufferConfig
 from ..experiments.calibration import TestbedCalibration
 from ..experiments.runner import (SweepResult, WorkloadFactory, aggregate)
+from ..faults import FaultSpec
 from ..metrics import RunMetrics
 from ..obs import ObsCollector, RunObservation
 from ..scenarios import ScenarioSpec
@@ -305,18 +306,20 @@ def parallel_sweep(buffer_config: BufferConfig,
                    max_task_retries: int = 2,
                    raise_on_failure: bool = True,
                    obs: Optional[ObsCollector] = None,
-                   scenario: Optional["ScenarioSpec"] = None) -> SweepResult:
+                   scenario: Optional["ScenarioSpec"] = None,
+                   faults: Optional["FaultSpec"] = None) -> SweepResult:
     """Drop-in parallel equivalent of :func:`repro.experiments.sweep`.
 
     With ``raise_on_failure`` (the default) a partial failure raises
     :class:`SweepExecutionError` carrying the engine report; pass False
     to get whatever rows survived instead.  ``scenario`` selects the
-    topology every repetition runs on (and keys the cache).
+    topology every repetition runs on (and keys the cache), ``faults``
+    the control-plane fault spec (likewise cache-keyed).
     """
     job = SweepJob(config=buffer_config, factory=workload_factory,
                    rates_mbps=tuple(rates_mbps), repetitions=repetitions,
                    calibration=calibration, base_seed=base_seed,
-                   scenario=scenario)
+                   scenario=scenario, faults=faults)
     sweeps, report = run_sweep_jobs(
         [job], workers=workers, cache=cache, progress=progress,
         max_task_retries=max_task_retries, obs=obs)

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 from ..core import BufferConfig
 from ..experiments.calibration import TestbedCalibration
 from ..experiments.runner import (WorkloadFactory, derive_seed, run_once)
+from ..faults import FaultSpec
 from ..metrics import RunMetrics
 from ..obs import ObsConfig, RunObservation, RunObserver
 from ..scenarios import ScenarioSpec
@@ -68,6 +69,10 @@ class SweepJob:
     #: Topology every repetition runs on (None = single-switch default).
     #: Frozen/hashable; participates in the result-cache content hash.
     scenario: Optional[ScenarioSpec] = None
+    #: Control-plane fault injection every repetition runs under
+    #: (None = no faults).  Frozen/hashable; participates in the
+    #: result-cache content hash (cache schema v3).
+    faults: Optional[FaultSpec] = None
     #: Override for the sweep's result label.  Parameter studies that
     #: reuse one mechanism across scenarios (e.g. buffer-256 on line:1
     #: vs line:4) need distinct labels for the engine's uniqueness check.
@@ -137,7 +142,7 @@ def execute_task_observed(
     metrics = run_once(job.config, workload, calibration=job.calibration,
                        seed=task.seed, settle=job.settle, drain=job.drain,
                        max_extends=job.max_extends, obs=observer,
-                       scenario=job.scenario)
+                       scenario=job.scenario, faults=job.faults)
     return metrics, (observer.observation if observer is not None else None)
 
 

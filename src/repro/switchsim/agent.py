@@ -16,6 +16,7 @@ messages contend with everything else — the effect the paper measures.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Optional
 
 from ..core import BufferMechanism, FlowGranularityBuffer
@@ -364,12 +365,35 @@ class OpenFlowAgent:
         if buffer_obj is not None and hasattr(buffer_obj,
                                               "expire_older_than"):
             cutoff = self.sim.now - self.config.buffer_ageout
-            expired = buffer_obj.expire_older_than(cutoff)
+            expired = buffer_obj.expire_older_than(cutoff, now=self.sim.now)
             self._buffer_ageout_drops.inc(len(expired))
             for buffer_id in expired:
                 self.events.emit("buffer_aged_out", self.sim.now, buffer_id)
         self._ageout_handle = self.sim.schedule(
             self.config.buffer_ageout_interval, self._ageout_sweep)
+
+    def force_buffer_ageout(self, ageout: float,
+                            interval: Optional[float] = None) -> None:
+        """Re-arm the ageout sweep with a (typically tighter) budget.
+
+        Fault-injection hook (:mod:`repro.faults`): replaces the
+        config's ``buffer_ageout``/``buffer_ageout_interval`` and
+        reschedules the sweep, so a run can be put under forced expiry
+        pressure without rebuilding the switch.  The sweep interval
+        defaults to half the budget so expiry lag stays proportional.
+        """
+        if ageout <= 0:
+            raise ValueError(f"ageout must be positive, got {ageout}")
+        if interval is None:
+            interval = min(self.config.buffer_ageout_interval,
+                           ageout / 2) or ageout / 2
+        self.config = dataclasses.replace(
+            self.config, buffer_ageout=ageout,
+            buffer_ageout_interval=interval)
+        if self._ageout_handle is not None:
+            self._ageout_handle.cancel()
+        self._ageout_handle = self.sim.schedule(interval,
+                                                self._ageout_sweep)
 
     def shutdown(self) -> None:
         """Cancel periodic sweeps (end of run)."""

@@ -97,6 +97,25 @@ def test_per_flow_packet_cap():
 def test_subsequent_on_unknown_unit_fails():
     buffer = FlowPacketBuffer(capacity=4)
     assert not buffer.buffer_subsequent_packet(999, _packet())
+    # An append to a vanished unit is not a release.
+    assert buffer.unknown_appends == 1
+    assert buffer.unknown_releases == 0
+
+
+def test_drop_all_counts_drops_not_releases():
+    """Retry exhaustion frees the unit but its packets were dropped,
+    never forwarded — they must not inflate total_released."""
+    buffer = FlowPacketBuffer(capacity=4)
+    buffer_id = buffer.buffer_first_packet(_flow_key(), _packet(), now=0.0)
+    buffer.buffer_subsequent_packet(buffer_id, _packet(0, 1))
+    dropped = buffer.drop_all(buffer_id)
+    assert len(dropped) == 2
+    assert buffer.abandoned_drops == 2
+    assert buffer.total_released == 0
+    assert buffer.units_in_use == 0
+    assert buffer.drop_all(buffer_id) == []     # idempotent, uncounted
+    assert buffer.abandoned_drops == 2
+    assert buffer.unknown_releases == 0
 
 
 def test_expire_older_than_frees_unit():

@@ -99,6 +99,23 @@ def test_expire_older_than():
     assert new in buffer
 
 
+def test_expiry_has_own_counter_and_cooling():
+    """Aged-out units are expiries (not releases) and recycle through
+    the same reclaim cooling ring as packet_out-released units."""
+    buffer = PacketBuffer(capacity=1, reclaim_delay=1.0)
+    buffer.store(_packet(1), now=0.0)
+    buffer.expire_older_than(cutoff=4.0, now=5.0)
+    assert buffer.total_expired == 1
+    assert buffer.total_released == 0
+    assert buffer.unknown_releases == 0
+    # Cooling until t = 6.0: the slot is not allocatable yet.
+    assert buffer.occupancy(5.5) == 1
+    with pytest.raises(BufferFullError):
+        buffer.store(_packet(2), now=5.5)
+    assert buffer.occupancy(6.1) == 0
+    buffer.store(_packet(3), now=6.1)
+
+
 def test_clear_frees_everything():
     buffer = PacketBuffer(capacity=4, reclaim_delay=5.0)
     a = buffer.store(_packet(1), now=0.0)
