@@ -7,6 +7,7 @@ testbed; DESIGN.md §5 defines direction as the reproduction target).
 
 from __future__ import annotations
 
+import kernelrecord
 from figutil import bench_run_a
 
 from repro.core import buffer_256
@@ -23,6 +24,9 @@ def test_headline_claims(benchmark, benefits_data, mechanism_data, emit):
     assert disagreements == [], (
         f"claims disagreeing with the paper's direction: {disagreements}")
 
-    # Benchmark the canonical configuration's end-to-end run.
+    # Benchmark the canonical configuration's end-to-end run, and fold
+    # its simulated-seconds-per-wall-second into the kernel perf record.
     result = bench_run_a(benchmark, buffer_256())
     assert result.completed_flows == result.total_flows
+    kernelrecord.merge_probe("headline_run_a", benchmark.stats.stats.min,
+                             window_s=result.window)

@@ -3,6 +3,14 @@
 Not a paper figure — these keep the simulation kernel honest.  Every
 workload-A repetition executes tens of thousands of events; regressions
 here silently multiply every sweep's wall-clock time.
+
+Run as a script to (re)generate the tracked perf record::
+
+    PYTHONPATH=src python benchmarks/bench_simkit.py                   # _output/
+    PYTHONPATH=src python benchmarks/bench_simkit.py --update-baseline # repo root
+
+See ``kernelrecord.py`` for the ``BENCH_kernel.json`` format and
+``perf_gate.py`` for the CI regression gate built on top of it.
 """
 
 from __future__ import annotations
@@ -14,50 +22,111 @@ from repro.trafficgen import single_packet_flows
 from repro.simkit import RandomStreams
 
 
+def _event_loop_chain():
+    """20k-event timer chain: the bare heap scheduling path."""
+    sim = Simulator()
+    counter = {"n": 0}
+
+    def tick():
+        counter["n"] += 1
+        if counter["n"] < 20_000:
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    return counter["n"]
+
+
+def _zero_delay_chain():
+    """20k-event same-instant chain: the dispatch micro-queue path."""
+    sim = Simulator()
+    counter = {"n": 0}
+
+    def tick():
+        counter["n"] += 1
+        if counter["n"] < 20_000:
+            sim.schedule(0.0, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    return counter["n"]
+
+
 def test_event_loop_throughput(benchmark):
     """Bare scheduling throughput: chains of self-rescheduling events."""
-    def run_chain():
-        sim = Simulator()
-        counter = {"n": 0}
-
-        def tick():
-            counter["n"] += 1
-            if counter["n"] < 20_000:
-                sim.schedule(0.001, tick)
-
-        sim.schedule(0.0, tick)
-        sim.run()
-        return counter["n"]
-
-    executed = benchmark.pedantic(run_chain, rounds=3, iterations=1)
+    executed = benchmark.pedantic(_event_loop_chain, rounds=3, iterations=1)
     assert executed == 20_000
+
+
+def test_zero_delay_dispatch(benchmark):
+    """Same-instant dispatch throughput (the ready micro-queue path)."""
+    executed = benchmark.pedantic(_zero_delay_chain, rounds=3, iterations=1)
+    assert executed == 20_000
+
+
+def _station_run():
+    """10k submit/finish cycles through a 4-server station."""
+    sim = Simulator()
+    station = ServiceStation(sim, "s", servers=4)
+    done = {"n": 0}
+
+    def on_done(payload):
+        done["n"] += 1
+
+    for i in range(10_000):
+        station.submit(i, 0.0001, on_done)
+    sim.run()
+    return done["n"]
+
+
+def _testbed_run():
+    """One full 500-flow repetition of the canonical testbed."""
+    workload = single_packet_flows(mbps(60), n_flows=500,
+                                   rng=RandomStreams(0))
+    return run_once(buffer_256(), workload)
 
 
 def test_station_throughput(benchmark):
     """Queueing-station hot path: submit/finish cycles."""
-    def run_station():
-        sim = Simulator()
-        station = ServiceStation(sim, "s", servers=4)
-        done = {"n": 0}
-
-        def on_done(payload):
-            done["n"] += 1
-
-        for i in range(10_000):
-            station.submit(i, 0.0001, on_done)
-        sim.run()
-        return done["n"]
-
-    completed = benchmark.pedantic(run_station, rounds=3, iterations=1)
+    completed = benchmark.pedantic(_station_run, rounds=3, iterations=1)
     assert completed == 10_000
 
 
 def test_full_testbed_event_cost(benchmark):
     """Events executed per full 500-flow repetition, and its wall cost."""
-    def run_testbed():
-        workload = single_packet_flows(mbps(60), n_flows=500,
-                                       rng=RandomStreams(0))
-        return run_once(buffer_256(), workload)
-
-    result = benchmark.pedantic(run_testbed, rounds=1, iterations=1)
+    result = benchmark.pedantic(_testbed_run, rounds=1, iterations=1)
     assert result.completed_flows == 500
+
+
+def main(argv=None):
+    """Measure every probe and write the ``BENCH_kernel.json`` record."""
+    import argparse
+
+    import kernelrecord
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write the committed repo-root record instead "
+                             "of benchmarks/_output/")
+    args = parser.parse_args(argv)
+
+    after = {
+        "event_loop": kernelrecord.best_of(_event_loop_chain),
+        "zero_delay_dispatch": kernelrecord.best_of(_zero_delay_chain),
+        "station": kernelrecord.best_of(_station_run),
+        "full_testbed": kernelrecord.best_of(_testbed_run, rounds=5),
+    }
+    window = _testbed_run().window
+    record = kernelrecord.build_record(after, testbed_window_s=window)
+    path = (kernelrecord.BASELINE_PATH if args.update_baseline
+            else kernelrecord.OUTPUT_PATH)
+    kernelrecord.write_record(record, path)
+    for name, bench in record["benchmarks"].items():
+        print(f"{name:22s} {bench['before']['seconds']:.6f}s -> "
+              f"{bench['after']['seconds']:.6f}s  ({bench['speedup']:.2f}x)")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()
+

@@ -1,0 +1,127 @@
+"""The kernel perf record: measuring and writing ``BENCH_kernel.json``.
+
+``BENCH_kernel.json`` (repo root, committed) is the tracked perf
+trajectory of the simulation kernel: for each probe it stores the
+*before* numbers captured at the pre-optimization commit and the *after*
+numbers measured when the record was last regenerated, so future PRs
+have a baseline to regress against (see the CI perf-smoke gate in
+``perf_gate.py``).
+
+Regenerate with::
+
+    PYTHONPATH=src python benchmarks/bench_simkit.py            # _output copy
+    PYTHONPATH=src python benchmarks/bench_simkit.py --update-baseline
+
+Probes use best-of-N ``perf_counter`` wall times (not pytest-benchmark
+statistics) so the script is runnable anywhere; absolute numbers are
+machine-specific, the committed speedups are the meaningful signal.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Callable, Dict, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_kernel.json"
+OUTPUT_PATH = pathlib.Path(__file__).resolve().parent / "_output" / "BENCH_kernel.json"
+
+#: Pre-optimization wall times (seconds, best-of-5 perf_counter) captured
+#: at commit e902188 — the last commit before the kernel fast-path —
+#: on the same machine that produced the committed *after* numbers.
+BEFORE_SECONDS = {
+    "event_loop": 0.025808,
+    "zero_delay_dispatch": 0.038466,
+    "station": 0.029756,
+    "full_testbed": 0.114428,
+}
+
+#: Work units executed per probe run (events for the chains, jobs for
+#: the station; the testbed probe is measured in simulated seconds).
+PROBE_UNITS = {
+    "event_loop": 20_000,
+    "zero_delay_dispatch": 20_000,
+    "station": 10_000,
+}
+
+
+def best_of(fn: Callable[[], object], rounds: int = 5) -> float:
+    """Minimum wall time of ``rounds`` calls to ``fn`` (seconds)."""
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _rates(name: str, seconds: float,
+           window_s: Optional[float] = None) -> Dict[str, float]:
+    entry: Dict[str, float] = {"seconds": round(seconds, 6)}
+    units = PROBE_UNITS.get(name)
+    if units is not None:
+        entry["events_per_sec"] = round(units / seconds, 1)
+        entry["ns_per_event"] = round(seconds / units * 1e9, 1)
+    if window_s is not None:
+        entry["testbed_seconds_per_sec"] = round(window_s / seconds, 4)
+    return entry
+
+
+def build_record(after_seconds: Dict[str, float],
+                 testbed_window_s: float) -> Dict[str, object]:
+    """Assemble the full before/after record from measured wall times."""
+    benchmarks: Dict[str, object] = {}
+    for name, before_s in BEFORE_SECONDS.items():
+        after_s = after_seconds[name]
+        window = testbed_window_s if name == "full_testbed" else None
+        benchmarks[name] = {
+            "units": PROBE_UNITS.get(name, None),
+            "before": _rates(name, before_s, window),
+            "after": _rates(name, after_s, window),
+            "speedup": round(before_s / after_s, 2),
+        }
+    return {
+        "schema": "bench-kernel/1",
+        "note": ("best-of-N perf_counter wall times; 'before' captured at "
+                 "the pre-optimization commit on the same machine. "
+                 "Regenerate: PYTHONPATH=src python benchmarks/"
+                 "bench_simkit.py --update-baseline"),
+        "benchmarks": benchmarks,
+    }
+
+
+def write_record(record: Dict[str, object], path: pathlib.Path) -> None:
+    """Write ``record`` as stable, diff-friendly JSON."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(record, indent=2, sort_keys=False) + "\n")
+
+
+def load_baseline(path: pathlib.Path = BASELINE_PATH) -> Dict[str, object]:
+    """Load the committed record (raises if it has not been generated)."""
+    return json.loads(path.read_text())
+
+
+def merge_probe(name: str, seconds: float,
+                window_s: Optional[float] = None,
+                path: pathlib.Path = OUTPUT_PATH) -> None:
+    """Fold one freshly measured probe into the ``_output`` record.
+
+    Used by benchmarks that already ran the workload under
+    pytest-benchmark (``bench_headline.py``) to contribute their wall
+    time without re-running it; only the *after* side is replaced.
+    """
+    if path.exists():
+        record = json.loads(path.read_text())
+    else:
+        record = {"schema": "bench-kernel/1", "benchmarks": {}}
+    bench = record["benchmarks"].setdefault(name, {})
+    before_s = BEFORE_SECONDS.get(name)
+    if before_s is not None:
+        bench["before"] = _rates(name, before_s, window_s)
+        bench["speedup"] = round(before_s / seconds, 2)
+    bench["after"] = _rates(name, seconds, window_s)
+    write_record(record, path)

@@ -1,0 +1,82 @@
+"""Coarse perf-regression gate for CI.
+
+Compares a pytest-benchmark JSON report (``pytest benchmarks/
+bench_simkit.py --benchmark-json=out.json``) against the committed
+``BENCH_kernel.json`` record: for every kernel probe that has an
+events-per-second figure, fail if the measured rate dropped more than
+``--tolerance`` (default 30 %) below the committed *after* baseline.
+
+The tolerance is deliberately wide — CI runners are noisy and the gate
+only exists to catch order-of-magnitude kernel regressions, not to
+police single-digit drift.  Tighten locally by regenerating the record
+(``python benchmarks/bench_simkit.py --update-baseline``) on a quiet
+machine.
+
+Usage::
+
+    python benchmarks/perf_gate.py out.json [--tolerance 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import kernelrecord
+
+#: pytest-benchmark test name -> (BENCH_kernel.json probe, work units).
+GATED_PROBES = {
+    "test_event_loop_throughput": "event_loop",
+    "test_zero_delay_dispatch": "zero_delay_dispatch",
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="pytest-benchmark JSON report")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional drop in events/sec "
+                             "(default 0.30)")
+    args = parser.parse_args(argv)
+
+    baseline = kernelrecord.load_baseline()
+    report = json.loads(open(args.report).read())
+
+    results = {}
+    for bench in report["benchmarks"]:
+        name = bench["name"]
+        probe = GATED_PROBES.get(name)
+        if probe is None:
+            continue
+        units = kernelrecord.PROBE_UNITS[probe]
+        measured = units / bench["stats"]["min"]
+        committed = baseline["benchmarks"][probe]["after"]["events_per_sec"]
+        results[probe] = (measured, committed)
+
+    missing = set(GATED_PROBES.values()) - set(results)
+    if missing:
+        print(f"perf-gate: FAIL — probes missing from report: "
+              f"{sorted(missing)}")
+        return 2
+
+    failed = False
+    for probe, (measured, committed) in sorted(results.items()):
+        floor = committed * (1.0 - args.tolerance)
+        verdict = "ok" if measured >= floor else "REGRESSED"
+        failed = failed or measured < floor
+        print(f"perf-gate: {probe:22s} {measured:12,.0f} ev/s "
+              f"(baseline {committed:12,.0f}, floor {floor:12,.0f})  "
+              f"{verdict}")
+    if failed:
+        print(f"perf-gate: FAIL — events/sec dropped more than "
+              f"{args.tolerance:.0%} below the committed BENCH_kernel.json; "
+              f"if intentional, regenerate the record with "
+              f"'python benchmarks/bench_simkit.py --update-baseline'")
+        return 1
+    print("perf-gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

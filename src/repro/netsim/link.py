@@ -69,14 +69,17 @@ class Link:
             raise ValueError(f"size must be positive, got {size_bytes}")
         self.bytes_sent += size_bytes
         self.items_sent += 1
-        for tap in self._taps:
-            tap(self.sim.now, item, size_bytes)
+        if self._taps:
+            now = self.sim._now
+            for tap in self._taps:
+                tap(now, item, size_bytes)
         service = transmission_delay(size_bytes, self.bandwidth_bps)
         self._station.submit(item, service, self._transmitted)
 
     def _transmitted(self, item: Any) -> None:
         self.sim.schedule(self.propagation_delay, self._deliver, item)
-        if self._station.backlog == 0:
+        station = self._station
+        if not station._busy and not station._queue:
             for listener in self._idle_listeners:
                 listener()
 

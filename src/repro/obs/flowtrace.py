@@ -129,7 +129,15 @@ class FlowSetupTracer:
     # Wiring
     # ------------------------------------------------------------------
     def attach(self, switch_events, controller_events=None) -> None:
-        """Subscribe to the emitters (same shape as DelayTracker)."""
+        """Subscribe to the emitters (same shape as DelayTracker).
+
+        A tracer built over a disabled recorder attaches nothing: every
+        instant/span it could produce would be discarded anyway, so the
+        per-packet timeline bookkeeping must not run either — an
+        unobserved run pays zero per event.
+        """
+        if not self.recorder.enabled:
+            return
         switch_events.on("packet_ingress", self._on_ingress)
         switch_events.on("table_miss", self._on_table_miss)
         switch_events.on("buffer_stored", self._on_buffer_stored)

@@ -21,26 +21,27 @@ from .match import Match
 #: Entry-id source (diagnostics; stable ordering for FIFO eviction).
 _entry_ids = itertools.count(1)
 
+#: Match field names in declaration order — the exact-key tuple layout.
+#: Resolved once; ``_exact_key_from_match`` used to walk dataclass
+#: ``fields()`` on every insert/remove.
+_MATCH_FIELDS = tuple(f.name for f in dc_fields(Match))
+
 
 def _exact_key_from_match(match: Match) -> Optional[tuple]:
     """Hash key for a fully-exact match; ``None`` if any field wildcarded."""
-    values = tuple(getattr(match, f.name) for f in dc_fields(match))
-    if any(v is None for v in values):
+    values = tuple(getattr(match, name) for name in _MATCH_FIELDS)
+    if None in values:
         return None
     return values
 
 
 def _exact_key_from_packet(packet: Packet, in_port: int) -> tuple:
-    """The key a fully-exact entry for this packet would have."""
-    ip = packet.ip
-    l4 = packet.l4
-    return (in_port,
-            packet.eth.src_mac, packet.eth.dst_mac, packet.eth.ethertype,
-            ip.src_ip if ip is not None else None,
-            ip.dst_ip if ip is not None else None,
-            ip.protocol if ip is not None else None,
-            l4.src_port if l4 is not None else None,
-            l4.dst_port if l4 is not None else None)
+    """The key a fully-exact entry for this packet would have.
+
+    Kept as a thin alias over :meth:`Packet.exact_key` (which caches the
+    tuple on the packet) for callers that still import it.
+    """
+    return packet.exact_key(in_port)
 
 
 @dataclass
@@ -128,7 +129,7 @@ class FlowTable:
         self.lookups += 1
         best: Optional[FlowEntry] = None
 
-        key = _exact_key_from_packet(packet, in_port)
+        key = packet.exact_key(in_port)
         exact = self._exact.get(key)
         if exact is not None:
             if exact.is_expired(now):

@@ -16,6 +16,13 @@ from .ipv4 import proto_name
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .packet import Packet
 
+#: Interned keys: one FiveTuple object per distinct 5-tuple, so the
+#: per-packet dict probes in the flow table and Algorithm 1's buffer map
+#: hash an already-constructed object with a cached hash.  Bounded so a
+#: long-lived process sweeping many workloads cannot grow it forever.
+_INTERN_MAX = 1 << 16
+_interned: dict = {}
+
 
 @dataclass(frozen=True)
 class FiveTuple:
@@ -27,16 +34,33 @@ class FiveTuple:
     dst_port: int
     protocol: int
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash(
+            (self.src_ip, self.src_port, self.dst_ip, self.dst_port,
+             self.protocol)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     @classmethod
     def from_packet(cls, packet: "Packet") -> Optional["FiveTuple"]:
-        """Extract the 5-tuple, or ``None`` for non-IP / portless packets."""
+        """Extract the 5-tuple, or ``None`` for non-IP / portless packets.
+
+        Keys are interned: repeat extractions of the same 5-tuple return
+        the same object.
+        """
         ip = packet.ip
         l4 = packet.l4
         if ip is None or l4 is None:
             return None
-        return cls(src_ip=ip.src_ip, src_port=l4.src_port,
-                   dst_ip=ip.dst_ip, dst_port=l4.dst_port,
-                   protocol=ip.protocol)
+        values = (ip.src_ip, l4.src_port, ip.dst_ip, l4.dst_port,
+                  ip.protocol)
+        key = _interned.get(values)
+        if key is None:
+            key = cls(*values)
+            if len(_interned) < _INTERN_MAX:
+                _interned[values] = key
+        return key
 
     def reversed(self) -> "FiveTuple":
         """The key of the opposite direction of the same conversation."""

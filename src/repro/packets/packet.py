@@ -22,6 +22,9 @@ from .udp import UDPHeader
 #: Monotonic packet-id source; unique across all simulations in-process.
 _packet_ids = itertools.count(1)
 
+#: Sentinel for "five_tuple not computed yet" (None is a legitimate value).
+_UNSET = object()
+
 L4Header = Union[UDPHeader, TCPHeader]
 
 
@@ -49,6 +52,15 @@ class Packet:
     switch_out_at: Optional[float] = None
     #: Unique identity (assigned automatically).
     uid: int = field(default_factory=lambda: next(_packet_ids))
+    #: Lookup-key caches (headers are immutable, so these never go stale;
+    #: a header-level copy shares them safely).  ``_exact_key[0]`` is the
+    #: in_port it was computed for, so a port change recomputes it.
+    _exact_key: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False)
+    _five_tuple: object = field(
+        default=_UNSET, init=False, repr=False, compare=False)
+    _wire_len: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.payload_len < 0:
@@ -71,8 +83,17 @@ class Packet:
 
     @property
     def wire_len(self) -> int:
-        """Frame size on the wire (headers + payload, >= Ethernet minimum)."""
-        return max(self.header_len + self.payload_len, MIN_FRAME)
+        """Frame size on the wire (headers + payload, >= Ethernet minimum).
+
+        Cached on first use: every hop (links, buffer accounting, rule
+        byte counters) asks for the size, and the header stack and
+        payload length never change once a packet is on the wire.
+        """
+        size = self._wire_len
+        if size is None:
+            size = self._wire_len = max(
+                self.header_len + self.payload_len, MIN_FRAME)
+        return size
 
     def leading_bytes(self, count: int) -> int:
         """Bytes actually available when truncating to ``count``.
@@ -90,8 +111,33 @@ class Packet:
     # ------------------------------------------------------------------
     @property
     def five_tuple(self) -> Optional[FiveTuple]:
-        """The flow key, or ``None`` for non-IP traffic."""
-        return FiveTuple.from_packet(self)
+        """The flow key, or ``None`` for non-IP traffic.  Cached."""
+        key = self._five_tuple
+        if key is _UNSET:
+            key = self._five_tuple = FiveTuple.from_packet(self)
+        return key
+
+    def exact_key(self, in_port: int) -> tuple:
+        """The key a fully-exact flow entry for this packet would have.
+
+        Computed once per (packet, in_port) and cached on the packet, so
+        the datapath's cache probe, table lookup, and cache store all hash
+        the same tuple instead of rebuilding it with attribute chasing.
+        """
+        key = self._exact_key
+        if key is not None and key[0] == in_port:
+            return key
+        ip = self.ip
+        l4 = self.l4
+        eth = self.eth
+        key = (in_port, eth.src_mac, eth.dst_mac, eth.ethertype,
+               ip.src_ip if ip is not None else None,
+               ip.dst_ip if ip is not None else None,
+               ip.protocol if ip is not None else None,
+               l4.src_port if l4 is not None else None,
+               l4.dst_port if l4 is not None else None)
+        self._exact_key = key
+        return key
 
     @property
     def is_udp(self) -> bool:

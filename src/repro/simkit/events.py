@@ -27,6 +27,8 @@ class Event:
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
+        #: Priority the trigger carried; late-attached callbacks reuse it.
+        self._priority = PRIORITY_NORMAL
         #: Set by Process when a failure was delivered into a generator, so
         #: unhandled failures of *unwaited* events can still be surfaced.
         self.defused = False
@@ -67,8 +69,12 @@ class Event:
             raise ResourceError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        priority = PRIORITY_URGENT if urgent else PRIORITY_NORMAL
-        self.sim.schedule(0.0, self._process, priority=priority)
+        if urgent:
+            self._priority = PRIORITY_URGENT
+            self.sim.schedule(0.0, self._process, priority=PRIORITY_URGENT)
+        else:
+            # _priority already defaults to PRIORITY_NORMAL.
+            self.sim.schedule(0.0, self._process)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -103,8 +109,8 @@ class Event:
         if self.callbacks is None:
             # Already processed: run at the current instant to preserve the
             # invariant that callbacks never run synchronously inside the
-            # caller's frame.
-            self.sim.schedule(0.0, callback, self)
+            # caller's frame, at the same priority the trigger carried.
+            self.sim.schedule(0.0, callback, self, priority=self._priority)
         else:
             self.callbacks.append(callback)
 
@@ -192,3 +198,13 @@ class AllOf(_Condition):
 
     def _satisfied(self) -> bool:
         return len(self._fired) == len(self._events)
+
+
+# Bind the concrete classes into the simulator module so its hot factory
+# methods (``Simulator.event``/``timeout``) skip per-call imports.  The
+# package ``__init__`` imports this module unconditionally, so the binding
+# is in place before any Simulator instance can be used.
+from . import simulator as _simulator  # noqa: E402  (cycle-safe tail import)
+
+_simulator._Event = Event
+_simulator._Timeout = Timeout

@@ -42,10 +42,15 @@ class Process(Event):
         #: The event this process is currently waiting on, if any.
         self._waiting_on: Optional[Event] = None
         # Kick off at the current instant rather than synchronously, so a
-        # process body never runs inside its creator's stack frame.
-        bootstrap = Event(sim)
-        bootstrap.add_callback(self._resume)
-        bootstrap.succeed(None)
+        # process body never runs inside its creator's stack frame.  A
+        # direct schedule replaces the old throwaway bootstrap Event; it
+        # consumes the same single sequence number at the same priority,
+        # so event ordering is unchanged.
+        sim.schedule(0.0, self._start)
+
+    def _start(self) -> None:
+        if not self.triggered:
+            self._step(value=None)
 
     @property
     def is_alive(self) -> bool:
@@ -111,3 +116,10 @@ class Process(Event):
         state = "done" if self.triggered else (
             "waiting" if self._waiting_on is not None else "starting")
         return f"<Process {self.name!r} {state}>"
+
+
+# Bind the concrete class into the simulator module so ``Simulator.process``
+# skips a per-call import (see the matching tail import in events.py).
+from . import simulator as _simulator  # noqa: E402  (cycle-safe tail import)
+
+_simulator._Process = Process

@@ -176,7 +176,7 @@ class TokenBucket:
         """Reserve ``amount`` tokens; returns the time they are available."""
         if amount < 0:
             raise ValueError("amount must be non-negative")
-        now = self.sim.now
+        now = self.sim._now
         self._refill(now)
         if self._tokens >= amount:
             self._tokens -= amount

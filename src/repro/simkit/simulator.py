@@ -15,12 +15,31 @@ layers of this package:
 Determinism: events scheduled for the same instant fire in FIFO order of
 scheduling (stable sequence numbers break ties), so a simulation with a
 fixed RNG seed is exactly reproducible run-to-run.
+
+Hot-path layout (DESIGN.md §13 documents the invariants):
+
+* Heap entries are ``(time, priority, seq, call)`` tuples so every heap
+  sift comparison stays in C — ``seq`` is unique, so the comparison
+  never falls through to the :class:`ScheduledCall` payload.
+* Same-instant work (``delay == 0`` / ``time == now``) never round-trips
+  the heap: it lands on a per-priority FIFO micro-queue drained before
+  the clock may advance.  Because every heap entry at time ``t`` was
+  pushed while ``now < t``, its ``seq`` is smaller than any micro-queue
+  entry's at that instant, and the dispatch comparison reproduces the
+  exact ``(time, priority, seq)`` heap order bit-for-bit.
+* :class:`ScheduledCall` handles are pooled on a bounded free list.  A
+  handle is only recycled when the pop site holds the sole remaining
+  reference (checked via ``sys.getrefcount``), so user-retained handles
+  (periodic sweeps, pktgen trains, timeouts) are never reused while a
+  stale ``cancel()`` could still reach them.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+import sys
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from .errors import SchedulingError
@@ -30,28 +49,59 @@ PRIORITY_URGENT = 0
 PRIORITY_NORMAL = 1
 PRIORITY_LATE = 2
 
+#: Bound on pooled handles; beyond this, popped handles are simply dropped.
+_FREE_LIST_MAX = 4096
+
+#: Event/Timeout/Process classes, bound once at package import time by
+#: ``events.py`` / ``process.py`` (the package ``__init__`` always imports
+#: them, so the factories below never pay a per-call import lookup).
+_Event: Any = None
+_Timeout: Any = None
+_Process: Any = None
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+_isfinite = math.isfinite
+_getrefcount = sys.getrefcount
+_inf = math.inf
+
 
 class ScheduledCall:
     """Handle for a scheduled callback; supports cancellation.
 
-    Cancellation is *lazy*: the heap entry stays in place but is skipped
-    when popped, which keeps :meth:`cancel` O(1).
+    Cancellation is *lazy*: the queue entry stays in place but is skipped
+    when popped, which keeps :meth:`cancel` O(1).  Once the callback has
+    run (or the cancelled entry is popped) the handle is marked consumed
+    and may be recycled by its simulator's free list — but only if no
+    caller still holds a reference to it.
+
+    ``priority``/``seq`` are authoritative only for micro-queue entries;
+    a recycled handle scheduled onto the heap keeps stale values because
+    the heap tuple carries the ordering key (``time`` is always current).
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled",
+                 "_sim")
 
     def __init__(self, time: float, priority: int, seq: int,
-                 fn: Callable[..., Any], args: tuple):
+                 fn: Callable[..., Any], args: tuple,
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.priority = priority
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._live -= 1
 
     def __lt__(self, other: "ScheduledCall") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -69,8 +119,15 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._heap: list[ScheduledCall] = []
+        #: Future events: a heap of ``(time, priority, seq, call)`` tuples.
+        self._heap: list[tuple] = []
+        #: Same-instant micro-queues, one FIFO per priority level.
+        self._ready: tuple = (deque(), deque(), deque())
         self._seq = 0
+        #: Live-entry counter: scheduled, not yet cancelled or executed.
+        self._live = 0
+        #: Pooled ScheduledCall handles available for reuse.
+        self._free: list[ScheduledCall] = []
         self._running = False
         self._stopped = False
         #: Count of events executed; useful for tests and budget guards.
@@ -93,63 +150,173 @@ class Simulator:
         if delay < 0:
             raise SchedulingError(
                 f"cannot schedule {delay!r}s in the past at t={self._now}")
-        return self.schedule_at(self._now + delay, fn, *args,
-                                priority=priority)
+        now = self._now
+        time = now + delay
+        seq = self._seq + 1
+        self._seq = seq
+        free = self._free
+        if free:
+            # Heap entries carry (time, priority, seq) in their tuple, so a
+            # recycled handle bound for the heap skips those two stores;
+            # only micro-queue entries are compared via their attributes.
+            call = free.pop()
+            call.time = time
+            call.fn = fn
+            call.args = args
+            call.cancelled = False
+        else:
+            call = ScheduledCall(time, priority, seq, fn, args, self)
+        self._live += 1
+        # ``delay >= 0`` means ``time >= now`` for every finite delay, so
+        # three float compares replace a math.isfinite() call: +inf fails
+        # the != _inf arm, nan fails both orderings and falls through.
+        if time > now:
+            if time != _inf:
+                _heappush(self._heap, (time, priority, seq, call))
+                return call
+        elif time == now:
+            if 0 <= priority <= 2:
+                # Same-instant dispatch: FIFO micro-queue, no heap trip.
+                call.priority = priority
+                call.seq = seq
+                self._ready[priority].append(call)
+            else:
+                _heappush(self._heap, (time, priority, seq, call))
+            return call
+        self._live -= 1
+        self._seq = seq - 1
+        call.fn = call.args = None
+        free.append(call)
+        raise SchedulingError(f"event time must be finite, got {time!r}")
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any,
                     priority: int = PRIORITY_NORMAL) -> ScheduledCall:
         """Run ``fn(*args)`` at absolute simulated time ``time``."""
-        if time < self._now:
+        now = self._now
+        if time < now:
             raise SchedulingError(
-                f"cannot schedule at t={time} before now={self._now}")
-        if not math.isfinite(time):
+                f"cannot schedule at t={time} before now={now}")
+        if not _isfinite(time):
             raise SchedulingError(f"event time must be finite, got {time!r}")
-        self._seq += 1
-        call = ScheduledCall(time, priority, self._seq, fn, args)
-        heapq.heappush(self._heap, call)
+        seq = self._seq + 1
+        self._seq = seq
+        free = self._free
+        if free:
+            call = free.pop()
+            call.time = time
+            call.priority = priority
+            call.seq = seq
+            call.fn = fn
+            call.args = args
+            call.cancelled = False
+        else:
+            call = ScheduledCall(time, priority, seq, fn, args, self)
+        self._live += 1
+        if time == now and 0 <= priority <= 2:
+            self._ready[priority].append(call)
+        else:
+            _heappush(self._heap, (time, priority, seq, call))
         return call
 
     # ------------------------------------------------------------------
-    # Event / process factories (imported lazily to avoid cycles)
+    # Event / process factories (classes bound at package import time)
     # ------------------------------------------------------------------
     def event(self) -> "Any":
         """Create a fresh, untriggered :class:`~repro.simkit.events.Event`."""
-        from .events import Event
-        return Event(self)
+        return _Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> "Any":
         """Create an event that succeeds after ``delay`` seconds."""
-        from .events import Timeout
-        return Timeout(self, delay, value)
+        return _Timeout(self, delay, value)
 
     def process(self, generator: Generator) -> "Any":
         """Start driving ``generator`` as a simulated process."""
-        from .process import Process
-        return Process(self, generator)
+        return _Process(self, generator)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _recycle(self, call: ScheduledCall) -> None:
+        """Pool a consumed handle if nothing else still references it.
+
+        Must be called in expression form (``self._recycle(dq.popleft())``)
+        so the only references are our parameter and ``getrefcount``'s
+        argument (baseline 2).  Anything higher means some component
+        retained the handle — a stale ``cancel()`` could still arrive —
+        and it must not be reused.
+        """
+        call.fn = call.args = None
+        if len(self._free) < _FREE_LIST_MAX and _getrefcount(call) == 2:
+            self._free.append(call)
+
+    def _pop_next(self, until: Optional[float] = None
+                  ) -> Optional[ScheduledCall]:
+        """Pop the next live entry in (time, priority, seq) order.
+
+        Cancelled entries encountered on the way out free their pooled
+        slot.  Returns ``None`` when nothing (eligible) remains; an entry
+        beyond ``until`` is left queued.
+        """
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            self._recycle(_heappop(heap)[3])
+        best: Optional[ScheduledCall] = None
+        best_dq = None
+        for dq in self._ready:
+            while dq and dq[0].cancelled:
+                self._recycle(dq.popleft())
+            if dq:
+                head = dq[0]
+                if best is None or (head.time, head.priority, head.seq) < (
+                        best.time, best.priority, best.seq):
+                    best = head
+                    best_dq = dq
+        if heap and (best is None
+                     or heap[0] < (best.time, best.priority, best.seq)):
+            if until is not None and heap[0][0] > until:
+                return None
+            return _heappop(heap)[3]
+        if best is None:
+            return None
+        if until is not None and best.time > until:
+            return None
+        best_dq.popleft()
+        return best
+
     def peek(self) -> float:
         """Time of the next pending event, or ``inf`` if none remain."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else math.inf
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            self._recycle(_heappop(heap)[3])
+        time = heap[0][0] if heap else _inf
+        for dq in self._ready:
+            while dq and dq[0].cancelled:
+                self._recycle(dq.popleft())
+            if dq and dq[0].time < time:
+                time = dq[0].time
+        return time
 
     def step(self) -> bool:
         """Execute the next pending event.
 
         Returns ``True`` if an event ran, ``False`` if the queue is empty.
         """
-        while self._heap:
-            call = heapq.heappop(self._heap)
-            if call.cancelled:
-                continue
-            self._now = call.time
-            self.events_executed += 1
-            call.fn(*call.args)
-            return True
-        return False
+        call = self._pop_next()
+        if call is None:
+            return False
+        self._now = call.time
+        self.events_executed += 1
+        self._live -= 1
+        call.cancelled = True           # consumed: stale cancel() is a no-op
+        fn = call.fn
+        args = call.args
+        call.fn = call.args = None
+        # 2 = this binding + getrefcount's argument: nothing else holds it.
+        if len(self._free) < _FREE_LIST_MAX and _getrefcount(call) == 2:
+            self._free.append(call)
+        call = None
+        fn(*args)
+        return True
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> float:
@@ -159,23 +326,102 @@ class Simulator:
         drains earlier, mirroring SimPy semantics; this makes utilization
         windows well defined.  ``max_events`` is a runaway guard for tests.
         Returns the simulation time when the run stopped.
+
+        ``events_executed`` and the live-entry counter are flushed in bulk
+        when the loop exits (they are not read inside event callbacks
+        anywhere in this package); every other piece of simulator state is
+        exact at each callback.
         """
         self._running = True
         self._stopped = False
         executed = 0
+        heap = self._heap
+        ready_urgent, ready_normal, ready_late = self._ready
+        free = self._free
         try:
-            while not self._stopped:
-                next_time = self.peek()
-                if next_time is math.inf:
-                    break
-                if until is not None and next_time > until:
-                    break
-                self.step()
-                executed += 1
-                if max_events is not None and executed >= max_events:
-                    break
+            if until is None and max_events is None:
+                # Tight loop for the common drain-everything call: one heap
+                # pop per event (peek+step fused), no deadline checks.
+                while True:
+                    if ready_urgent or ready_normal or ready_late:
+                        call = self._pop_next(None)
+                        if call is None:
+                            break
+                    else:
+                        if not heap:
+                            break
+                        call = _heappop(heap)[3]
+                        if call.cancelled:
+                            # Cancelled entry: free its pooled slot (2 =
+                            # this binding + getrefcount's argument).
+                            call.fn = call.args = None
+                            if (len(free) < _FREE_LIST_MAX
+                                    and _getrefcount(call) == 2):
+                                free.append(call)
+                            continue
+                    self._now = call.time
+                    executed += 1
+                    call.cancelled = True   # consumed: stale cancel no-ops
+                    fn = call.fn
+                    args = call.args
+                    call.fn = call.args = None
+                    if (len(free) < _FREE_LIST_MAX
+                            and _getrefcount(call) == 2):
+                        free.append(call)
+                    call = None
+                    if args:
+                        fn(*args)
+                    else:
+                        fn()
+                    if self._stopped:
+                        break
+            else:
+                while not self._stopped:
+                    if ready_urgent or ready_normal or ready_late:
+                        call = self._pop_next(until)
+                        if call is None:
+                            break
+                    else:
+                        while True:
+                            if not heap:
+                                call = None
+                                break
+                            entry = _heappop(heap)
+                            call = entry[3]
+                            if call.cancelled:
+                                # 3 = entry tuple + binding + getrefcount.
+                                call.fn = call.args = None
+                                if (len(free) < _FREE_LIST_MAX
+                                        and _getrefcount(call) == 3):
+                                    free.append(call)
+                                continue
+                            break
+                        if call is None:
+                            break
+                        if until is not None and entry[0] > until:
+                            _heappush(heap, entry)  # same key: order kept
+                            break
+                        entry = None
+                    self._now = call.time
+                    executed += 1
+                    call.cancelled = True   # consumed: stale cancel no-ops
+                    fn = call.fn
+                    args = call.args
+                    call.fn = call.args = None
+                    if (len(free) < _FREE_LIST_MAX
+                            and _getrefcount(call) == 2):
+                        free.append(call)
+                    call = None
+                    if args:
+                        fn(*args)
+                    else:
+                        fn()
+                    if max_events is not None and executed >= max_events:
+                        break
         finally:
             self._running = False
+            self.events_executed += executed
+            self._live -= executed
         if until is not None and self._now < until and not self._stopped:
             self._now = until
         return self._now
@@ -185,8 +431,13 @@ class Simulator:
         self._stopped = True
 
     def pending_count(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for c in self._heap if not c.cancelled)
+        """Number of not-yet-cancelled events still queued.
+
+        O(1): maintained as a live counter (incremented on schedule,
+        decremented on first cancel and on execution) instead of walking
+        the heap.
+        """
+        return self._live
 
     def drain(self, calls: Iterable[ScheduledCall]) -> None:
         """Cancel a batch of scheduled calls (e.g. on component shutdown)."""

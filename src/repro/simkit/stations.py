@@ -64,6 +64,10 @@ class ServiceStation:
         self.servers = servers
         self._queue: Deque[Job] = deque()
         self._busy = 0
+        # Hot-path preresolution: submit/_start/_finish run once per job on
+        # every contended device, so skip the method/property lookups.
+        self._schedule = sim.schedule
+        self._finish_cb = self._finish
         #: Total server-seconds spent serving jobs since creation/reset.
         self.busy_time = 0.0
         #: Jobs fully served since creation/reset.
@@ -84,27 +88,31 @@ class ServiceStation:
         """Queue ``payload`` for ``service_time`` seconds of work."""
         if service_time < 0:
             raise ValueError(f"service_time must be >= 0, got {service_time}")
-        job = Job(payload, service_time, on_done, self.sim.now)
+        job = Job(payload, service_time, on_done, self.sim._now)
         self.jobs_submitted += 1
         if self._busy < self.servers:
-            self._start(job)
+            self._busy += 1
+            job.started_at = job.submitted_at
+            self._schedule(service_time, self._finish_cb, job)
         else:
-            self._queue.append(job)
-            if len(self._queue) > self.max_queue_length:
-                self.max_queue_length = len(self._queue)
+            queue = self._queue
+            queue.append(job)
+            if len(queue) > self.max_queue_length:
+                self.max_queue_length = len(queue)
         return job
 
     def _start(self, job: Job) -> None:
         self._busy += 1
-        job.started_at = self.sim.now
-        self.sim.schedule(job.service_time, self._finish, job)
+        job.started_at = self.sim._now
+        self._schedule(job.service_time, self._finish_cb, job)
 
     def _finish(self, job: Job) -> None:
-        job.finished_at = self.sim.now
+        now = self.sim._now
+        job.finished_at = now
         self._busy -= 1
         self.busy_time += job.service_time
         self.jobs_completed += 1
-        self.total_sojourn += job.sojourn_time
+        self.total_sojourn += now - job.submitted_at
         if self._queue:
             self._start(self._queue.popleft())
         if job.on_done is not None:

@@ -22,7 +22,6 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from ..openflow import FlowEntry
-from ..openflow.flowtable import _exact_key_from_packet
 from ..packets import Packet
 
 
@@ -52,7 +51,7 @@ class MicroflowCache:
         """The cached entry, if present and still current."""
         if not self.enabled:
             return None
-        key = _exact_key_from_packet(packet, in_port)
+        key = packet.exact_key(in_port)
         cached = self._entries.get(key)
         if cached is None:
             self.misses += 1
@@ -75,7 +74,7 @@ class MicroflowCache:
             # Simple clock-free eviction: drop an arbitrary old entry
             # (cache misses are cheap; precision is not worth the state).
             self._entries.pop(next(iter(self._entries)))
-        key = _exact_key_from_packet(packet, in_port)
+        key = packet.exact_key(in_port)
         self._entries[key] = (generation, entry)
 
     def clear(self) -> None:

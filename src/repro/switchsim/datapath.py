@@ -54,6 +54,12 @@ class Datapath:
                                         **metric_labels)
         self._dropped = registry.counter("switch_packets_dropped_total",
                                          **metric_labels)
+        # Per-packet call sites bump counters through preresolved bound
+        # methods — one call, no attribute chain.
+        self._forwarded_inc = self._forwarded.inc
+        self._missed_inc = self._missed.inc
+        self._dropped_inc = self._dropped.inc
+        self._emit = events.emit
         self._sweep_handle = sim.schedule(config.expiry_sweep_interval,
                                           self._expiry_sweep)
 
@@ -90,9 +96,10 @@ class Datapath:
     # ------------------------------------------------------------------
     def ingress(self, packet: Packet, in_port: int) -> None:
         """Entry point wired to each port's inbound link."""
+        now = self.sim._now
         if packet.switch_in_at is None:
-            packet.switch_in_at = self.sim.now
-        self.events.emit("packet_ingress", self.sim.now, packet, in_port)
+            packet.switch_in_at = now
+        self._emit("packet_ingress", now, packet, in_port)
         if self.cache.enabled:
             self.cpu.execute_datapath(self.config.dp_cache_hit_cost,
                                       self._after_cache_lookup,
@@ -104,12 +111,13 @@ class Datapath:
 
     def _after_cache_lookup(self, payload: tuple) -> None:
         packet, in_port = payload
+        now = self.sim._now
         entry = self.cache.lookup(packet, in_port, self.table.generation,
-                                  self.sim.now)
+                                  now)
         if entry is not None:
             # Fast path: the table is bypassed but the rule's liveness
             # bookkeeping must stay honest.
-            entry.touch(self.sim.now, packet.wire_len)
+            entry.touch(now, packet.wire_len)
             self._apply_actions(packet, in_port, entry)
             return
         # Slow path: pay the full datapath cost on top of the probe.
@@ -118,15 +126,15 @@ class Datapath:
 
     def _after_lookup(self, payload: tuple) -> None:
         packet, in_port = payload
-        entry = self.table.lookup(packet, in_port, self.sim.now)
+        entry = self.table.lookup(packet, in_port, self.sim._now)
         if entry is not None:
             if self.cache.enabled:
                 self.cache.store(packet, in_port, self.table.generation,
                                  entry)
             self._apply_actions(packet, in_port, entry)
         else:
-            self._missed.inc()
-            self.events.emit("table_miss", self.sim.now, packet, in_port)
+            self._missed_inc()
+            self._emit("table_miss", self.sim._now, packet, in_port)
             if self._agent is None:
                 self._drop(packet, "no agent bound")
             else:
@@ -162,9 +170,10 @@ class Datapath:
         if port is None or not port.has_egress:
             self._drop(packet, f"unknown port {out_port}")
             return
-        packet.switch_out_at = self.sim.now
-        self._forwarded.inc()
-        self.events.emit("packet_egress", self.sim.now, packet, out_port)
+        now = self.sim._now
+        packet.switch_out_at = now
+        self._forwarded_inc()
+        self._emit("packet_egress", now, packet, out_port)
         port.transmit(packet)
 
     def flood(self, packet: Packet, in_port: int) -> None:
@@ -175,8 +184,8 @@ class Datapath:
 
     def drop(self, packet: Packet, reason: str) -> None:
         """Discard ``packet``, counting it and notifying listeners."""
-        self._dropped.inc()
-        self.events.emit("packet_drop", self.sim.now, packet, reason)
+        self._dropped_inc()
+        self._emit("packet_drop", self.sim._now, packet, reason)
 
     # Internal alias kept for the pipeline's own call sites.
     _drop = drop

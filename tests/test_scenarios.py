@@ -19,6 +19,7 @@ import pytest
 from repro.core import buffer_16, buffer_256
 from repro.experiments import run_once, run_path_experiment, sweep
 from repro.experiments.figures import workload_a_factory
+from repro.faults import FaultSpec
 from repro.parallel import ResultCache, SweepJob
 from repro.parallel.cache import CACHE_SCHEMA, task_key
 from repro.scenarios import (SINGLE, ScenarioSpec, build_scenario,
@@ -320,3 +321,143 @@ def test_path_experiment_runs_with_engine_cache_and_obs(tmp_path):
 def test_path_experiment_rejects_empty_lengths():
     with pytest.raises(ValueError, match="at least one line length"):
         run_path_experiment(lengths=())
+
+
+# ---------------------------------------------------------------------------
+# Kernel-equivalence goldens (the fast-path kernel must not move a bit)
+# ---------------------------------------------------------------------------
+
+#: Captured on the pre-fast-path kernel (commit e902188): sweep(
+#: buffer_256(), workload_a_factory(n_flows=20), (20.0, 60.0), 1,
+#: base_seed=11) over {single, line:2} x {no faults, 1% loss}.  The
+#: optimized kernel (pooled ScheduledCalls, same-instant micro-queue,
+#: fused run loop, interned flow keys) must reproduce every float
+#: exactly, with and without faults, serial and parallel.
+_KERNEL_FAULTS = FaultSpec(loss_up=0.01, loss_down=0.01)
+
+_KERNEL_GRID = (
+    ("single", None),
+    ("single", _KERNEL_FAULTS),
+    ("line:2", None),
+    ("line:2", _KERNEL_FAULTS),
+)
+
+
+def _kernel_combo_id(scenario_name, faults):
+    return f"{scenario_name}/{'loss1pct' if faults else 'none'}"
+
+
+_KERNEL_GOLDEN_ROWS = {
+    "single/none": (
+        (20.0, 2.3577027088187688, 2.499164871347895, 11.612000000000002,
+         195.8512, 0.0010890002758620725, 0.0007028399999999997,
+         0.00038616027586207274, 0.0010890002758620725, 3.0, 12.0, 20.0,
+         20.0, 20, 0.0),
+        (60.0, 3.7635651254500995, 3.989379032977105, 5.0, 180.0,
+         0.0010890002758620725, 0.0007028399999999997,
+         0.00038616027586207274, 0.0010890002758620725, 0.0, 20.0, 20.0,
+         20.0, 20, 0.0),
+    ),
+    "single/loss1pct": (
+        (20.0, 2.3577027088187688, 2.499164871347895, 11.612000000000002,
+         195.8512, 0.0010890002758620725, 0.0007028399999999997,
+         0.00038616027586207274, 0.0010890002758620725, 3.0, 12.0, 20.0,
+         20.0, 20, 0.0),
+        (60.0, 3.7635651254500995, 3.989379032977105, 5.0, 180.0,
+         0.0010890002758620725, 0.0007028399999999997,
+         0.00038616027586207274, 0.0010890002758620725, 0.0, 20.0, 20.0,
+         18.0, 20, 0.0),
+    ),
+    "line:2/none": (
+        (20.0, 4.339924982090564, 4.6003204810159986, 18.246480799999993,
+         195.8512, 0.002263225359724149, 0.0007030648080000009,
+         0.001560160551724147, 0.002263225359724149, 7.5, 24.0, 40.0,
+         20.0, 20, 0.0),
+        (60.0, 6.61372848809185, 7.01055219737736, 5.0, 180.0,
+         0.0022631460157241483, 0.0007029854640000005,
+         0.001560160551724147, 0.0022631460157241483, 0.0, 40.0, 40.0,
+         20.0, 20, 0.0),
+    ),
+    "line:2/loss1pct": (
+        (20.0, 4.339924982090564, 4.6003204810159986, 18.246480799999993,
+         195.8512, 0.002263225359724149, 0.0007030648080000009,
+         0.001560160551724147, 0.002263225359724149, 7.5, 24.0, 40.0,
+         20.0, 20, 0.0),
+        (60.0, 6.283042063687256, 6.309496977639624, 5.0, 180.0,
+         0.0022631250129006185, 0.0007029652800000003,
+         0.001560160551724147, 0.0022631250129006185, 0.0, 38.0, 38.0,
+         17.0, 20, 0.0),
+    ),
+}
+
+#: Cache tokens for the same grid (one per rate, rates in sweep order).
+#: Pinned so a kernel change can never silently re-key — and therefore
+#: silently invalidate or, worse, cross-contaminate — the result cache.
+_KERNEL_GOLDEN_TASK_KEYS = {
+    "single/none": (
+        "7dd9222694cfcaed8059643bf28687886111f6311c42e54668e8bdcdea45d987",
+        "af5b9874a682034b7c4748f0d060769d60f397319ebd1381bcda5ccf98e220f2",
+    ),
+    "single/loss1pct": (
+        "3586bd76f603b17273bca95a965e8ee1d77931ba5855ea60b9f1c3306a422f6c",
+        "ee4a707f32fbbb76c19622de03eac9c49bd539dff0226a125516ac1aa5a9659f",
+    ),
+    "line:2/none": (
+        "a116e9df6376ae73bc2647961320572251bab3334755f2886eff56962c1e9556",
+        "53a53660819f542ecd6a836d0b7b1e64292f83a9f694f4d5b02db03c4d4539d0",
+    ),
+    "line:2/loss1pct": (
+        "269866b1aab7f5b00d0f95f0391b80fbe828ddebb8d4ec90ba1fa981ab71a224",
+        "ddebaa0e3a9d5635104ebcaeb149ac7aa6bc068878c2a83a639e4503a023f6a6",
+    ),
+}
+
+
+def _kernel_sweep(scenario_name, faults, **kwargs):
+    return sweep(buffer_256(), workload_a_factory(n_flows=20),
+                 (20.0, 60.0), 1, base_seed=11,
+                 scenario=parse_scenario(scenario_name), faults=faults,
+                 **kwargs)
+
+
+@pytest.mark.parametrize("scenario_name,faults", _KERNEL_GRID,
+                         ids=[_kernel_combo_id(s, f) for s, f in _KERNEL_GRID])
+def test_kernel_sweep_serial_bit_identical(scenario_name, faults):
+    """ACCEPTANCE: optimized kernel == pre-optimization golden, serial."""
+    result = _kernel_sweep(scenario_name, faults)
+    assert tuple(_row_tuple(r) for r in result.rows) \
+        == _KERNEL_GOLDEN_ROWS[_kernel_combo_id(scenario_name, faults)]
+
+
+@pytest.mark.parametrize("scenario_name,faults", _KERNEL_GRID,
+                         ids=[_kernel_combo_id(s, f) for s, f in _KERNEL_GRID])
+def test_kernel_sweep_parallel_bit_identical(scenario_name, faults):
+    """ACCEPTANCE: same golden through the multiprocess engine."""
+    result = _kernel_sweep(scenario_name, faults, workers=2)
+    assert tuple(_row_tuple(r) for r in result.rows) \
+        == _KERNEL_GOLDEN_ROWS[_kernel_combo_id(scenario_name, faults)]
+
+
+def test_kernel_sweep_observed_bit_identical():
+    """ACCEPTANCE: attaching the obs layer must not perturb a single bit
+    (the zero-cost-when-off guards never reorder or drop events)."""
+    from repro.obs import ObsCollector
+    for scenario_name, faults in (("single", _KERNEL_FAULTS),
+                                  ("line:2", _KERNEL_FAULTS)):
+        result = _kernel_sweep(scenario_name, faults, obs=ObsCollector())
+        assert tuple(_row_tuple(r) for r in result.rows) \
+            == _KERNEL_GOLDEN_ROWS[_kernel_combo_id(scenario_name, faults)]
+
+
+@pytest.mark.parametrize("scenario_name,faults", _KERNEL_GRID,
+                         ids=[_kernel_combo_id(s, f) for s, f in _KERNEL_GRID])
+def test_kernel_task_keys_pinned(scenario_name, faults):
+    """The cache tokens for the golden grid are frozen byte-for-byte."""
+    job = SweepJob(config=buffer_256(),
+                   factory=workload_a_factory(n_flows=20),
+                   rates_mbps=(20.0, 60.0), repetitions=1, base_seed=11,
+                   scenario=parse_scenario(scenario_name), faults=faults,
+                   job_id=1)
+    tokens = tuple(task_key(job, task) for task in job.tasks())
+    assert tokens \
+        == _KERNEL_GOLDEN_TASK_KEYS[_kernel_combo_id(scenario_name, faults)]

@@ -75,6 +75,22 @@ def test_callback_added_after_processing_still_runs(sim):
     assert seen == [1]
 
 
+def test_late_callback_keeps_trigger_priority(sim):
+    """REGRESSION: a callback added after an *urgent* event processed
+    must reschedule at the trigger's priority — it used to fall back to
+    PRIORITY_NORMAL and lose its place against same-instant work."""
+    event = sim.event()
+    event.succeed(5, urgent=True)
+    sim.run()
+    order = []
+    # Scheduled first (smaller seq) at NORMAL; the late callback still
+    # wins the instant because it inherits the trigger's URGENT priority.
+    sim.schedule(0.0, order.append, "normal")
+    event.add_callback(lambda e: order.append("late-urgent"))
+    sim.run()
+    assert order == ["late-urgent", "normal"]
+
+
 def test_callbacks_never_run_synchronously(sim):
     event = sim.event()
     seen = []

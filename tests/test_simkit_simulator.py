@@ -172,6 +172,31 @@ def test_pending_count_ignores_cancelled():
     assert sim.pending_count() == 1
 
 
+def test_pending_count_is_a_live_counter():
+    """REGRESSION: pending_count is O(1) bookkeeping, not a heap scan —
+    it must stay exact across ready-queue entries, double cancels, and
+    post-execution stale cancels."""
+    sim = Simulator()
+    heap_handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(0.0, lambda: None)      # same-instant micro-queue entry
+    assert sim.pending_count() == 2
+    heap_handle.cancel()
+    heap_handle.cancel()                 # idempotent: no double decrement
+    assert sim.pending_count() == 1
+    sim.run()
+    assert sim.pending_count() == 0
+
+
+def test_cancel_after_execution_does_not_corrupt_pending_count():
+    sim = Simulator()
+    handle = sim.schedule(0.5, lambda: None)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.pending_count() == 0
+    handle.cancel()                      # stale: entry already executed
+    assert sim.pending_count() == 0
+
+
 def test_max_events_guard():
     sim = Simulator()
     def reschedule():
