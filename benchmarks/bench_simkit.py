@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from repro.core import buffer_256
 from repro.experiments import run_once
+from repro.openflow import PacketBuffer
+from repro.packets import udp_packet
 from repro.simkit import ServiceStation, Simulator, mbps
 from repro.trafficgen import single_packet_flows
 from repro.simkit import RandomStreams
@@ -79,11 +81,35 @@ def _station_run():
     return done["n"]
 
 
+def _pktbuf_private_run():
+    """20k store/release cycles through a private (pool-less) buffer.
+
+    Guards the ``pool is None`` fast path in ``PacketBuffer.store``: a
+    pooled buffer may pay for ledger routing, a private one must not.
+    """
+    buffer = PacketBuffer(capacity=64, reclaim_delay=0.0005)
+    packet = udp_packet("00:00:00:00:00:01", "00:00:00:00:00:02",
+                        "10.0.0.1", "10.0.0.2", 5000, 5001)
+    now = 0.0
+    for _ in range(20_000):
+        buffer_id = buffer.store(packet, now)
+        buffer.release(buffer_id, now)
+        now += 0.001
+    return buffer.total_released
+
+
 def _testbed_run():
     """One full 500-flow repetition of the canonical testbed."""
     workload = single_packet_flows(mbps(60), n_flows=500,
                                    rng=RandomStreams(0))
     return run_once(buffer_256(), workload)
+
+
+def test_pktbuf_private_throughput(benchmark):
+    """Null-pool packet-buffer hot path: store/release cycles."""
+    released = benchmark.pedantic(_pktbuf_private_run, rounds=3,
+                                  iterations=1)
+    assert released == 20_000
 
 
 def test_station_throughput(benchmark):
@@ -114,6 +140,7 @@ def main(argv=None):
         "event_loop": kernelrecord.best_of(_event_loop_chain),
         "zero_delay_dispatch": kernelrecord.best_of(_zero_delay_chain),
         "station": kernelrecord.best_of(_station_run),
+        "pktbuf_private": kernelrecord.best_of(_pktbuf_private_run),
         "full_testbed": kernelrecord.best_of(_testbed_run, rounds=5),
     }
     window = _testbed_run().window

@@ -31,10 +31,14 @@ OUTPUT_PATH = pathlib.Path(__file__).resolve().parent / "_output" / "BENCH_kerne
 #: Pre-optimization wall times (seconds, best-of-5 perf_counter) captured
 #: at commit e902188 — the last commit before the kernel fast-path —
 #: on the same machine that produced the committed *after* numbers.
+#: ``pktbuf_private`` joined with the shared-pool PR: its *before* is
+#: the pool-less PacketBuffer at the last pre-pool commit, so the gate
+#: keeps the null-pool store/release path from paying for pooling.
 BEFORE_SECONDS = {
     "event_loop": 0.025808,
     "zero_delay_dispatch": 0.038466,
     "station": 0.029756,
+    "pktbuf_private": 0.013748,
     "full_testbed": 0.114428,
 }
 
@@ -44,6 +48,7 @@ PROBE_UNITS = {
     "event_loop": 20_000,
     "zero_delay_dispatch": 20_000,
     "station": 10_000,
+    "pktbuf_private": 20_000,
 }
 
 

@@ -29,6 +29,7 @@ import kernelrecord
 GATED_PROBES = {
     "test_event_loop_throughput": "event_loop",
     "test_zero_delay_dispatch": "zero_delay_dispatch",
+    "test_pktbuf_private_throughput": "pktbuf_private",
 }
 
 

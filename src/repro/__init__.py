@@ -19,6 +19,11 @@ The package layers, bottom-up:
   :class:`~repro.scenarios.ScenarioSpec` names a shape (``single``,
   ``line:N``, ``fanin:K``) and a registry of builders wires it into a
   common :class:`~repro.scenarios.Testbed`.
+* :mod:`repro.bufferpool` — shared dynamic buffer pools: one unit
+  budget arbitrated across per-switch/per-port partitions under
+  ``static`` / ``dt`` / ``delay`` admission policies.
+* :mod:`repro.analytic` — closed-form M/M/1 sanity estimates the
+  simulator is bounded against.
 * :mod:`repro.experiments` — the harness regenerating every table and
   figure.
 * :mod:`repro.parallel` — multi-core sweep execution with an on-disk

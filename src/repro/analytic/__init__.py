@@ -1,0 +1,22 @@
+"""Closed-form sanity models the simulator is checked against.
+
+Currently one family: M/M/1 packet_in sojourn estimates in the style of
+Mahmood et al. / Jarschel et al., used to bound the simulated flow
+setup delay at low load (see ``tests/test_bufferpool.py``).
+"""
+
+from .mm1 import (CONTROL_OVERHEAD_BYTES, controller_service_time,
+                  mm1_sojourn, mm1_sojourn_quantile, mm1_utilization,
+                  packet_in_arrival_rate, packet_in_sojourn_estimate,
+                  setup_delay_bound)
+
+__all__ = [
+    "CONTROL_OVERHEAD_BYTES",
+    "controller_service_time",
+    "mm1_sojourn",
+    "mm1_sojourn_quantile",
+    "mm1_utilization",
+    "packet_in_arrival_rate",
+    "packet_in_sojourn_estimate",
+    "setup_delay_bound",
+]

@@ -1,0 +1,127 @@
+"""First-order queueing estimates for the packet_in path.
+
+The SDN-modelling literature (Mahmood et al., "Modelling of
+OpenFlow-based software-defined networks"; Jarschel et al.'s Floodlight
+measurements) treats the controller as an M/M/1 node fed by the
+switches' miss stream: packet_ins arrive at rate λ, the controller
+serves them at rate μ, and the mean sojourn (queueing + service) is::
+
+    W = 1 / (μ - λ)           for ρ = λ/μ < 1, else unbounded
+
+These closed forms are deliberately coarse — the simulator's controller
+has per-byte parse costs, GC inflation and a decision-pipeline latency
+the M/M/1 node ignores — but at low load they bound the simulated flow
+setup delay from above within a small slack factor, which is exactly
+what the figsharing sanity test needs: an estimate derived *outside*
+the simulator that the simulator must not exceed.
+
+Everything here is pure arithmetic on plain numbers (plus duck-typed
+reads of a :class:`~repro.experiments.calibration.TestbedCalibration`),
+so the module imports no simulation layer and can never perturb a run.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Bytes of OpenFlow + TCP/IP framing around a control message — a
+#: generous envelope; the bound only needs an over-estimate.
+CONTROL_OVERHEAD_BYTES = 128
+
+
+def mm1_utilization(arrival_rate: float, service_rate: float) -> float:
+    """Offered load ρ = λ/μ of an M/M/1 node."""
+    if service_rate <= 0:
+        raise ValueError(f"service_rate must be > 0, got {service_rate!r}")
+    if arrival_rate < 0:
+        raise ValueError(f"arrival_rate must be >= 0, got {arrival_rate!r}")
+    return arrival_rate / service_rate
+
+def mm1_sojourn(arrival_rate: float, service_rate: float) -> float:
+    """Mean M/M/1 sojourn ``W = 1/(μ-λ)``; ``inf`` at/past saturation."""
+    if mm1_utilization(arrival_rate, service_rate) >= 1.0:
+        return math.inf
+    return 1.0 / (service_rate - arrival_rate)
+
+def mm1_sojourn_quantile(arrival_rate: float, service_rate: float,
+                         quantile: float) -> float:
+    """The q-quantile of the (exponential) M/M/1 sojourn distribution.
+
+    Sojourn time in M/M/1 is exponential with mean ``W``, so the
+    quantile is ``-W·ln(1-q)`` — e.g. p99 ≈ 4.6 × the mean.
+    """
+    if not 0.0 <= quantile < 1.0:
+        raise ValueError(f"quantile must be in [0, 1), got {quantile!r}")
+    sojourn = mm1_sojourn(arrival_rate, service_rate)
+    if math.isinf(sojourn):
+        return math.inf
+    return -sojourn * math.log(1.0 - quantile)
+
+def packet_in_arrival_rate(rate_bps: float, frame_len: int) -> float:
+    """Miss arrivals per second for a single-packet-flow workload.
+
+    Workload A sends ``rate_bps / (8·frame_len)`` packets per second and
+    every packet is a new flow's first — each one becomes a packet_in.
+    """
+    if frame_len <= 0:
+        raise ValueError(f"frame_len must be > 0, got {frame_len!r}")
+    return rate_bps / (8.0 * frame_len)
+
+def controller_service_time(controller, enclosed_bytes: int) -> float:
+    """One packet_in's controller CPU time (base + per-byte parse)."""
+    return (controller.service_base
+            + controller.service_per_byte * enclosed_bytes)
+
+def packet_in_sojourn_estimate(rate_mbps: float, calibration,
+                               frame_len: int = 1000,
+                               enclosed_bytes: int = 128,
+                               quantile: float = 0.0) -> float:
+    """M/M/1 sojourn of one packet_in at the calibrated controller.
+
+    The controller's cores are folded into one fast server
+    (μ = cores / service-time) — optimistic about parallelism, which
+    keeps this a *component* estimate; use :func:`setup_delay_bound`
+    for a whole-path bound.  ``quantile=0`` returns the mean.
+    """
+    lam = packet_in_arrival_rate(rate_mbps * 1e6, frame_len)
+    service = controller_service_time(calibration.controller,
+                                      enclosed_bytes)
+    mu = calibration.controller.cpu_cores / service
+    if quantile:
+        return mm1_sojourn_quantile(lam, mu, quantile)
+    return mm1_sojourn(lam, mu)
+
+def setup_delay_bound(rate_mbps: float, calibration,
+                      frame_len: int = 1000, enclosed_bytes: int = 128,
+                      quantile: float = 0.99,
+                      slack: float = 2.0) -> float:
+    """Analytic upper bound on low-load flow setup delay (seconds).
+
+    Sums every leg of the miss round trip — upcall, control-link
+    transmissions and propagation both ways, the M/M/1 controller
+    sojourn at ``quantile``, the decision-pipeline latency, and the
+    switch-side flow_mod + packet_out application — then multiplies by
+    ``slack`` to absorb the second-order costs the closed form ignores
+    (GC inflation, connection-thread queueing, buffer bookkeeping).
+    Only meaningful at low utilization: past the knee the M/M/1 node
+    saturates and the bound goes to infinity with the real delay.
+    """
+    switch = calibration.switch
+    controller = calibration.controller
+    up_bytes = enclosed_bytes + CONTROL_OVERHEAD_BYTES
+    down_bytes = enclosed_bytes + 2 * CONTROL_OVERHEAD_BYTES
+    wire = ((up_bytes + down_bytes) * 8.0
+            / calibration.control_link_rate_bps
+            + 2.0 * calibration.link_propagation_delay)
+    path = (switch.upcall_latency
+            + switch.flow_buffer_miss_latency
+            + wire
+            + packet_in_sojourn_estimate(rate_mbps, calibration,
+                                         frame_len=frame_len,
+                                         enclosed_bytes=enclosed_bytes,
+                                         quantile=quantile)
+            + controller.decision_latency
+            + switch.downcall_latency
+            + switch.apply_flow_mod_cost
+            + switch.apply_pkt_out_cost(enclosed_bytes))
+    return slack * path

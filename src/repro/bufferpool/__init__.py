@@ -1,0 +1,48 @@
+"""Shared dynamic buffer pools with pluggable admission policies.
+
+Turns the paper's fixed per-switch buffer capacity into a mechanism
+axis: one :class:`SharedBufferPool` budget arbitrated across per-switch
+or per-port partitions under ``static`` / ``dt`` / ``delay`` admission
+(see DESIGN.md §14 and the ``figsharing`` experiment).
+"""
+
+from .policies import (ADMIT, AdmissionPolicy, DelayAwarePolicy,
+                       DynamicThresholdPolicy, StaticPolicy, Verdict,
+                       create_policy, register_policy, registered_policies)
+from .pool import (POOL_PRESSURE_EVENT, PRESSURE_HIGH_FRACTION,
+                   PRESSURE_REARM_FRACTION, SharedBufferPool, build_pool,
+                   expected_partitions)
+from .spec import (POLICY_DELAY, POLICY_DT, POLICY_STATIC,
+                   PRIVATE_POOL_TOKEN, SCOPE_PORT, SCOPE_SWITCH, PoolSpec,
+                   delay_pool, dt_pool, parse_pool, pool_cache_token,
+                   static_pool)
+
+__all__ = [
+    "ADMIT",
+    "AdmissionPolicy",
+    "DelayAwarePolicy",
+    "DynamicThresholdPolicy",
+    "POLICY_DELAY",
+    "POLICY_DT",
+    "POLICY_STATIC",
+    "POOL_PRESSURE_EVENT",
+    "PRESSURE_HIGH_FRACTION",
+    "PRESSURE_REARM_FRACTION",
+    "PRIVATE_POOL_TOKEN",
+    "PoolSpec",
+    "SCOPE_PORT",
+    "SCOPE_SWITCH",
+    "SharedBufferPool",
+    "StaticPolicy",
+    "Verdict",
+    "build_pool",
+    "create_policy",
+    "delay_pool",
+    "dt_pool",
+    "expected_partitions",
+    "parse_pool",
+    "pool_cache_token",
+    "register_policy",
+    "registered_policies",
+    "static_pool",
+]

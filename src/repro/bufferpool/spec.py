@@ -1,0 +1,204 @@
+"""Declarative buffer-pool descriptions: what sharing policy, not how.
+
+A :class:`PoolSpec` is a frozen, hashable value object describing how a
+run's switch buffers share capacity: one :class:`~repro.bufferpool.pool.
+SharedBufferPool` owns a single unit budget and the member
+:class:`~repro.openflow.pktbuffer.PacketBuffer` partitions (one per
+switch, or one per ingress port within a switch) draw from it under a
+named admission policy — ``static`` (each partition keeps its private
+quota; bit-identical to unpooled runs), ``dt`` (classic Dynamic
+Threshold: admit while ``occupancy_p < alpha * free_pool``) or ``delay``
+(BShare-style: the DT threshold is scaled by each partition's observed
+packet_in round-trip EWMA).
+
+Because it is immutable and canonical it rides on
+:class:`~repro.scenarios.ScenarioSpec` (and therefore inside
+:class:`~repro.parallel.tasks.SweepJob`), crosses the fork boundary, and
+feeds the result cache's content hash — two specs that differ in any way
+never share a cache entry (see :meth:`PoolSpec.cache_token`), exactly
+like :class:`~repro.faults.FaultSpec` does for fault plans.
+
+Determinism: the spec carries no randomness and the pool draws none;
+identical ``(seed, PoolSpec)`` pairs produce bit-identical runs, and
+``None`` (no pool) preserves the historical private-buffer fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Policy names accepted in specs (the registry in
+#: :mod:`repro.bufferpool.policies` must know each one).
+POLICY_STATIC = "static"
+POLICY_DT = "dt"
+POLICY_DELAY = "delay"
+
+_VALID_POLICIES = (POLICY_STATIC, POLICY_DT, POLICY_DELAY)
+
+#: Partitioning scopes: one partition per switch on the data path, or
+#: one per ingress port within each switch (the fanin sharing study).
+SCOPE_SWITCH = "switch"
+SCOPE_PORT = "port"
+
+_VALID_SCOPES = (SCOPE_SWITCH, SCOPE_PORT)
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """One run's buffer-sharing plan, hashable and picklable.
+
+    ``capacity`` is the pool's total unit budget; ``None`` derives it
+    from the run's :class:`~repro.core.BufferConfig` (capacity × number
+    of switches), so a pooled run never has more units than the
+    equivalent private-buffer run.  ``alpha`` is the DT sharing factor;
+    ``delay_target``/``ewma_weight`` parameterize the ``delay`` policy's
+    holding-time EWMA (see DESIGN.md §14).
+    """
+
+    policy: str = POLICY_STATIC
+    capacity: Optional[int] = None
+    alpha: float = 2.0
+    scope: str = SCOPE_SWITCH
+    #: ``delay`` policy: target packet_in round-trip (seconds); the DT
+    #: threshold is scaled by ``delay_target / ewma`` (clamped).
+    delay_target: float = 0.010
+    #: ``delay`` policy: EWMA smoothing weight in (0, 1].
+    ewma_weight: float = 0.2
+
+    def __post_init__(self) -> None:
+        policy = str(self.policy).strip().lower()
+        if policy not in _VALID_POLICIES:
+            raise ValueError(
+                f"unknown pool policy {self.policy!r}; expected one of "
+                f"{_VALID_POLICIES}")
+        object.__setattr__(self, "policy", policy)
+        scope = str(self.scope).strip().lower()
+        if scope not in _VALID_SCOPES:
+            raise ValueError(
+                f"unknown pool scope {self.scope!r}; expected one of "
+                f"{_VALID_SCOPES}")
+        object.__setattr__(self, "scope", scope)
+        if self.capacity is not None:
+            capacity = int(self.capacity)
+            if capacity < 1:
+                raise ValueError(
+                    f"pool capacity must be >= 1, got {self.capacity}")
+            object.__setattr__(self, "capacity", capacity)
+        alpha = float(self.alpha)
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {self.alpha}")
+        object.__setattr__(self, "alpha", alpha)
+        target = float(self.delay_target)
+        if target <= 0:
+            raise ValueError(
+                f"delay_target must be positive, got {self.delay_target}")
+        object.__setattr__(self, "delay_target", target)
+        weight = float(self.ewma_weight)
+        if not 0.0 < weight <= 1.0:
+            raise ValueError(
+                f"ewma_weight must be in (0, 1], got {self.ewma_weight}")
+        object.__setattr__(self, "ewma_weight", weight)
+
+    @property
+    def name(self) -> str:
+        """Compact display name, e.g. ``dt:alpha=2`` or ``static``."""
+        if self.policy == POLICY_DT:
+            base = f"dt:alpha={self.alpha:g}"
+        else:
+            base = self.policy
+        if self.scope != SCOPE_SWITCH:
+            base += f"/{self.scope}"
+        if self.capacity is not None:
+            base += f"/cap={self.capacity}"
+        return base
+
+    def cache_token(self) -> str:
+        """Canonical text for the result cache's content hash.
+
+        Every field participates: two specs differing in any sharing
+        knob must never collide (the cross-config cache-poisoning class
+        the scenario and fault tokens closed for their axes).
+        """
+        return (f"policy={self.policy}|capacity={self.capacity!r}"
+                f"|alpha={self.alpha!r}|scope={self.scope}"
+                f"|delay_target={self.delay_target!r}"
+                f"|ewma_weight={self.ewma_weight!r}")
+
+
+#: Cache-token text standing in for "no pool" — private per-switch
+#: buffers.  ``PoolSpec=None`` and an absent spec key identically.
+PRIVATE_POOL_TOKEN = "private"
+
+
+def pool_cache_token(spec: Optional[PoolSpec]) -> str:
+    """The cache-key fragment for an optional pool spec."""
+    return PRIVATE_POOL_TOKEN if spec is None else spec.cache_token()
+
+
+def static_pool(capacity: Optional[int] = None,
+                scope: str = SCOPE_SWITCH) -> PoolSpec:
+    """The ``static`` policy: private quotas under pool accounting."""
+    return PoolSpec(policy=POLICY_STATIC, capacity=capacity, scope=scope)
+
+
+def dt_pool(alpha: float = 2.0, capacity: Optional[int] = None,
+            scope: str = SCOPE_SWITCH) -> PoolSpec:
+    """Classic Dynamic Threshold sharing at factor ``alpha``."""
+    return PoolSpec(policy=POLICY_DT, alpha=alpha, capacity=capacity,
+                    scope=scope)
+
+
+def delay_pool(delay_target: float = 0.010, ewma_weight: float = 0.2,
+               alpha: float = 2.0, capacity: Optional[int] = None,
+               scope: str = SCOPE_SWITCH) -> PoolSpec:
+    """BShare-style delay-aware sharing."""
+    return PoolSpec(policy=POLICY_DELAY, delay_target=delay_target,
+                    ewma_weight=ewma_weight, alpha=alpha,
+                    capacity=capacity, scope=scope)
+
+
+def parse_pool(text: str) -> PoolSpec:
+    """Parse a CLI pool string into a :class:`PoolSpec`.
+
+    Grammar: ``policy[:key=value[,key=value...]]``.  Keys: ``alpha``,
+    ``capacity`` (int), ``scope`` (``switch``/``port``), ``target``
+    (delay_target, seconds) and ``weight`` (ewma_weight)::
+
+        static
+        dt:alpha=2
+        dt:alpha=0.5,scope=port,capacity=64
+        delay:target=0.008,weight=0.3
+    """
+    head, _, rest = text.strip().partition(":")
+    policy = head.strip().lower()
+    if not policy:
+        raise ValueError(f"pool spec needs a policy, got {text!r}")
+    kwargs: dict = {"policy": policy}
+    for item in rest.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        key = key.strip().lower()
+        if not sep:
+            raise ValueError(f"pool clause needs key=value, got {item!r}")
+        value = value.strip()
+        if key == "alpha":
+            kwargs["alpha"] = float(value)
+        elif key in ("capacity", "cap"):
+            kwargs["capacity"] = int(value)
+        elif key == "scope":
+            kwargs["scope"] = value
+        elif key in ("target", "delay_target"):
+            kwargs["delay_target"] = float(value)
+        elif key in ("weight", "ewma_weight"):
+            kwargs["ewma_weight"] = float(value)
+        else:
+            raise ValueError(
+                f"unknown pool key {key!r} in {text!r}; expected alpha, "
+                f"capacity, scope, target, weight")
+    try:
+        return PoolSpec(**kwargs)
+    except ValueError as exc:
+        raise ValueError(f"invalid pool spec {text!r}: {exc}") from None

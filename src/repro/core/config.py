@@ -68,19 +68,30 @@ class BufferConfig:
         return self.mechanism != MECHANISM_NO_BUFFER
 
 
-def create_mechanism(config: BufferConfig,
-                     sim: Simulator) -> BufferMechanism:
-    """Instantiate the policy object described by ``config``."""
+def create_mechanism(config: BufferConfig, sim: Simulator,
+                     pool=None, partition: str = "buffer",
+                     per_port_partitions: bool = False) -> BufferMechanism:
+    """Instantiate the policy object described by ``config``.
+
+    ``pool`` (a :class:`~repro.bufferpool.SharedBufferPool`) makes the
+    mechanism's buffer draw units from a shared budget under the pool's
+    admission policy; ``partition`` names its ledger (normally the
+    switch name) and ``per_port_partitions`` splits it further into one
+    partition per ingress port.  ``pool=None`` — the default — is the
+    historical private buffer.
+    """
     if config.mechanism == MECHANISM_NO_BUFFER:
         return NoBuffer()
     if config.mechanism == MECHANISM_PACKET:
-        return PacketGranularityBuffer(capacity=config.capacity,
-                                       miss_send_len=config.miss_send_len,
-                                       reclaim_delay=config.reclaim_delay)
+        return PacketGranularityBuffer(
+            capacity=config.capacity, miss_send_len=config.miss_send_len,
+            reclaim_delay=config.reclaim_delay, pool=pool,
+            partition=partition, per_port_partitions=per_port_partitions)
     return FlowGranularityBuffer(
         sim, capacity=config.capacity, miss_send_len=config.miss_send_len,
         retry_timeout=config.retry_timeout, max_retries=config.max_retries,
-        max_packets_per_flow=config.max_packets_per_flow)
+        max_packets_per_flow=config.max_packets_per_flow, pool=pool,
+        partition=partition, per_port_partitions=per_port_partitions)
 
 
 # Canonical configurations the paper evaluates -------------------------------

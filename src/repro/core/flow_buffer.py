@@ -26,28 +26,46 @@ from ..packets import FiveTuple, Packet
 
 #: Shares the process-wide id space with the packet-granularity buffer so
 #: controller-side code can never confuse ids across mechanisms.
+from ..openflow.pktbuffer import BufferFullError
 from ..openflow.pktbuffer import _buffer_ids  # noqa: F401  (intentional reuse)
 
 
-class FlowBufferFullError(Exception):
-    """No free buffer unit (flow slot) is available."""
+class FlowBufferFullError(BufferFullError):
+    """No free buffer unit (flow slot) is available.
+
+    Inherits :class:`~repro.openflow.pktbuffer.BufferFullError`'s
+    structured context (capacity / occupancy / partition / verdict), so
+    pool-aware callers can treat both granularities uniformly.
+    """
 
 
 class FlowPacketBuffer:
-    """Buffer units keyed by flow; each unit queues that flow's packets."""
+    """Buffer units keyed by flow; each unit queues that flow's packets.
+
+    ``pool`` routes *unit* (flow-slot) accounting through a shared
+    :class:`~repro.bufferpool.SharedBufferPool`, exactly as the
+    packet-granularity buffer does — one pool unit per flow slot, since
+    Fig. 13's utilization story counts units, not packets.  ``pool=None``
+    keeps the historical private semantics untouched.
+    """
 
     def __init__(self, capacity: int,
-                 max_packets_per_flow: Optional[int] = None):
+                 max_packets_per_flow: Optional[int] = None,
+                 pool=None, partition: str = "buffer"):
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         if max_packets_per_flow is not None and max_packets_per_flow < 1:
             raise ValueError("max_packets_per_flow must be >= 1")
         self.capacity = capacity
         self.max_packets_per_flow = max_packets_per_flow
+        self.pool = pool
+        self.partition = partition
         self._id_by_flow: dict[FiveTuple, int] = {}
         self._flow_by_id: dict[int, FiveTuple] = {}
         self._queues: dict[int, Deque[Packet]] = {}
         self._stored_at: dict[int, float] = {}
+        self._partition_of: dict[int, str] = {}
+        self._partitions_touched: set = set()
         #: Counters.
         self.total_buffered = 0
         self.total_released = 0
@@ -91,24 +109,43 @@ class FlowPacketBuffer:
         return self._id_by_flow.get(flow, -1)
 
     def buffer_first_packet(self, flow: FiveTuple, packet: Packet,
-                            now: float) -> int:
+                            now: float,
+                            partition: Optional[str] = None) -> int:
         """``bufferFirstPacket`` + ``storeBufferIdIntoMap``.
 
         Allocates a unit, creates the shared ``buffer_id`` and queues the
         flow's first miss-match packet.  Raises
-        :class:`FlowBufferFullError` when no unit is free.
+        :class:`FlowBufferFullError` when no unit is free.  With a pool
+        attached, the flow slot is the pool policy's call and counts
+        against ``partition`` (default: this buffer's own).
         """
         if flow in self._id_by_flow:
             raise ValueError(f"flow {flow} already has a buffer unit")
-        if self.is_full:
-            self.full_rejections += 1
-            raise FlowBufferFullError(
-                f"all {self.capacity} buffer units in use")
+        if self.pool is None:
+            if self.is_full:
+                self.full_rejections += 1
+                raise FlowBufferFullError(
+                    f"all {self.capacity} buffer units in use",
+                    capacity=self.capacity, occupancy=len(self._queues),
+                    verdict="exhausted")
+        else:
+            pid = partition if partition is not None else self.partition
+            verdict = self.pool.admit(pid, now)
+            if not verdict.admitted:
+                self.full_rejections += 1
+                raise FlowBufferFullError(
+                    f"pool rejected partition {pid!r} ({verdict.reason})",
+                    capacity=self.pool.total_capacity,
+                    occupancy=self.pool.occupancy_of(pid, now),
+                    partition=pid, verdict=verdict.reason)
         buffer_id = next(_buffer_ids)
         self._id_by_flow[flow] = buffer_id
         self._flow_by_id[buffer_id] = flow
         self._queues[buffer_id] = deque([packet])
         self._stored_at[buffer_id] = now
+        if self.pool is not None:
+            self._partition_of[buffer_id] = pid
+            self._partitions_touched.add(pid)
         self.total_buffered += 1
         self._packets_stored += 1
         self._update_peaks()
@@ -140,12 +177,15 @@ class FlowPacketBuffer:
     # ------------------------------------------------------------------
     # Algorithm 2 primitives
     # ------------------------------------------------------------------
-    def release_all(self, buffer_id: int) -> list[Packet]:
+    def release_all(self, buffer_id: int,
+                    now: Optional[float] = None) -> list[Packet]:
         """Drain the unit: every buffered packet of the flow, in order.
 
         This is Algorithm 2's ``getPacketFromBuffer`` loop plus
         ``releaseBufferUnit``; the unit itself is freed.  Returns an empty
-        list for an unknown id.
+        list for an unknown id.  ``now`` feeds pool accounting (the hold
+        time drives delay-aware policies); omitted, the pool still gets
+        its unit back but sees no hold observation.
         """
         queue = self._queues.pop(buffer_id, None)
         if queue is None:
@@ -153,13 +193,16 @@ class FlowPacketBuffer:
             return []
         flow = self._flow_by_id.pop(buffer_id)
         self._id_by_flow.pop(flow, None)
-        self._stored_at.pop(buffer_id, None)
+        stored_at = self._stored_at.pop(buffer_id, None)
         packets = list(queue)
         self.total_released += len(packets)
         self._packets_stored -= len(packets)
+        if self.pool is not None:
+            self._return_unit(buffer_id, now, stored_at, observe=True)
         return packets
 
-    def drop_all(self, buffer_id: int) -> list[Packet]:
+    def drop_all(self, buffer_id: int,
+                 now: Optional[float] = None) -> list[Packet]:
         """Drain a unit counting its packets as ``abandoned_drops``.
 
         This is the retry-exhaustion path (Algorithm 1 gives up on the
@@ -173,11 +216,28 @@ class FlowPacketBuffer:
             return []
         flow = self._flow_by_id.pop(buffer_id)
         self._id_by_flow.pop(flow, None)
-        self._stored_at.pop(buffer_id, None)
+        stored_at = self._stored_at.pop(buffer_id, None)
         packets = list(queue)
         self.abandoned_drops += len(packets)
         self._packets_stored -= len(packets)
+        if self.pool is not None:
+            # Abandoned flows never completed a round trip: the budget
+            # comes back but no hold time is observed.
+            self._return_unit(buffer_id, now, stored_at, observe=False)
         return packets
+
+    def _return_unit(self, buffer_id: int, now: Optional[float],
+                     stored_at: Optional[float], observe: bool) -> None:
+        pid = self._partition_of.pop(buffer_id, self.partition)
+        if now is None:
+            # No clock from the caller: settle the ledger at the unit's
+            # own store time (flow units have no cooling ring, so the
+            # timestamp only anchors gauge pruning).
+            self.pool.release_unit(pid, stored_at if stored_at else 0.0)
+            return
+        held = (now - stored_at if observe and stored_at is not None
+                else None)
+        self.pool.release_unit(pid, now, held=held)
 
     def flow_of(self, buffer_id: int) -> Optional[FiveTuple]:
         """The flow owning a unit (diagnostics)."""
@@ -195,13 +255,15 @@ class FlowPacketBuffer:
                           now: Optional[float] = None) -> list[int]:
         """Free units created before ``cutoff``; returns the expired ids.
 
-        ``now`` is accepted for signature parity with
-        :meth:`~repro.openflow.pktbuffer.PacketBuffer.expire_older_than`;
-        flow units have no reclaim-cooling ring, so it is unused here.
+        ``now`` anchors pool-ledger returns (signature parity with
+        :meth:`~repro.openflow.pktbuffer.PacketBuffer.expire_older_than`);
+        flow units have no reclaim-cooling ring, so it defaults to
+        ``cutoff`` harmlessly.
         """
         expired = [bid for bid, t in self._stored_at.items() if t < cutoff]
+        when = cutoff if now is None else now
         for bid in expired:
-            dropped = self.drop_all(bid)
+            dropped = self.drop_all(bid, now=when)
             # drop_all books abandonments; ageout expiries stay in the
             # historical overflow-drop class.
             self.abandoned_drops -= len(dropped)
@@ -209,12 +271,20 @@ class FlowPacketBuffer:
         return expired
 
     def clear(self) -> None:
-        """Free everything (counters retained)."""
+        """Free everything (counters retained).
+
+        Pooled buffers own their partitions exclusively, so clearing
+        also zeroes those ledgers pool-side.
+        """
         self._id_by_flow.clear()
         self._flow_by_id.clear()
         self._queues.clear()
         self._stored_at.clear()
+        self._partition_of.clear()
         self._packets_stored = 0
+        if self.pool is not None:
+            for pid in self._partitions_touched:
+                self.pool.reset_partition(pid)
 
     def _update_peaks(self) -> None:
         if len(self._queues) > self.peak_units:

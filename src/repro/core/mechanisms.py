@@ -52,6 +52,12 @@ class MissDecision:
     stored: bool
     #: Elementary buffer operations performed (for CPU charging).
     ops: BufferOps = NO_OPS
+    #: True when the buffer refused this packet (degraded to no-buffer
+    #: because of exhaustion or a pool-policy squeeze).
+    rejected: bool = False
+    #: Partition whose budget rejected the packet (``None`` for private,
+    #: unpartitioned buffers) — lets the agent label rejection counters.
+    partition: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -144,23 +150,37 @@ class PacketGranularityBuffer(BufferMechanism):
     name = "packet-granularity"
 
     def __init__(self, capacity: int, miss_send_len: int = 128,
-                 reclaim_delay: float = 0.0):
+                 reclaim_delay: float = 0.0, pool=None,
+                 partition: str = "buffer",
+                 per_port_partitions: bool = False):
         if miss_send_len < 0:
             raise ValueError("miss_send_len must be >= 0")
-        self.buffer = PacketBuffer(capacity, reclaim_delay=reclaim_delay)
+        self.buffer = PacketBuffer(capacity, reclaim_delay=reclaim_delay,
+                                   pool=pool, partition=partition)
         self.miss_send_len = miss_send_len
+        self.partition = partition
+        #: Pool scope=port: each ingress port is its own pool partition
+        #: (``<switch>:p<port>``) instead of one per-switch partition.
+        self.per_port_partitions = per_port_partitions and pool is not None
+
+    def _partition_for(self, in_port: int) -> Optional[str]:
+        if self.per_port_partitions:
+            return f"{self.partition}:p{in_port}"
+        return None   # the buffer's own default partition
 
     def on_miss(self, packet: Packet, in_port: int,
                 now: float) -> MissDecision:
         """Buffer the packet under its own id; send a truncated request."""
         try:
-            buffer_id = self.buffer.store(packet, now)
-        except BufferFullError:
+            buffer_id = self.buffer.store(
+                packet, now, partition=self._partition_for(in_port))
+        except BufferFullError as exc:
             # Degrade: full frame in the packet_in, nothing stored.
             return MissDecision(send_packet_in=True,
                                buffer_id=OFP_NO_BUFFER,
                                data_len=packet.wire_len, stored=False,
-                               ops=BufferOps(map_lookups=1))
+                               ops=BufferOps(map_lookups=1),
+                               rejected=True, partition=exc.partition)
         data_len = packet.leading_bytes(self.miss_send_len)
         return MissDecision(send_packet_in=True, buffer_id=buffer_id,
                             data_len=data_len, stored=True,
@@ -233,7 +253,9 @@ class FlowGranularityBuffer(BufferMechanism):
     def __init__(self, sim: Simulator, capacity: int,
                  miss_send_len: int = 128, retry_timeout: float = 0.050,
                  max_retries: int = 8,
-                 max_packets_per_flow: Optional[int] = None):
+                 max_packets_per_flow: Optional[int] = None,
+                 pool=None, partition: str = "buffer",
+                 per_port_partitions: bool = False):
         if miss_send_len < 0:
             raise ValueError("miss_send_len must be >= 0")
         if retry_timeout <= 0:
@@ -242,7 +264,10 @@ class FlowGranularityBuffer(BufferMechanism):
             raise ValueError("max_retries must be >= 0")
         self.sim = sim
         self.buffer = FlowPacketBuffer(
-            capacity, max_packets_per_flow=max_packets_per_flow)
+            capacity, max_packets_per_flow=max_packets_per_flow,
+            pool=pool, partition=partition)
+        self.partition = partition
+        self.per_port_partitions = per_port_partitions and pool is not None
         self.miss_send_len = miss_send_len
         self.retry_timeout = retry_timeout
         self.max_retries = max_retries
@@ -273,13 +298,19 @@ class FlowGranularityBuffer(BufferMechanism):
         lookup_ops = BufferOps(map_lookups=1)
 
         if buffer_id == -1:                           # line 6: first packet
+            if self.per_port_partitions:
+                partition = f"{self.partition}:p{in_port}"
+            else:
+                partition = None
             try:
-                buffer_id = self.buffer.buffer_first_packet(flow, packet, now)
-            except FlowBufferFullError:
+                buffer_id = self.buffer.buffer_first_packet(
+                    flow, packet, now, partition=partition)
+            except FlowBufferFullError as exc:
                 return MissDecision(send_packet_in=True,
                                    buffer_id=OFP_NO_BUFFER,
                                    data_len=packet.wire_len, stored=False,
-                                   ops=lookup_ops)
+                                   ops=lookup_ops,
+                                   rejected=True, partition=exc.partition)
             self._arm_timer(buffer_id, packet)
             ops = lookup_ops + BufferOps(stores=1, map_inserts=1,
                                          timer_ops=1)
@@ -312,7 +343,7 @@ class FlowGranularityBuffer(BufferMechanism):
                 return ReleaseResult(unknown=True)
             return ReleaseResult(packets=(message.packet,))
         self._disarm_timer(message.buffer_id)
-        packets = self.buffer.release_all(message.buffer_id)
+        packets = self.buffer.release_all(message.buffer_id, now=now)
         ops = BufferOps(map_lookups=1, map_removes=1,
                         releases=len(packets))
         if not packets:
@@ -353,7 +384,7 @@ class FlowGranularityBuffer(BufferMechanism):
             # These packets are never forwarded, so they must count as
             # drops, not releases (Fig. 13 release accounting).
             self._pending.pop(buffer_id, None)
-            self.buffer.drop_all(buffer_id)
+            self.buffer.drop_all(buffer_id, now=self.sim.now)
             self.flows_abandoned += 1
             return
         pending.retries += 1

@@ -7,21 +7,26 @@ from .calibration import (CONTROL_LINK_RATE_BPS, DATA_LINK_RATE_BPS,
                           default_calibration, default_controller_config,
                           default_switch_config, format_table_1)
 from .export import (experiment_to_csv, resilience_to_csv,
-                     save_experiment_csv, save_resilience_csv, sweep_rows,
+                     save_experiment_csv, save_resilience_csv,
+                     save_sharing_csv, sharing_to_csv, sweep_rows,
                      sweep_to_csv)
 from .figures import (FIGURES, PATH_LENGTHS, RESILIENCE_LOSS_RATES,
-                      RESILIENCE_RATE_MBPS, ExperimentData, FigureSpec,
+                      RESILIENCE_RATE_MBPS, SHARING_ALPHAS,
+                      SHARING_CAPACITY, SHARING_FANIN, SHARING_LOSS_RATES,
+                      SHARING_RATE_MBPS, ExperimentData, FigureSpec,
                       PathExperimentData, ResilienceExperimentData,
-                      figure_series, run_benefits_experiment,
+                      SharingExperimentData, figure_series,
+                      run_benefits_experiment, run_figsharing_experiment,
                       run_mechanism_experiment, run_path_experiment,
-                      run_resilience_experiment, workload_a_factory,
-                      workload_b_factory)
+                      run_resilience_experiment, sharing_pool_specs,
+                      workload_a_factory, workload_b_factory)
 from .multiswitch import MultiSwitchTestbed, build_line_testbed
 from .paper_data import (PAPER_QUOTED, QuotedComparison, QuotedValue,
                          compare_quoted, format_quoted)
 from .report import (format_experiment, format_figure, format_headlines,
                      format_path_experiment, format_resilience_experiment,
-                     headline_claims, headline_series)
+                     format_sharing_experiment, headline_claims,
+                     headline_series)
 from .runner import (RateAggregate, SweepResult, aggregate, derive_seed,
                      run_once, sweep)
 from .testbed import PORT_HOST1, PORT_HOST2, Testbed, build_testbed
@@ -36,17 +41,23 @@ __all__ = [
     "MultiSwitchTestbed", "build_line_testbed",
     "sweep_to_csv", "experiment_to_csv", "save_experiment_csv",
     "sweep_rows", "resilience_to_csv", "save_resilience_csv",
+    "sharing_to_csv", "save_sharing_csv",
     "run_once", "sweep", "aggregate", "derive_seed", "RateAggregate",
     "SweepResult",
     "FIGURES", "FigureSpec", "ExperimentData", "figure_series",
     "PATH_LENGTHS", "PathExperimentData",
     "RESILIENCE_LOSS_RATES", "RESILIENCE_RATE_MBPS",
     "ResilienceExperimentData",
+    "SHARING_ALPHAS", "SHARING_CAPACITY", "SHARING_FANIN",
+    "SHARING_LOSS_RATES", "SHARING_RATE_MBPS", "SharingExperimentData",
+    "sharing_pool_specs",
     "run_benefits_experiment", "run_mechanism_experiment",
     "run_path_experiment", "run_resilience_experiment",
+    "run_figsharing_experiment",
     "workload_a_factory", "workload_b_factory",
     "format_figure", "format_experiment", "format_headlines",
     "format_path_experiment", "format_resilience_experiment",
+    "format_sharing_experiment",
     "headline_claims", "headline_series",
     "PAPER_QUOTED", "QuotedValue", "QuotedComparison", "compare_quoted",
     "format_quoted",

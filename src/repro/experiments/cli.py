@@ -20,14 +20,14 @@ from typing import Optional, Sequence
 from .. import __version__
 from .calibration import format_table_1
 from .figures import (FIGURES, run_benefits_experiment,
-                      run_mechanism_experiment, run_path_experiment,
-                      run_resilience_experiment)
+                      run_figsharing_experiment, run_mechanism_experiment,
+                      run_path_experiment, run_resilience_experiment)
 from .report import (format_figure, format_headlines,
                      format_path_experiment, format_resilience_experiment,
-                     headline_claims)
+                     format_sharing_experiment, headline_claims)
 
 _SPECIAL = ("table1", "headline", "quoted", "figpath", "figresilience",
-            "all")
+            "figsharing", "all")
 
 
 def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
@@ -53,6 +53,15 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
                              "line:N, or fanin:K (default: single)")
     parser.add_argument("--switches", type=int, default=None, metavar="N",
                         help="shorthand for --scenario line:N")
+    parser.add_argument("--pool", metavar="SPEC", default=None,
+                        help="share the switches' buffer units through one "
+                             "pool; SPEC is policy[:key=value,...], e.g. "
+                             "'dt:alpha=2,scope=port' or "
+                             "'delay:target=0.008' (figsharing sweeps its "
+                             "own pool grid and ignores this)")
+    parser.add_argument("--pool-policy", metavar="NAME", default=None,
+                        help="shorthand for --pool NAME with default knobs "
+                             "(static, dt, delay)")
     parser.add_argument("--loss", type=float, default=None, metavar="P",
                         help="inject symmetric control-channel loss with "
                              "probability P into the benefits/mechanism "
@@ -104,7 +113,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if "all" in targets:
         targets = (["table1"] + list(FIGURES)
-                   + ["figpath", "figresilience", "headline", "quoted"])
+                   + ["figpath", "figresilience", "figsharing",
+                      "headline", "quoted"])
 
     if args.scenario is not None and args.switches is not None:
         print("--scenario and --switches are mutually exclusive",
@@ -120,6 +130,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
             return 2
+
+    if args.pool is not None and args.pool_policy is not None:
+        print("--pool and --pool-policy are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.pool is not None or args.pool_policy is not None:
+        from ..bufferpool import parse_pool
+        from ..scenarios import single_scenario
+        try:
+            pool_spec = parse_pool(args.pool if args.pool is not None
+                                   else args.pool_policy)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        scenario = (scenario if scenario is not None
+                    else single_scenario()).with_pool(pool_spec)
 
     if args.loss is not None and args.fault is not None:
         print("--loss and --fault are mutually exclusive", file=sys.stderr)
@@ -148,6 +174,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for t in targets)
     need_path = "figpath" in targets
     need_resilience = "figresilience" in targets
+    need_sharing = "figsharing" in targets
 
     from ..parallel import ResultCache
     workers = (args.workers if args.workers is not None
@@ -164,9 +191,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         obs = ObsCollector(ObsConfig(trace=args.trace_out is not None,
                                      trace_sample=args.trace_sample))
 
-    benefits = mechanism = path_data = resilience = None
+    benefits = mechanism = path_data = resilience = sharing = None
     any_experiment = (need_benefits or need_mechanism or need_path
-                      or need_resilience)
+                      or need_resilience or need_sharing)
     kwargs = dict(rates_mbps=args.rates, repetitions=args.reps,
                   quick=quick, base_seed=args.seed, workers=workers,
                   cache=cache, progress=True, obs=obs)
@@ -225,6 +252,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   file=sys.stderr)
             return 1
         print(f"# done in {time.time() - start:.1f}s", file=sys.stderr)
+    if need_sharing:
+        # figsharing sweeps its own pool-policy and loss grids on a
+        # fanin scenario; --rates/--scenario/--pool/--fault do not
+        # apply to it.
+        print("# running buffer-sharing experiment (workload A over "
+              "pool policies on fanin)...", file=sys.stderr)
+        start = time.time()
+        s_kwargs = dict(repetitions=args.reps, quick=quick,
+                        base_seed=args.seed, workers=workers,
+                        cache=cache, progress=True, obs=obs)
+        if args.flows is not None:
+            s_kwargs["n_flows"] = args.flows
+        try:
+            sharing = run_figsharing_experiment(**s_kwargs)
+        except Exception as exc:
+            print(f"# sharing experiment failed: {exc}", file=sys.stderr)
+            return 1
+        print(f"# done in {time.time() - start:.1f}s", file=sys.stderr)
     if cache is not None and any_experiment:
         print(f"# cache: {cache.stats()}", file=sys.stderr)
     if obs is not None and any_experiment:
@@ -239,14 +284,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # Partial failure (a repetition exhausted its retry budget) is a
     # non-zero exit even though the surviving rows are still printed.
     exit_code = 0
-    for data in (benefits, mechanism, path_data, resilience):
+    for data in (benefits, mechanism, path_data, resilience, sharing):
         if data is not None and data.report is not None \
                 and not data.report.ok:
             print(data.report.format(), file=sys.stderr)
             exit_code = 1
 
     if args.csv is not None:
-        from .export import save_experiment_csv, save_resilience_csv
+        from .export import (save_experiment_csv, save_resilience_csv,
+                             save_sharing_csv)
         for data in (benefits, mechanism):
             if data is not None:
                 csv_path = save_experiment_csv(data, args.csv)
@@ -254,10 +300,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if resilience is not None:
             csv_path = save_resilience_csv(resilience, args.csv)
             print(f"# wrote {csv_path}", file=sys.stderr)
+        if sharing is not None:
+            csv_path = save_sharing_csv(sharing, args.csv)
+            print(f"# wrote {csv_path}", file=sys.stderr)
 
     if args.json:
         print(json.dumps(_json_payload(targets, benefits, mechanism,
-                                       path_data, resilience),
+                                       path_data, resilience, sharing),
                          indent=2))
         return exit_code
 
@@ -281,6 +330,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         elif target == "figresilience":
             assert resilience is not None
             blocks.append(format_resilience_experiment(resilience))
+        elif target == "figsharing":
+            assert sharing is not None
+            blocks.append(format_sharing_experiment(sharing))
         else:
             spec = FIGURES[target]
             data = benefits if spec.experiment == "benefits" else mechanism
@@ -298,7 +350,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 def _json_payload(targets, benefits, mechanism, path=None,
-                  resilience=None) -> dict:
+                  resilience=None, sharing=None) -> dict:
     """Machine-readable rendering of the requested targets."""
     from .figures import figure_series
     payload: dict = {}
@@ -317,6 +369,22 @@ def _json_payload(targets, benefits, mechanism, path=None,
                     name: {label: resilience.series_vs_loss(label, getter)
                            for label in resilience.labels}
                     for name, _, getter in RESILIENCE_METRICS},
+            }
+        elif target == "figsharing":
+            from .report import SHARING_METRICS
+            assert sharing is not None
+            payload["figsharing"] = {
+                "title": "Shared-pool admission under fanin contention",
+                "rate_mbps": sharing.rate_mbps,
+                "loss_rates": list(sharing.loss_rates),
+                "pools": list(sharing.pool_names),
+                "series": {
+                    name: {
+                        label: {pool: sharing.series_vs_loss(label, pool,
+                                                             getter)
+                                for pool in sharing.pool_names}
+                        for label in sharing.labels}
+                    for name, _, getter in SHARING_METRICS},
             }
         elif target == "figpath":
             from .report import PATH_METRICS

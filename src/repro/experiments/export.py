@@ -13,7 +13,8 @@ import io
 import pathlib
 from typing import Optional
 
-from .figures import ExperimentData, ResilienceExperimentData
+from .figures import (ExperimentData, ResilienceExperimentData,
+                      SharingExperimentData)
 from .runner import RateAggregate, SweepResult
 
 #: Exported columns: (header, extractor).
@@ -120,4 +121,51 @@ def save_resilience_csv(data: ResilienceExperimentData, directory: str,
     path.mkdir(parents=True, exist_ok=True)
     target = path / f"{stem or data.name}.csv"
     target.write_text(resilience_to_csv(data))
+    return target
+
+
+#: Sharing CSV columns beyond (pool, loss_rate, mechanism): figure-ready
+#: pool-contention quantities, delays in milliseconds like COLUMNS.
+SHARING_COLUMNS = (
+    ("rate_mbps", lambda r: r.rate_mbps),
+    ("repetitions", lambda r: r.repetitions),
+    ("completion_pct", lambda r: r.completion_rate * 100.0),
+    ("completed_flows", lambda r: r.completed_flows),
+    ("total_flows", lambda r: r.total_flows),
+    ("full_rejections_per_run", lambda r: r.full_rejections),
+    ("setup_delay_ms", lambda r: r.setup_delay.mean * 1e3),
+    ("setup_delay_p99_ms", lambda r: r.setup_delay_p99 * 1e3),
+    ("pool_peak_units", lambda r: r.pool_peak_units),
+    ("buffer_max_units", lambda r: r.buffer_max_units),
+    ("packet_ins_per_run", lambda r: r.packet_ins_per_run),
+    ("packets_dropped", lambda r: r.packets_dropped),
+)
+
+
+def sharing_to_csv(data: SharingExperimentData) -> str:
+    """Combined sharing CSV: one row per (pool, loss rate, mechanism)."""
+    stream = io.StringIO()
+    fieldnames = (["pool", "loss_rate", "mechanism"]
+                  + [h for h, _ in SHARING_COLUMNS])
+    writer = csv.DictWriter(stream, fieldnames=fieldnames)
+    writer.writeheader()
+    for pool_name in data.pool_names:
+        for loss in data.loss_rates:
+            for label in data.labels:
+                row = data.row_for(label, pool_name, loss)
+                writer.writerow({"pool": pool_name, "loss_rate": loss,
+                                 "mechanism": label,
+                                 **{header: extractor(row)
+                                    for header, extractor
+                                    in SHARING_COLUMNS}})
+    return stream.getvalue()
+
+
+def save_sharing_csv(data: SharingExperimentData, directory: str,
+                     stem: Optional[str] = None) -> pathlib.Path:
+    """Write ``<directory>/<stem>.csv``; returns the path."""
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    target = path / f"{stem or data.name}.csv"
+    target.write_text(sharing_to_csv(data))
     return target

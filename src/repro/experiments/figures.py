@@ -17,8 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Sequence
 
-from ..core import buffer_16, buffer_256, flow_buffer_256, no_buffer
-from ..scenarios import line_scenario
+from ..bufferpool import (SCOPE_PORT, PoolSpec, delay_pool, dt_pool,
+                          static_pool)
+from ..core import (MECHANISM_FLOW, MECHANISM_PACKET, BufferConfig,
+                    buffer_16, buffer_256, flow_buffer_256, no_buffer)
+from ..scenarios import fanin_scenario, line_scenario
 from ..simkit import RandomStreams
 from ..trafficgen import (Workload, batched_multi_packet_flows,
                           single_packet_flows)
@@ -364,6 +367,144 @@ def run_resilience_experiment(
                      faults=(loss_fault(loss) if loss > 0 else None),
                      label_override=data.key(config.label, loss))
             for loss in data.loss_rates for config in configs]
+    sweeps, report = run_sweep_jobs(jobs, workers=workers, cache=cache,
+                                    progress=progress, obs=obs)
+    for job in jobs:
+        data.sweeps[job.label] = sweeps[job.label]
+    data.report = report
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Buffer-sharing experiment (shared pool policies under fanin pressure)
+# ---------------------------------------------------------------------------
+
+#: Dynamic-Threshold sharing factors swept by the figsharing grid.
+SHARING_ALPHAS = (0.5, 1.0, 2.0, 4.0)
+#: Control-channel loss grid; 0.0 is the faultless baseline.
+SHARING_LOSS_RATES = (0.0, 0.01, 0.02)
+#: Fixed sending rate for the sharing study — past buffer-16's ~30-40
+#: Mbps exhaustion knee (Fig. 8), so per-port partitions genuinely
+#: contend for units and the admission policies have something to
+#: arbitrate.
+SHARING_RATE_MBPS = 40.0
+#: Fan-in sources of the sharing scenario (the contention hot spot).
+SHARING_FANIN = 4
+#: Per-switch buffer units (the §IV "buffer-16" setting).
+SHARING_CAPACITY = 16
+
+
+def sharing_pool_specs(
+        alphas: Sequence[float] = SHARING_ALPHAS) -> tuple:
+    """The figsharing policy grid, all partitioned per ingress port.
+
+    ``static`` is the baseline (private quotas under pool accounting),
+    then classic Dynamic Threshold at each sharing factor in ``alphas``,
+    then the BShare-style delay-aware policy.
+    """
+    return ((static_pool(scope=SCOPE_PORT),)
+            + tuple(dt_pool(alpha=alpha, scope=SCOPE_PORT)
+                    for alpha in alphas)
+            + (delay_pool(scope=SCOPE_PORT),))
+
+
+@dataclass
+class SharingExperimentData:
+    """Sweeps of the buffer-sharing experiment.
+
+    One single-rate sweep per (mechanism, pool policy, loss rate),
+    keyed by the composite label ``"buffer-16+dt:alpha=2/port@loss:0.01"``
+    (see :meth:`key`).
+    """
+
+    name: str
+    pool_names: tuple
+    loss_rates: tuple
+    labels: tuple
+    rate_mbps: float
+    sweeps: Dict[str, SweepResult] = field(default_factory=dict)
+    #: Engine telemetry (an :class:`~repro.parallel.EngineReport`).
+    report: Optional[object] = None
+
+    @staticmethod
+    def key(label: str, pool_name: str, loss: float) -> str:
+        """Sweep key of one (mechanism, pool, loss) combination."""
+        return f"{label}+{pool_name}@loss:{loss:g}"
+
+    def sweep_for(self, label: str, pool_name: str,
+                  loss: float) -> SweepResult:
+        """One combination's sweep."""
+        return self.sweeps[self.key(label, pool_name, loss)]
+
+    def row_for(self, label: str, pool_name: str,
+                loss: float) -> RateAggregate:
+        """The single figure row of one (mechanism, pool, loss) cell."""
+        return self.sweep_for(label, pool_name, loss).row_at(self.rate_mbps)
+
+    def series_vs_loss(self, label: str, pool_name: str,
+                       getter: MetricGetter) -> list[float]:
+        """One (mechanism, pool)'s metric against control-channel loss."""
+        return [getter(self.row_for(label, pool_name, loss))
+                for loss in self.loss_rates]
+
+
+def run_figsharing_experiment(
+        loss_rates: Sequence[float] = SHARING_LOSS_RATES,
+        rate_mbps: float = SHARING_RATE_MBPS,
+        fanin: int = SHARING_FANIN,
+        pools: Optional[Sequence[PoolSpec]] = None,
+        repetitions: Optional[int] = None,
+        calibration: Optional[TestbedCalibration] = None,
+        n_flows: int = WORKLOAD_A_FLOWS,
+        quick: bool = True, base_seed: int = 0,
+        workers: Optional[int] = None, cache=None,
+        progress=None, obs=None) -> SharingExperimentData:
+    """Shared-buffer admission policies under fan-in contention.
+
+    Sweeps {static, dt(α), delay} pool policies × {packet, flow}
+    granularity on a ``fanin:K`` scenario at one fixed sending rate,
+    under 0-2 % control-plane loss.  Every cell shares the same total
+    unit budget (``SHARING_CAPACITY`` per switch), partitioned per
+    ingress port — so the *only* axis is how the budget is arbitrated.
+    Static quotas reject bursts a DT pool absorbs by borrowing idle
+    ports' units: ``full_rejections`` falls as α grows while
+    ``pool_peak_units`` approaches the budget ceiling.
+
+    Always executes on the :mod:`repro.parallel` engine (inline when
+    ``workers=1``): composite per-cell labels keep sweeps, cache entries
+    and observations distinct across pool specs and fault specs.
+    """
+    from ..faults import loss_fault
+    if not loss_rates:
+        raise ValueError("loss_rates must name at least one loss rate")
+    for loss in loss_rates:
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(
+                f"loss rates must be in [0, 1), got {loss!r}")
+    if pools is None:
+        pools = sharing_pool_specs()
+    if repetitions is None:
+        repetitions = QUICK_REPETITIONS if quick else FULL_REPETITIONS
+    factory = workload_a_factory(n_flows=n_flows)
+    configs = (
+        BufferConfig(mechanism=MECHANISM_PACKET,
+                     capacity=SHARING_CAPACITY),
+        BufferConfig(mechanism=MECHANISM_FLOW, capacity=SHARING_CAPACITY),
+    )
+    data = SharingExperimentData(
+        name="sharing", pool_names=tuple(p.name for p in pools),
+        loss_rates=tuple(loss_rates),
+        labels=tuple(c.label for c in configs), rate_mbps=rate_mbps)
+    scenario = fanin_scenario(fanin)
+    from ..parallel import SweepJob, run_sweep_jobs
+    jobs = [SweepJob(config=config, factory=factory,
+                     rates_mbps=(rate_mbps,), repetitions=repetitions,
+                     calibration=calibration, base_seed=base_seed,
+                     scenario=scenario.with_pool(pool),
+                     faults=(loss_fault(loss) if loss > 0 else None),
+                     label_override=data.key(config.label, pool.name, loss))
+            for loss in data.loss_rates for pool in pools
+            for config in configs]
     sweeps, report = run_sweep_jobs(jobs, workers=workers, cache=cache,
                                     progress=progress, obs=obs)
     for job in jobs:

@@ -7,7 +7,7 @@ from typing import Dict, Optional, Sequence
 from ..core import HeadlineClaim, build_headline_claims
 from .figures import (FIGURES, ExperimentData, FigureSpec,
                       PathExperimentData, ResilienceExperimentData,
-                      figure_series)
+                      SharingExperimentData, figure_series)
 
 
 def format_figure(spec: FigureSpec, data: ExperimentData) -> str:
@@ -117,6 +117,46 @@ def format_resilience_experiment(data: ResilienceExperimentData) -> str:
             cells = "  ".join(f"{series[label][i]:>{label_width}.3f}"
                               for label in data.labels)
             lines.append(f"{loss:>10g}  {cells}")
+    return "\n".join(lines)
+
+
+#: Metrics of the buffer-sharing figure: ``(json_name, column_title,
+#: getter)``.
+SHARING_METRICS = (
+    ("completion_pct", "flow setup completion (%)",
+     lambda r: r.completion_rate * 100.0),
+    ("full_rejections_per_run", "buffer-full rejections per run",
+     lambda r: r.full_rejections),
+    ("setup_delay_p99_ms", "flow setup delay p99 (ms)",
+     lambda r: r.setup_delay_p99 * 1000.0),
+    ("pool_peak_units", "peak pool occupancy (units)",
+     lambda r: r.pool_peak_units),
+)
+
+
+def format_sharing_experiment(data: SharingExperimentData) -> str:
+    """The buffer-sharing figure as text tables.
+
+    One table per metric in :data:`SHARING_METRICS` and per mechanism:
+    pool policies down, loss rates across, values taken at the
+    experiment's fixed sending rate.
+    """
+    pool_width = max(18, *(len(name) for name in data.pool_names))
+    cols = "  ".join(f"loss={loss:g}".rjust(12)
+                     for loss in data.loss_rates)
+    lines = [f"figsharing: shared-pool admission policies at "
+             f"{data.rate_mbps:g} Mbps",
+             "  expected shape: DT pools borrow idle ports' units, so "
+             "full-rejections fall as alpha grows while peak pool "
+             "occupancy approaches the shared budget"]
+    for _, title, getter in SHARING_METRICS:
+        for label in data.labels:
+            lines.append(f"  {title} - {label}")
+            lines.append(f"{'pool'.rjust(pool_width)}  {cols}")
+            for pool_name in data.pool_names:
+                series = data.series_vs_loss(label, pool_name, getter)
+                cells = "  ".join(f"{value:>12.3f}" for value in series)
+                lines.append(f"{pool_name.rjust(pool_width)}  {cells}")
     return "\n".join(lines)
 
 

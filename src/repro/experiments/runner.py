@@ -109,6 +109,10 @@ def run_once(buffer_config: BufferConfig, workload: Workload,
     load_end = settle + workload.duration + 0.050
     snapshot = testbed.metrics.snapshot(settle, min(active_end, sim.now),
                                         load_end=load_end)
+    # The metrics suites see only switches; the pool is a testbed-level
+    # component, so its peak lands on the snapshot here.
+    if testbed.pool is not None:
+        snapshot.pool_peak_units = testbed.pool.peak_occupancy
     if (snapshot.incomplete and extends >= max_extends
             and testbed.registry is not None):
         # Structured counterpart of the warning below: observed runs see
@@ -154,6 +158,11 @@ class RateAggregate:
     flows_abandoned: float = 0.0
     #: p99 of the pooled setup delays, seconds (0 when nothing pooled).
     setup_delay_p99: float = 0.0
+    # Buffer-sharing accounting (figsharing; zero for private buffers).
+    #: Mean buffer rejections per run (exhaustion / pool-policy squeeze).
+    full_rejections: float = 0.0
+    #: Worst shared-pool peak occupancy across repetitions, units.
+    pool_peak_units: float = 0.0
 
     @property
     def completion_rate(self) -> float:
@@ -204,6 +213,10 @@ def aggregate(rate_mbps: float, label: str,
             getattr(r, "flows_abandoned", 0) for r in runs) / n,
         setup_delay_p99=(percentile(pooled_setup, 99)
                          if pooled_setup else 0.0),
+        full_rejections=sum(
+            getattr(r, "buffer_full_rejections", 0) for r in runs) / n,
+        pool_peak_units=float(max(
+            getattr(r, "pool_peak_units", 0) for r in runs)),
     )
 
 

@@ -61,6 +61,13 @@ class RunMetrics:
     #: extend budget ran out or progress stalled): delay statistics then
     #: cover completed flows only.
     incomplete: bool = False
+    #: Packets the buffer refused during the run (exhaustion or a pool
+    #: policy squeeze), summed across switches.
+    buffer_full_rejections: int = 0
+    #: Peak occupancy of the run's shared buffer pool (0 when every
+    #: switch had a private buffer).  Filled by the runner, which owns
+    #: the testbed-level pool handle.
+    pool_peak_units: int = 0
 
     # -- summaries --------------------------------------------------------
     def setup_delay_summary(self) -> Summary:
@@ -198,6 +205,9 @@ class MetricsSuite:
             flows_abandoned=getattr(mechanism, "flows_abandoned", 0),
             incomplete=(self.delay_tracker.completed_flows
                         < self.delay_tracker.total_flows),
+            buffer_full_rejections=(
+                getattr(buffer_obj, "full_rejections", 0)
+                if buffer_obj is not None else 0),
         )
 
 
@@ -359,4 +369,8 @@ class PathMetricsSuite:
                 for s in self.switches),
             incomplete=(self.delay_tracker.completed_flows
                         < self.delay_tracker.total_flows),
+            buffer_full_rejections=sum(
+                getattr(getattr(s.mechanism, "buffer", None),
+                        "full_rejections", 0) or 0
+                for s in self.switches),
         )

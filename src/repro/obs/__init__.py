@@ -26,7 +26,8 @@ from .exporters import (CHROME_REQUIRED_KEYS, chrome_trace_events,
                         spans_to_chrome, spans_to_jsonl,
                         validate_chrome_trace)
 from .flowtrace import (CAT_CHANNEL, CAT_CONTROLLER, CAT_FAULT, CAT_FLOW,
-                        CAT_SWITCH, EVENT_FAULT_INJECTED, FlowSetupTracer,
+                        CAT_POOL, CAT_SWITCH, EVENT_FAULT_INJECTED,
+                        EVENT_POOL_PRESSURE, FlowSetupTracer,
                         SPAN_CHANNEL_DOWN, SPAN_CHANNEL_UP,
                         SPAN_CONTROLLER_APP, SPAN_FLOW_SETUP,
                         SPAN_SWITCH_APPLY, SPAN_SWITCH_MISS)
@@ -40,8 +41,9 @@ __all__ = [
     "snapshot_to_prometheus", "span_from_dict", "span_to_dict",
     "spans_from_jsonl", "spans_to_chrome", "spans_to_jsonl",
     "validate_chrome_trace",
-    "CAT_CHANNEL", "CAT_CONTROLLER", "CAT_FAULT", "CAT_FLOW", "CAT_SWITCH",
-    "EVENT_FAULT_INJECTED",
+    "CAT_CHANNEL", "CAT_CONTROLLER", "CAT_FAULT", "CAT_FLOW", "CAT_POOL",
+    "CAT_SWITCH",
+    "EVENT_FAULT_INJECTED", "EVENT_POOL_PRESSURE",
     "FlowSetupTracer", "SPAN_CHANNEL_DOWN", "SPAN_CHANNEL_UP",
     "SPAN_CONTROLLER_APP", "SPAN_FLOW_SETUP", "SPAN_SWITCH_APPLY",
     "SPAN_SWITCH_MISS",

@@ -28,7 +28,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
 from .exporters import snapshot_to_prometheus, spans_to_chrome, spans_to_jsonl
-from .flowtrace import FlowSetupTracer
+from .flowtrace import CAT_POOL, EVENT_POOL_PRESSURE, FlowSetupTracer
 from .registry import DELAY_BUCKETS_S, MetricsRegistry, MetricsSnapshot
 from .spans import SpanRecord, SpanRecorder
 
@@ -125,6 +125,18 @@ class RunObserver:
             tracer.attach(switch.events, testbed.controller.events)
             self.tracers.append(tracer)
         self.tracer = self.tracers[0]
+        pool = getattr(testbed, "pool", None)
+        if pool is not None:
+            pool.events.on("pool_pressure", self._on_pool_pressure)
+
+    def _on_pool_pressure(self, time: float, kind: str, partition: str,
+                          occupancy: int, free: int, reason: str) -> None:
+        """A shared-pool rejection or high-occupancy edge crossing."""
+        self.recorder.instant(EVENT_POOL_PRESSURE, t=time,
+                              category=CAT_POOL, track="pool",
+                              kind=kind, partition=partition,
+                              occupancy=occupancy, free=free,
+                              reason=reason)
 
     def finish(self, testbed, run_metrics) -> RunObservation:
         """Snapshot registry + delay histograms into the observation."""

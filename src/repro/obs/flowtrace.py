@@ -51,6 +51,7 @@ EVENT_BUFFER_RELEASE = "buffer.release"
 EVENT_PACKET_IN_RETRY = "packet_in.retry"
 EVENT_PACKET_DROP = "packet.drop"
 EVENT_FAULT_INJECTED = "fault.injected"
+EVENT_POOL_PRESSURE = "pool.pressure"
 
 #: Categories: exporters and the decomposition test group spans by these.
 CAT_FLOW = "flow"
@@ -58,6 +59,7 @@ CAT_SWITCH = "switch"
 CAT_CHANNEL = "channel"
 CAT_CONTROLLER = "controller"
 CAT_FAULT = "fault"
+CAT_POOL = "pool"
 
 
 @dataclass

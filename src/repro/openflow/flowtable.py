@@ -177,6 +177,11 @@ class FlowTable:
             for i, existing in enumerate(self._wildcards):
                 if (existing.match == entry.match
                         and existing.priority == entry.priority):
+                    # A replacement keeps the old entry's rank: the list
+                    # position is reused, so the id must be too — else
+                    # the next re-sort would silently change which rule
+                    # wins equal-priority ties.
+                    entry.entry_id = existing.entry_id
                     self._wildcards[i] = entry
                     replaced = True
                     break

@@ -25,7 +25,34 @@ _buffer_ids = itertools.count(1)
 
 
 class BufferFullError(Exception):
-    """No free buffer unit is available."""
+    """No free buffer unit is available.
+
+    Carries structured context so callers (and metrics) can tell *which*
+    partition rejected and *why* — a private buffer at capacity looks
+    very different from a shared-pool policy squeeze:
+
+    ``capacity``
+        The budget the decision was made against (buffer capacity for
+        private buffers, pool budget for pooled ones).
+    ``occupancy``
+        Units the rejected partition held at decision time.
+    ``partition``
+        The partition id (``None`` for private, unpartitioned buffers).
+    ``verdict``
+        The policy's rejection reason token (``"quota"``,
+        ``"pool-full"``, ``"threshold"``; ``"exhausted"`` for private
+        buffers).
+    """
+
+    def __init__(self, message: str, *, capacity: Optional[int] = None,
+                 occupancy: Optional[int] = None,
+                 partition: Optional[str] = None,
+                 verdict: Optional[str] = None):
+        super().__init__(message)
+        self.capacity = capacity
+        self.occupancy = occupancy
+        self.partition = partition
+        self.verdict = verdict
 
 
 class PacketBuffer:
@@ -37,9 +64,19 @@ class PacketBuffer:
     not just packets literally in flight — which is how a 16-unit buffer
     exhausts near a 30–35 Mbps sending rate even though the control loop
     only takes a millisecond (paper Figs. 2 and 8).
+
+    ``pool`` routes unit accounting through a shared
+    :class:`~repro.bufferpool.SharedBufferPool`: admission is decided by
+    the pool's policy instead of this buffer's private capacity, and
+    every store/release/expire pairs with exactly one pool ledger call.
+    Units land in the partition named per ``store`` call (falling back
+    to this buffer's default ``partition``), so one buffer can span
+    several per-port partitions.  ``pool=None`` — the default — keeps
+    the historical private-buffer semantics and fast path untouched.
     """
 
-    def __init__(self, capacity: int, reclaim_delay: float = 0.0):
+    def __init__(self, capacity: int, reclaim_delay: float = 0.0,
+                 pool=None, partition: str = "buffer"):
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         if reclaim_delay < 0:
@@ -47,8 +84,16 @@ class PacketBuffer:
                 f"reclaim_delay must be >= 0, got {reclaim_delay}")
         self.capacity = capacity
         self.reclaim_delay = reclaim_delay
+        self.pool = pool
+        self.partition = partition
         self._units: dict[int, Packet] = {}
         self._stored_at: dict[int, float] = {}
+        #: Pooled mode only: which partition each live unit counts
+        #: against, so releases return budget to the right ledger.
+        self._partition_of: dict[int, str] = {}
+        #: Partitions this buffer has ever stored into (it owns them
+        #: exclusively — ``clear`` resets them pool-side).
+        self._partitions_touched: set = set()
         #: Expiry times of released-but-not-yet-reclaimed units (sorted,
         #: because releases happen in nondecreasing simulated time).
         self._cooling: deque[float] = deque()
@@ -130,19 +175,44 @@ class PacketBuffer:
     # ------------------------------------------------------------------
     # Store / fetch
     # ------------------------------------------------------------------
-    def store(self, packet: Packet, now: float) -> int:
+    def store(self, packet: Packet, now: float,
+              partition: Optional[str] = None) -> int:
         """Buffer ``packet``; returns its fresh exclusive ``buffer_id``.
 
         Raises :class:`BufferFullError` when exhausted — the caller then
         falls back to enclosing the full frame in the ``packet_in``.
+        With a pool attached, admission is the pool policy's call (the
+        private capacity check does not apply) and the unit counts
+        against ``partition`` (default: this buffer's own).
         """
-        if self.is_exhausted(now):
+        if self.pool is None:
+            if self.is_exhausted(now):
+                self._full_rejections.inc()
+                raise BufferFullError(
+                    f"all {self.capacity} buffer units in use",
+                    capacity=self.capacity, occupancy=self.occupancy(now),
+                    verdict="exhausted")
+            buffer_id = next(_buffer_ids)
+            self._units[buffer_id] = packet
+            self._stored_at[buffer_id] = now
+            self._buffered.inc()
+            self._peak.track_max(len(self._units) + len(self._cooling))
+            return buffer_id
+        self._prune_cooling(now)   # keep the peak gauge honest
+        pid = partition if partition is not None else self.partition
+        verdict = self.pool.admit(pid, now)
+        if not verdict.admitted:
             self._full_rejections.inc()
             raise BufferFullError(
-                f"all {self.capacity} buffer units in use")
+                f"pool rejected partition {pid!r} ({verdict.reason})",
+                capacity=self.pool.total_capacity,
+                occupancy=self.pool.occupancy_of(pid, now),
+                partition=pid, verdict=verdict.reason)
         buffer_id = next(_buffer_ids)
         self._units[buffer_id] = packet
         self._stored_at[buffer_id] = now
+        self._partition_of[buffer_id] = pid
+        self._partitions_touched.add(pid)
         self._buffered.inc()
         self._peak.track_max(len(self._units) + len(self._cooling))
         return buffer_id
@@ -156,13 +226,19 @@ class PacketBuffer:
         freed unit re-enters the free pool after ``reclaim_delay``.
         """
         packet = self._units.pop(buffer_id, None)
-        self._stored_at.pop(buffer_id, None)
+        stored_at = self._stored_at.pop(buffer_id, None)
         if packet is None:
             self._unknown_releases.inc()
             return None
         self._released.inc()
         if self.reclaim_delay > 0:
             self._cooling.append(now + self.reclaim_delay)
+        if self.pool is not None:
+            pid = self._partition_of.pop(buffer_id, self.partition)
+            held = None if stored_at is None else now - stored_at
+            cool = (now + self.reclaim_delay
+                    if self.reclaim_delay > 0 else None)
+            self.pool.release_unit(pid, now, held=held, cool_until=cool)
         return packet
 
     def peek(self, buffer_id: int) -> Optional[Packet]:
@@ -186,28 +262,48 @@ class PacketBuffer:
         """
         expired = [bid for bid, t in self._stored_at.items() if t < cutoff]
         when = cutoff if now is None else now
+        cool = when + self.reclaim_delay if self.reclaim_delay > 0 else None
         for bid in expired:
             self._units.pop(bid, None)
             self._stored_at.pop(bid, None)
             self._expired.inc()
-            if self.reclaim_delay > 0:
-                self._cooling.append(when + self.reclaim_delay)
+            if cool is not None:
+                self._cooling.append(cool)
+            if self.pool is not None:
+                pid = self._partition_of.pop(bid, self.partition)
+                # Aged-out units never completed a round trip, so no
+                # hold observation — only the budget comes back.
+                self.pool.release_unit(pid, when, cool_until=cool)
         return expired
 
     def clear(self) -> None:
-        """Free every unit (counters retained)."""
+        """Free every unit (counters retained).
+
+        Pooled buffers own their partitions exclusively, so clearing
+        also zeroes those ledgers pool-side — live *and* cooling units,
+        since the cooling ring is dropped here too.
+        """
         self._units.clear()
         self._stored_at.clear()
         self._cooling.clear()
+        self._partition_of.clear()
+        if self.pool is not None:
+            for pid in self._partitions_touched:
+                self.pool.reset_partition(pid)
 
     def reset_accounting(self) -> None:
-        """Zero the counters (occupancy is untouched)."""
+        """Zero the counters (occupancy is untouched).
+
+        The peak re-bases at the full current occupancy — live units
+        plus the cooling ring — so a reset taken mid-cooldown cannot
+        report a peak below what the buffer actually holds.
+        """
         self._buffered.reset()
         self._released.reset()
         self._full_rejections.reset()
         self._unknown_releases.reset()
         self._expired.reset()
-        self._peak.reset(len(self._units))
+        self._peak.reset(len(self._units) + len(self._cooling))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"PacketBuffer(units={len(self._units)}/{self.capacity}, "

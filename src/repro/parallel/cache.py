@@ -30,7 +30,10 @@ from .tasks import SweepJob, SweepTask, factory_fingerprint
 #: same mechanism on different topologies could poison each other.
 #: v3: the fault spec joined the key — lossy and faultless runs of the
 #: same grid point must never share an entry.
-CACHE_SCHEMA = 3
+#: v4: the shared-pool spec joined the key (through the scenario token:
+#: ``pool=private`` when absent) — pooled and private runs of the same
+#: grid point must never share an entry.
+CACHE_SCHEMA = 4
 
 
 def default_cache_dir() -> Path:

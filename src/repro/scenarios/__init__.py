@@ -9,6 +9,11 @@ topology-agnostic — a new topology is one registered builder function.
 Shipped shapes: ``single`` (the paper's Fig. 1 testbed, the default),
 ``line:N`` (an N-switch path, one shared controller) and ``fanin:K``
 (K source hosts converging through one switch).
+
+A spec may also carry a :class:`~repro.bufferpool.PoolSpec`
+(``spec.with_pool(...)``): the builder then wires every switch's buffer
+to one :class:`~repro.bufferpool.SharedBufferPool` and the testbed
+exposes it as ``testbed.pool``.
 """
 
 from .builders import (PORT_HOST1, PORT_HOST2, PORT_TOWARD_HOST1,

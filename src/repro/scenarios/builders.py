@@ -18,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..bufferpool import SCOPE_PORT, build_pool
 from ..controllersim import Controller, HostLocator, ReactiveForwardingApp
 from ..core import BufferConfig, create_mechanism
 from ..metrics import MetricsSuite, PathMetricsSuite
@@ -89,6 +90,22 @@ def _switch_config(spec: ScenarioSpec, cal, datapath_id: int):
     return dataclasses.replace(cal.switch, **overrides)
 
 
+def _scenario_pool(spec: ScenarioSpec, buffer_config: BufferConfig,
+                   n_switches: int, ports_per_switch: int,
+                   registry: MetricsRegistry):
+    """The run's shared pool (or ``None``) plus per-mechanism kwargs.
+
+    The pool budget defaults to the private aggregate
+    (``capacity × n_switches``); ``ports_per_switch`` counts the data
+    ports so port-scoped partitions split quotas the way the real ASIC
+    would (one partition per ingress).
+    """
+    pool = build_pool(spec.pool, buffer_config.capacity, n_switches,
+                      ports_per_switch=ports_per_switch, registry=registry)
+    per_port = pool is not None and spec.pool.scope == SCOPE_PORT
+    return pool, per_port
+
+
 def build_scenario(spec: ScenarioSpec, buffer_config: BufferConfig,
                    workload: Workload, calibration=None, seed: int = 0,
                    sampling_interval: float = 0.010) -> Testbed:
@@ -136,9 +153,13 @@ def build_single(spec: ScenarioSpec, buffer_config: BufferConfig,
                                 cal.control_link_rate_bps,
                                 cal.link_propagation_delay)
 
-    mechanism = create_mechanism(buffer_config, sim)
-    channel = ControlChannel(sim, cable_ctrl)
     registry = MetricsRegistry()
+    pool, per_port = _scenario_pool(spec, buffer_config, n_switches=1,
+                                    ports_per_switch=2, registry=registry)
+    mechanism = create_mechanism(buffer_config, sim, pool=pool,
+                                 partition="ovs",
+                                 per_port_partitions=per_port)
+    channel = ControlChannel(sim, cable_ctrl)
     switch = Switch(sim, _switch_config(spec, cal, 1), mechanism, channel,
                     name="ovs", registry=registry)
     # Cable orientation: forward = host -> switch.
@@ -172,7 +193,8 @@ def build_single(spec: ScenarioSpec, buffer_config: BufferConfig,
                    switches=[switch], controller=controller,
                    channels=[channel], control_cables=[cable_ctrl],
                    mechanisms=[mechanism], pktgens=[pktgen],
-                   metrics=metrics, rng=rng, registry=registry, spec=spec)
+                   metrics=metrics, rng=rng, registry=registry, spec=spec,
+                   pool=pool)
 
 
 # ---------------------------------------------------------------------------
@@ -210,6 +232,9 @@ def build_line(spec: ScenarioSpec, buffer_config: BufferConfig,
     registry = MetricsRegistry()
     controller = Controller(sim, cal.controller, app=app,
                             registry=registry)
+    pool, per_port = _scenario_pool(spec, buffer_config,
+                                    n_switches=n_switches,
+                                    ports_per_switch=2, registry=registry)
 
     switches: List[Switch] = []
     channels: List[ControlChannel] = []
@@ -221,7 +246,9 @@ def build_line(spec: ScenarioSpec, buffer_config: BufferConfig,
                                     cal.control_link_rate_bps,
                                     cal.link_propagation_delay)
         channel = ControlChannel(sim, ctrl_cable)
-        mechanism = create_mechanism(buffer_config, sim)
+        mechanism = create_mechanism(buffer_config, sim, pool=pool,
+                                     partition=name,
+                                     per_port_partitions=per_port)
         switch = Switch(sim, _switch_config(spec, cal, dpid), mechanism,
                         channel, name=name, datapath_id=dpid,
                         registry=registry)
@@ -260,7 +287,8 @@ def build_line(spec: ScenarioSpec, buffer_config: BufferConfig,
                    switches=switches, controller=controller,
                    channels=channels, control_cables=control_cables,
                    mechanisms=mechanisms, pktgens=[pktgen],
-                   metrics=metrics, rng=rng, registry=registry, spec=spec)
+                   metrics=metrics, rng=rng, registry=registry, spec=spec,
+                   pool=pool)
 
 
 # ---------------------------------------------------------------------------
@@ -322,9 +350,14 @@ def build_fanin(spec: ScenarioSpec, buffer_config: BufferConfig,
                                 cal.control_link_rate_bps,
                                 cal.link_propagation_delay)
 
-    mechanism = create_mechanism(buffer_config, sim)
-    channel = ControlChannel(sim, cable_ctrl)
     registry = MetricsRegistry()
+    pool, per_port = _scenario_pool(spec, buffer_config, n_switches=1,
+                                    ports_per_switch=n_sources + 1,
+                                    registry=registry)
+    mechanism = create_mechanism(buffer_config, sim, pool=pool,
+                                 partition="ovs",
+                                 per_port_partitions=per_port)
+    channel = ControlChannel(sim, cable_ctrl)
     switch = Switch(sim, _switch_config(spec, cal, 1), mechanism, channel,
                     name="ovs", registry=registry)
     for port, (source, cable) in enumerate(zip(sources, src_cables),
@@ -364,7 +397,8 @@ def build_fanin(spec: ScenarioSpec, buffer_config: BufferConfig,
                    switches=[switch], controller=controller,
                    channels=[channel], control_cables=[cable_ctrl],
                    mechanisms=[mechanism], pktgens=pktgens,
-                   metrics=metrics, rng=rng, registry=registry, spec=spec)
+                   metrics=metrics, rng=rng, registry=registry, spec=spec,
+                   pool=pool)
 
 
 def build_testbed(buffer_config: BufferConfig, workload: Workload,

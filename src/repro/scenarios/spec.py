@@ -21,8 +21,10 @@ Builders for each shape live in :mod:`repro.scenarios.builders`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from ..bufferpool.spec import PoolSpec, pool_cache_token
 
 #: Override payload: ((datapath_id, ((field, value), ...)), ...).
 SwitchOverrides = Tuple[Tuple[int, Tuple[Tuple[str, object], ...]], ...]
@@ -50,6 +52,9 @@ class ScenarioSpec:
     calibration: str = "default"
     #: Per-datapath SwitchConfig field replacements, canonicalized.
     switch_overrides: SwitchOverrides = field(default=())
+    #: Shared buffer-pool plan (``None`` = private per-switch buffers,
+    #: the historical behaviour).  See :mod:`repro.bufferpool`.
+    pool: Optional[PoolSpec] = None
 
     def __post_init__(self) -> None:
         if not self.shape or not isinstance(self.shape, str):
@@ -72,10 +77,18 @@ class ScenarioSpec:
     def name(self) -> str:
         """CLI-style name: ``single``, ``line:4``, ``fanin:3``."""
         if self.shape == "line":
-            return f"line:{self.n_switches}"
-        if self.shape == "fanin":
-            return f"fanin:{self.n_sources}"
-        return self.shape
+            base = f"line:{self.n_switches}"
+        elif self.shape == "fanin":
+            base = f"fanin:{self.n_sources}"
+        else:
+            base = self.shape
+        if self.pool is not None:
+            base += f"+pool={self.pool.name}"
+        return base
+
+    def with_pool(self, pool: Optional[PoolSpec]) -> "ScenarioSpec":
+        """This scenario with a different buffer-pool plan."""
+        return replace(self, pool=pool)
 
     def override_for(self, datapath_id: int) -> Dict[str, object]:
         """SwitchConfig field replacements for one datapath (may be {})."""
@@ -88,11 +101,15 @@ class ScenarioSpec:
         """Canonical text for the result cache's content hash.
 
         Every field participates: two specs differing only in topology
-        (or calibration name, or one override) must never collide.
+        (or calibration name, or one override, or the pool plan) must
+        never collide.  ``pool=None`` keys as ``pool=private`` so
+        historical cache entries stay addressable under the same token
+        shape.
         """
         return (f"shape={self.shape}|switches={self.n_switches}"
                 f"|sources={self.n_sources}|calibration={self.calibration}"
-                f"|overrides={self.switch_overrides!r}")
+                f"|overrides={self.switch_overrides!r}"
+                f"|pool={pool_cache_token(self.pool)}")
 
 
 #: The default spec: the paper's single-switch Fig. 1 testbed.

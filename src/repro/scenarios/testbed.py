@@ -54,6 +54,10 @@ class Testbed:
     registry: Optional["MetricsRegistry"] = None
     #: The spec this testbed was built from (None for hand-wired ones).
     spec: Optional["ScenarioSpec"] = field(default=None)
+    #: The run's shared buffer pool (a
+    #: :class:`~repro.bufferpool.SharedBufferPool`), or ``None`` when
+    #: every switch keeps a private buffer.
+    pool: Optional[Any] = field(default=None)
 
     # ------------------------------------------------------------------
     # Single-switch compatibility surface

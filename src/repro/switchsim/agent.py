@@ -67,6 +67,10 @@ class OpenFlowAgent:
         # Registry-backed counters; the legacy integer attributes are
         # read-only property views over these.
         registry = registry if registry is not None else MetricsRegistry()
+        # Kept for lazily-labelled counters (per-partition buffer
+        # rejections can only be named when a rejection happens).
+        self._registry = registry
+        self._metric_labels = dict(metric_labels)
         counter = lambda name: registry.counter(name, **metric_labels)
         self._packet_ins_sent = counter("switch_packet_ins_sent_total")
         self._retries_sent = counter("switch_packet_in_retries_total")
@@ -161,6 +165,14 @@ class OpenFlowAgent:
         if decision.stored:
             self.events.emit("buffer_stored", self.sim.now, packet,
                              decision.buffer_id)
+        elif decision.rejected:
+            # Label which partition (pool ledger) refused the packet so
+            # exhaustion is attributable; private buffers land under the
+            # "private" partition.
+            self._registry.counter(
+                "switch_buffer_rejections_total",
+                partition=decision.partition or "private",
+                **self._metric_labels).inc()
         if not decision.send_packet_in:
             # Flow-granularity subsequent packet: buffered silently
             # (Algorithm 1 line 11) — only bookkeeping CPU is charged.

@@ -1,0 +1,638 @@
+"""The shared buffer pool: specs, policies, ledger, and the figsharing
+experiment.
+
+The acceptance bars of the subsystem:
+
+* ``static`` at switch scope is **bit-identical** to the historical
+  private-buffer runs (same metrics, and ``PoolSpec=None`` keys the
+  cache exactly like a spec-less run),
+* pooled accounting conserves units under arbitrary interleavings
+  (property-based), and
+* the figsharing experiment runs bit-identically serial vs parallel,
+  with dt(alpha=2) admitting strictly more than static quotas on the
+  fanin:4 pressure point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analytic import (mm1_sojourn, mm1_sojourn_quantile,
+                            mm1_utilization, packet_in_arrival_rate,
+                            setup_delay_bound)
+from repro.bufferpool import (PRIVATE_POOL_TOKEN, SCOPE_PORT, PoolSpec,
+                              SharedBufferPool, build_pool, delay_pool,
+                              dt_pool, expected_partitions, parse_pool,
+                              pool_cache_token, registered_policies,
+                              static_pool)
+from repro.bufferpool.policies import (DelayAwarePolicy,
+                                       DynamicThresholdPolicy,
+                                       StaticPolicy, create_policy)
+from repro.core import buffer_16
+from repro.experiments import run_figsharing_experiment, run_once
+from repro.experiments.calibration import default_calibration
+from repro.obs import EVENT_POOL_PRESSURE, ObsConfig, RunObserver
+from repro.openflow import BufferFullError, PacketBuffer
+from repro.packets import udp_packet
+from repro.scenarios import fanin_scenario, single_scenario
+from repro.simkit import RandomStreams, mbps
+from repro.trafficgen import single_packet_flows
+
+
+def _packet(i=0):
+    return udp_packet("00:00:00:00:00:01", "00:00:00:00:00:02",
+                      f"10.0.0.{i % 250 + 1}", "10.0.0.2", 1000 + i, 2000)
+
+
+# ---------------------------------------------------------------------------
+# PoolSpec + parse_pool
+# ---------------------------------------------------------------------------
+
+def test_spec_names():
+    assert static_pool().name == "static"
+    assert dt_pool(alpha=2.0).name == "dt:alpha=2"
+    assert dt_pool(alpha=0.5, scope=SCOPE_PORT).name == "dt:alpha=0.5/port"
+    assert delay_pool().name == "delay"
+    assert static_pool(capacity=64).name == "static/cap=64"
+
+
+def test_parse_pool_round_trips():
+    assert parse_pool("static") == static_pool()
+    assert parse_pool("dt:alpha=2") == dt_pool(alpha=2.0)
+    assert parse_pool("dt:alpha=0.5,scope=port,cap=64") \
+        == dt_pool(alpha=0.5, scope=SCOPE_PORT, capacity=64)
+    assert parse_pool("delay:target=0.008,weight=0.3") \
+        == delay_pool(delay_target=0.008, ewma_weight=0.3)
+
+
+def test_parse_pool_rejects_bad_input():
+    with pytest.raises(ValueError, match="unknown pool key"):
+        parse_pool("dt:beta=2")
+    with pytest.raises(ValueError, match="needs key=value"):
+        parse_pool("dt:alpha")
+    with pytest.raises(ValueError, match="unknown pool policy"):
+        parse_pool("elastic")
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError, match="alpha must be positive"):
+        PoolSpec(policy="dt", alpha=0.0)
+    with pytest.raises(ValueError, match="capacity must be >= 1"):
+        PoolSpec(capacity=0)
+    with pytest.raises(ValueError, match="unknown pool scope"):
+        PoolSpec(scope="vlan")
+    with pytest.raises(ValueError, match="ewma_weight"):
+        PoolSpec(policy="delay", ewma_weight=1.5)
+
+
+def test_spec_is_hashable_and_frozen():
+    spec = dt_pool(alpha=2.0)
+    assert hash(spec) == hash(dt_pool(alpha=2.0))
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        spec.alpha = 3.0
+
+
+def test_pool_cache_tokens():
+    # None and an absent spec key identically -- a pooled run must never
+    # resolve from a private-buffer cache entry or vice versa.
+    assert pool_cache_token(None) == PRIVATE_POOL_TOKEN
+    assert pool_cache_token(static_pool()) != PRIVATE_POOL_TOKEN
+    # Every knob participates in the token.
+    tokens = {pool_cache_token(s) for s in (
+        static_pool(), dt_pool(alpha=1.0), dt_pool(alpha=2.0),
+        dt_pool(alpha=2.0, scope=SCOPE_PORT), delay_pool(),
+        delay_pool(delay_target=0.02), static_pool(capacity=64))}
+    assert len(tokens) == 7
+
+
+def test_scenario_token_gains_pool_segment():
+    plain = single_scenario()
+    pooled = plain.with_pool(dt_pool(alpha=2.0))
+    assert f"pool={PRIVATE_POOL_TOKEN}" in plain.cache_token()
+    assert plain.cache_token() != pooled.cache_token()
+    assert "dt" in pooled.cache_token()
+    assert pooled.name == "single+pool=dt:alpha=2"
+    # with_pool leaves the original spec untouched (frozen value object).
+    assert plain.pool is None
+
+
+# ---------------------------------------------------------------------------
+# Admission policies
+# ---------------------------------------------------------------------------
+
+def test_registered_policies():
+    assert registered_policies() == ("delay", "dt", "static")
+
+
+def test_static_policy_enforces_quota():
+    policy = StaticPolicy(static_pool())
+    assert policy.admits(0, 4, 16, "p")
+    assert policy.admits(3, 4, 16, "p")
+    verdict = policy.admits(4, 4, 16, "p")
+    assert not verdict and verdict.reason == "quota"
+    assert policy.admits(0, 4, 0, "p").reason == "pool-full"
+
+
+def test_dt_policy_threshold_inequality():
+    # Admit strictly while occupancy < alpha * free.
+    policy = DynamicThresholdPolicy(dt_pool(alpha=2.0))
+    assert policy.admits(7, 4, 4, "p")            # 7 < 8
+    verdict = policy.admits(8, 4, 4, "p")          # 8 >= 8
+    assert not verdict and verdict.reason == "threshold"
+    assert policy.admits(0, 4, 0, "p").reason == "pool-full"
+    # alpha < 1 shares less than the free headroom.
+    tight = DynamicThresholdPolicy(dt_pool(alpha=0.5))
+    assert tight.admits(1, 4, 4, "p")              # 1 < 2
+    assert not tight.admits(2, 4, 4, "p")          # 2 >= 2
+
+
+def test_delay_policy_scales_threshold_by_ewma():
+    spec = delay_pool(delay_target=0.010, ewma_weight=0.5, alpha=1.0)
+    policy = DelayAwarePolicy(spec)
+    # Neutral before any observation: behaves exactly like dt.
+    assert policy.threshold_scale("p") == 1.0
+    assert policy.admits(3, 4, 4, "p") and not policy.admits(4, 4, 4, "p")
+    # Fast round trips (half the target) widen the threshold.
+    policy.observe_hold("p", 0.005)
+    assert policy.threshold_scale("p") == pytest.approx(2.0)
+    assert policy.admits(7, 4, 4, "p") and not policy.admits(8, 4, 4, "p")
+    # Slow round trips shrink it; the clamp bounds both directions.
+    policy.observe_hold("q", 1.0)
+    assert policy.threshold_scale("q") == 0.25
+    policy.observe_hold("r", 1e-9)
+    assert policy.threshold_scale("r") == 4.0
+    # EWMA actually averages: 0.5*0.025 + 0.5*0.005 = 0.015.
+    policy.observe_hold("p", 0.025)
+    assert policy.ewma("p") == pytest.approx(0.015)
+
+
+def test_create_policy_dispatches_by_name():
+    assert isinstance(create_policy(static_pool()), StaticPolicy)
+    assert isinstance(create_policy(dt_pool()), DynamicThresholdPolicy)
+    assert isinstance(create_policy(delay_pool()), DelayAwarePolicy)
+
+
+# ---------------------------------------------------------------------------
+# SharedBufferPool ledger
+# ---------------------------------------------------------------------------
+
+def _pool(spec=None, capacity=8, quota=4):
+    return SharedBufferPool(spec if spec is not None else dt_pool(alpha=2.0),
+                            capacity, quota)
+
+
+def test_pool_admit_and_release_track_occupancy():
+    pool = _pool()
+    assert pool.admit("a", 0.0)
+    assert pool.admit("a", 0.0)
+    assert pool.occupancy_of("a", 0.0) == 2
+    assert pool.free_units(0.0) == 6
+    pool.release_unit("a", 1.0)
+    assert pool.occupancy_of("a", 1.0) == 1
+    assert pool.peak_occupancy == 2
+
+
+def test_pool_cooling_units_stay_counted():
+    pool = _pool()
+    pool.admit("a", 0.0)
+    pool.release_unit("a", 1.0, cool_until=1.5)
+    assert pool.occupancy_of("a", 1.0) == 1      # cooling, not free yet
+    assert pool.occupancy_of("a", 1.5) == 0      # lazily pruned
+    assert pool.free_units(2.0) == 8
+
+
+def test_pool_rejections_count_and_emit_pressure():
+    pool = _pool(spec=static_pool(), capacity=8, quota=2)
+    events = []
+    pool.events.on("pool_pressure", lambda *a: events.append(a))
+    assert pool.admit("a", 0.0) and pool.admit("a", 0.0)
+    verdict = pool.admit("a", 0.0)
+    assert not verdict and verdict.reason == "quota"
+    assert len(events) == 1
+    now, kind, partition, occupancy, free, reason = events[0]
+    assert (kind, partition, occupancy, reason) == ("reject", "a", 2, "quota")
+    snap = pool.registry.snapshot()
+    rejected = {k: v for k, v in snap.counters.items()
+                if k[0] == "pool_rejected_total"}
+    assert sum(rejected.values()) == 1
+
+
+def test_pool_high_occupancy_pressure_edge_triggers_once():
+    pool = _pool(spec=dt_pool(alpha=8.0), capacity=10, quota=10)
+    events = []
+    pool.events.on("pool_pressure", lambda *a: events.append(a))
+    for _ in range(10):
+        pool.admit("a", 0.0)
+    highs = [e for e in events if e[1] == "high-occupancy"]
+    assert len(highs) == 1                       # edge, not level
+    # Draining below the re-arm point re-enables the edge.
+    for _ in range(5):
+        pool.release_unit("a", 1.0)
+    for _ in range(5):
+        pool.admit("a", 2.0)
+    assert len([e for e in events if e[1] == "high-occupancy"]) == 2
+
+
+def test_pool_return_underflow_guard():
+    pool = _pool()
+    pool.release_unit("ghost", 0.0)              # never admitted
+    pool.admit("a", 0.0)
+    pool.release_unit("a", 1.0)
+    pool.release_unit("a", 2.0)                  # double return
+    assert pool.occupancy_of("a", 2.0) == 0      # never negative
+    snap = pool.registry.snapshot()
+    underflow = {k: v for k, v in snap.counters.items()
+                 if k[0] == "pool_return_underflow_total"}
+    assert sum(underflow.values()) == 2
+
+
+def test_pool_reset_partition_drops_live_and_cooling():
+    pool = _pool()
+    pool.admit("a", 0.0)
+    pool.admit("a", 0.0)
+    pool.release_unit("a", 1.0, cool_until=9.0)
+    pool.reset_partition("a")
+    assert pool.occupancy_of("a", 1.0) == 0
+    assert pool.free_units(1.0) == 8
+
+
+def test_pool_reset_accounting_rebases_peak_at_held_units():
+    pool = _pool()
+    for _ in range(4):
+        pool.admit("a", 0.0)
+    pool.release_unit("a", 1.0, cool_until=5.0)   # 3 live + 1 cooling
+    pool.reset_accounting()
+    assert pool.peak_occupancy == 4               # cooling still held
+    snap = pool.registry.snapshot()
+    admitted = {k: v for k, v in snap.counters.items()
+                if k[0] == "pool_admitted_total"}
+    assert sum(admitted.values()) == 0
+
+
+def test_expected_partitions_and_build_pool_budget():
+    assert expected_partitions(static_pool(), n_switches=3) == 3
+    assert expected_partitions(static_pool(scope=SCOPE_PORT),
+                               n_switches=2, ports_per_switch=5) == 10
+    pool = build_pool(static_pool(scope=SCOPE_PORT), per_switch_units=16,
+                      n_switches=1, ports_per_switch=5)
+    assert pool.total_capacity == 16
+    assert pool.default_quota == 3                # 16 // 5
+    explicit = build_pool(dt_pool(capacity=64), per_switch_units=16,
+                          n_switches=2)
+    assert explicit.total_capacity == 64
+    assert build_pool(None, 16, 1) is None
+
+
+# ---------------------------------------------------------------------------
+# Pooled PacketBuffer accounting
+# ---------------------------------------------------------------------------
+
+def test_pooled_store_routes_through_pool_policy():
+    pool = _pool(spec=static_pool(), capacity=8, quota=2)
+    buffer = PacketBuffer(capacity=64, pool=pool, partition="s1")
+    buffer.store(_packet(0), now=0.0)
+    buffer.store(_packet(1), now=0.0)
+    # The pool's quota binds even though the private capacity (64) has
+    # plenty of room -- the pool is the sole admission authority.
+    with pytest.raises(BufferFullError) as excinfo:
+        buffer.store(_packet(2), now=0.0)
+    error = excinfo.value
+    assert error.capacity == 8
+    assert error.occupancy == 2
+    assert error.partition == "s1"
+    assert error.verdict == "quota"
+    assert buffer.full_rejections == 1
+
+
+def test_private_buffer_error_is_structured_too():
+    buffer = PacketBuffer(capacity=1)
+    buffer.store(_packet(0), now=0.0)
+    with pytest.raises(BufferFullError) as excinfo:
+        buffer.store(_packet(1), now=0.0)
+    error = excinfo.value
+    assert error.capacity == 1
+    assert error.occupancy == 1
+    assert error.partition is None
+    assert error.verdict == "exhausted"
+
+
+def test_pooled_release_returns_budget_to_the_right_partition():
+    pool = _pool(capacity=8, quota=8)
+    buffer = PacketBuffer(capacity=64, pool=pool, partition="s1")
+    bid_a = buffer.store(_packet(0), now=0.0, partition="s1:p1")
+    buffer.store(_packet(1), now=0.0, partition="s1:p2")
+    assert pool.occupancy_of("s1:p1", 0.0) == 1
+    assert pool.occupancy_of("s1:p2", 0.0) == 1
+    buffer.release(bid_a, now=1.0)
+    assert pool.occupancy_of("s1:p1", 1.0) == 0
+    assert pool.occupancy_of("s1:p2", 1.0) == 1
+
+
+def test_pooled_release_observes_hold_time():
+    pool = SharedBufferPool(delay_pool(delay_target=0.010), 8, 8)
+    buffer = PacketBuffer(capacity=64, pool=pool, partition="s1")
+    bid = buffer.store(_packet(0), now=1.0)
+    buffer.release(bid, now=1.020)
+    assert pool.policy.ewma("s1") == pytest.approx(0.020)
+
+
+def test_pooled_expire_returns_budget_without_hold():
+    pool = SharedBufferPool(delay_pool(), 8, 8)
+    buffer = PacketBuffer(capacity=64, reclaim_delay=0.5, pool=pool,
+                          partition="s1")
+    buffer.store(_packet(0), now=0.0)
+    buffer.expire_older_than(5.0, now=5.0)
+    # Aged-out units never completed a round trip: no EWMA sample...
+    assert pool.policy.ewma("s1") is None
+    # ...but the unit cools before the budget frees, mirroring the ring.
+    assert pool.occupancy_of("s1", 5.0) == 1
+    assert pool.occupancy_of("s1", 5.6) == 0
+
+
+def test_pooled_unknown_release_never_touches_the_pool():
+    pool = _pool(capacity=8, quota=8)
+    buffer = PacketBuffer(capacity=64, pool=pool, partition="s1")
+    buffer.store(_packet(0), now=0.0)
+    buffer.release(424242, now=1.0)
+    assert buffer.unknown_releases == 1
+    assert pool.occupancy_of("s1", 1.0) == 1     # untouched
+    snap = pool.registry.snapshot()
+    underflow = {k: v for k, v in snap.counters.items()
+                 if k[0] == "pool_return_underflow_total"}
+    assert sum(underflow.values()) == 0
+
+
+def test_clear_mid_cooldown_resets_pool_side_too():
+    # Satellite-3 regression: a clear taken while units are cooling must
+    # zero both ledgers -- leaked cooling entries would pin pool budget
+    # (and peak gauges) forever.
+    pool = _pool(capacity=8, quota=8)
+    buffer = PacketBuffer(capacity=64, reclaim_delay=1.0, pool=pool,
+                          partition="s1")
+    bid = buffer.store(_packet(0), now=0.0)
+    buffer.store(_packet(1), now=0.0)
+    buffer.release(bid, now=0.5)                 # cooling until 1.5
+    buffer.clear()                               # mid-cooldown
+    assert buffer.occupancy(0.6) == 0
+    assert pool.occupancy_of("s1", 0.6) == 0
+    assert pool.free_units(0.6) == 8
+    # Counters survive the clear; reset_accounting re-bases the peak at
+    # the (now empty) holdings.
+    assert buffer.total_buffered == 2
+    buffer.reset_accounting()
+    pool.reset_accounting()
+    assert buffer.peak_units == 0
+    assert pool.peak_occupancy == 0
+
+
+def test_reset_accounting_mid_cooldown_keeps_peak_honest():
+    buffer = PacketBuffer(capacity=8, reclaim_delay=1.0)
+    bid = buffer.store(_packet(0), now=0.0)
+    buffer.store(_packet(1), now=0.0)
+    buffer.release(bid, now=0.5)                 # 1 live + 1 cooling
+    buffer.reset_accounting()
+    # The peak re-bases at live + cooling: reporting less than the
+    # buffer actually holds would understate the next window's maximum.
+    assert buffer.peak_units == 2
+
+
+# ---------------------------------------------------------------------------
+# Conservation invariants (property-based)
+# ---------------------------------------------------------------------------
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("store"), st.integers(0, 3)),
+        st.tuples(st.just("release"), st.integers(0, 11)),
+        st.tuples(st.just("expire"), st.floats(0.0, 0.5)),
+        st.tuples(st.just("tick"), st.floats(0.001, 0.4)),
+    ),
+    min_size=1, max_size=60)
+
+
+def _check_conservation(buffer, pool, live_ids, now, abandoned=0):
+    in_use = buffer.units_in_use
+    assert buffer.total_buffered == (buffer.total_released
+                                     + buffer.total_expired
+                                     + abandoned + in_use)
+    assert in_use == len(live_ids)
+    if pool is not None:
+        # The two ledgers stay in lockstep: what the buffer holds (live
+        # + cooling) is exactly what the pool charges its partitions.
+        assert pool.total_occupancy(now) == buffer.occupancy(now)
+        assert pool.total_occupancy(now) <= pool.total_capacity
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=_OPS, pooled=st.booleans(), reclaim=st.sampled_from([0.0, 0.05]))
+def test_unit_conservation_under_interleavings(ops, pooled, reclaim):
+    """stored == released + expired + in_use, private and pooled alike."""
+    pool = (SharedBufferPool(dt_pool(alpha=2.0, scope=SCOPE_PORT), 12, 3)
+            if pooled else None)
+    buffer = PacketBuffer(capacity=12, reclaim_delay=reclaim, pool=pool,
+                          partition="sw")
+    live_ids: list[int] = []
+    now = 0.0
+    for op, arg in ops:
+        if op == "store":
+            try:
+                live_ids.append(buffer.store(
+                    _packet(arg), now, partition=f"sw:p{arg}"
+                    if pooled else None))
+            except BufferFullError:
+                pass
+        elif op == "release":
+            # Mix of known ids, repeats and never-issued ids.
+            target = (live_ids[arg % len(live_ids)]
+                      if live_ids and arg < 10 else 999_000 + arg)
+            if buffer.release(target, now) is not None:
+                live_ids.remove(target)
+        elif op == "expire":
+            for bid in buffer.expire_older_than(now - arg, now=now):
+                live_ids.remove(bid)
+        else:
+            now += arg
+        _check_conservation(buffer, pool, live_ids, now)
+    # clear() abandons whatever is live: the counters retain history, so
+    # the conservation identity closes with the abandoned term.
+    abandoned = buffer.units_in_use
+    buffer.clear()
+    live_ids.clear()
+    _check_conservation(buffer, pool, live_ids, now, abandoned=abandoned)
+
+
+# ---------------------------------------------------------------------------
+# Golden bit-identity: static pool vs private buffers
+# ---------------------------------------------------------------------------
+
+def _run(scenario, seed=11):
+    workload = single_packet_flows(mbps(40), n_flows=150,
+                                   rng=RandomStreams(seed))
+    return run_once(buffer_16(), workload, seed=seed, scenario=scenario)
+
+
+def test_static_switch_scope_is_bit_identical_to_private():
+    private = _run(single_scenario())
+    pooled = _run(single_scenario().with_pool(static_pool()))
+    # At switch scope the single partition's quota equals the buffer
+    # capacity, so every admission decision matches the private path;
+    # only the pool's own peak gauge (absent privately) may differ.
+    # (TimeSeries carries no __eq__, so compare fields by value.)
+    for field in dataclasses.fields(private):
+        if field.name == "pool_peak_units":
+            continue
+        mine, theirs = getattr(private, field.name), \
+            getattr(pooled, field.name)
+        if hasattr(mine, "times"):
+            assert list(mine.times) == list(theirs.times), field.name
+            assert list(mine.values) == list(theirs.values), field.name
+        else:
+            assert mine == theirs, field.name
+    assert private.pool_peak_units == 0
+    assert pooled.pool_peak_units > 0
+
+
+def test_dt_admits_strictly_more_than_static_under_fanin_pressure():
+    scenario = fanin_scenario(4)
+    static_run = _run(scenario.with_pool(static_pool(scope=SCOPE_PORT)))
+    dt_run = _run(scenario.with_pool(dt_pool(alpha=2.0, scope=SCOPE_PORT)))
+    assert static_run.buffer_full_rejections > 0
+    assert dt_run.buffer_full_rejections < static_run.buffer_full_rejections
+    # Borrowed headroom shows up as a higher pool peak.
+    assert dt_run.pool_peak_units >= static_run.pool_peak_units
+
+
+def test_pool_pressure_instants_reach_the_trace():
+    observer = RunObserver(ObsConfig(trace=True))
+    workload = single_packet_flows(mbps(40), n_flows=150,
+                                   rng=RandomStreams(11))
+    run_once(buffer_16(), workload, seed=11, obs=observer,
+             scenario=fanin_scenario(4).with_pool(
+                 static_pool(scope=SCOPE_PORT)))
+    pressure = [r for r in observer.recorder.records
+                if r.name == EVENT_POOL_PRESSURE]
+    assert pressure
+    assert {r.attrs["kind"] for r in pressure} >= {"reject"}
+    assert all(r.attrs["partition"].startswith("ovs:p")
+               for r in pressure if r.attrs["kind"] == "reject")
+
+
+def test_switch_rejection_counter_is_partition_labelled():
+    observer = RunObserver(ObsConfig(trace=False))
+    workload = single_packet_flows(mbps(40), n_flows=150,
+                                   rng=RandomStreams(11))
+    run_once(buffer_16(), workload, seed=11, obs=observer,
+             scenario=fanin_scenario(4).with_pool(
+                 static_pool(scope=SCOPE_PORT)))
+    snap = observer.observation.metrics
+    rejections = {k: v for k, v in snap.counters.items()
+                  if k[0] == "switch_buffer_rejections_total"}
+    assert rejections and sum(rejections.values()) > 0
+    partitions = {dict(labels).get("partition")
+                  for _, labels in rejections}
+    assert all(p and p.startswith("ovs:p") for p in partitions)
+    occupancy = {k for k in snap.gauges if k[0] == "pool_occupancy_units"}
+    assert len(occupancy) >= 2                   # per-partition gauges
+
+
+# ---------------------------------------------------------------------------
+# The figsharing experiment
+# ---------------------------------------------------------------------------
+
+_SMALL_POOLS = (static_pool(scope=SCOPE_PORT),
+                dt_pool(alpha=2.0, scope=SCOPE_PORT))
+
+
+def _sharing(workers):
+    return run_figsharing_experiment(
+        loss_rates=(0.0, 0.02), pools=_SMALL_POOLS, repetitions=2,
+        n_flows=150, workers=workers, quick=True)
+
+
+def _row_tuple(row):
+    return dataclasses.astuple(row)
+
+
+def test_figsharing_serial_vs_parallel_bit_identical():
+    serial = _sharing(workers=1)
+    parallel = _sharing(workers=2)
+    assert set(serial.sweeps) == set(parallel.sweeps)
+    for key in serial.sweeps:
+        assert _row_tuple(serial.sweeps[key].rows[0]) \
+            == _row_tuple(parallel.sweeps[key].rows[0])
+    # The acceptance criterion: dt(alpha=2) rejects strictly less than
+    # static quotas on the fanin:4 pressure point.  The flow-granularity
+    # buffer only comes under pressure once loss triggers re-buffering,
+    # so it is held to "no worse" rather than strictly better.
+    for label in serial.labels:
+        static_row = serial.row_for(label, "static/port", 0.0)
+        dt_row = serial.row_for(label, "dt:alpha=2/port", 0.0)
+        assert dt_row.full_rejections <= static_row.full_rejections
+    pkt = serial.labels[0]
+    static_pkt = serial.row_for(pkt, "static/port", 0.0)
+    dt_pkt = serial.row_for(pkt, "dt:alpha=2/port", 0.0)
+    assert static_pkt.full_rejections > 0
+    assert dt_pkt.full_rejections < static_pkt.full_rejections
+    # Peaks stay within the shared budget and rise with sharing.
+    for key, sweep in serial.sweeps.items():
+        assert sweep.rows[0].pool_peak_units <= 16
+
+
+def test_figsharing_p99_within_analytic_bound_at_low_load():
+    # Mahmood-style M/M/1 sanity check: at a rate far below the
+    # exhaustion knee, the simulated p99 setup delay stays under the
+    # closed-form bound derived outside the simulator.
+    data = run_figsharing_experiment(
+        loss_rates=(0.0,), rate_mbps=10.0, pools=_SMALL_POOLS,
+        repetitions=1, n_flows=100, workers=1, quick=True)
+    bound = setup_delay_bound(10.0, default_calibration(), quantile=0.99)
+    assert bound < 0.010                         # a real bound, not inf
+    for label in data.labels:
+        for pool_name in data.pool_names:
+            row = data.row_for(label, pool_name, 0.0)
+            assert row.completion_rate == pytest.approx(1.0)
+            assert 0.0 < row.setup_delay_p99 < bound
+
+
+def test_figsharing_rejects_bad_loss_rates():
+    with pytest.raises(ValueError, match="at least one loss rate"):
+        run_figsharing_experiment(loss_rates=())
+    with pytest.raises(ValueError, match="loss rates must be"):
+        run_figsharing_experiment(loss_rates=(1.5,))
+
+
+# ---------------------------------------------------------------------------
+# Analytic M/M/1 stub
+# ---------------------------------------------------------------------------
+
+def test_mm1_closed_forms():
+    assert mm1_utilization(50.0, 100.0) == pytest.approx(0.5)
+    assert mm1_sojourn(50.0, 100.0) == pytest.approx(1.0 / 50.0)
+    assert math.isinf(mm1_sojourn(100.0, 100.0))
+    # Exponential sojourn: p99 is ~4.6x the mean; quantile 0 is free.
+    w = mm1_sojourn(50.0, 100.0)
+    assert mm1_sojourn_quantile(50.0, 100.0, 0.99) \
+        == pytest.approx(-w * math.log(0.01))
+    assert mm1_sojourn_quantile(50.0, 100.0, 0.0) == 0.0
+    with pytest.raises(ValueError):
+        mm1_sojourn(-1.0, 100.0)
+    with pytest.raises(ValueError):
+        mm1_sojourn(1.0, 0.0)
+
+
+def test_packet_in_arrival_rate():
+    # 10 Mbps of 1000-byte single-packet flows = 1250 misses/s.
+    assert packet_in_arrival_rate(10e6, 1000) == pytest.approx(1250.0)
+
+
+def test_setup_delay_bound_grows_with_load_and_saturates():
+    calibration = default_calibration()
+    low = setup_delay_bound(10.0, calibration)
+    mid = setup_delay_bound(40.0, calibration)
+    assert 0.0 < low < mid < 0.050
+    # Past controller saturation the M/M/1 node (and the bound) diverge.
+    assert math.isinf(setup_delay_bound(100_000.0, calibration))

@@ -37,16 +37,23 @@ class _ReferenceTable:
     def insert(self, match, priority, now, idle, hard):
         # Replacement semantics: identical match+priority replaces
         # (exact matches replace on match alone, like the real table).
+        # A replacement keeps the replaced entry's id — its tie-break
+        # rank — mirroring the real table's in-place slot reuse.
         def replaces(existing):
             if existing["match"] == match:
                 return (existing["match"].wildcard_count == 0
                         or existing["priority"] == priority)
             return False
 
+        replaced = [e for e in self.entries if replaces(e)]
+        if replaced:
+            entry_id = replaced[0]["id"]
+        else:
+            self._next_id += 1
+            entry_id = self._next_id
         self.entries = [e for e in self.entries if not replaces(e)]
-        self._next_id += 1
         self.entries.append({
-            "match": match, "priority": priority, "id": self._next_id,
+            "match": match, "priority": priority, "id": entry_id,
             "installed": now, "last_used": now, "idle": idle,
             "hard": hard})
 

@@ -176,3 +176,27 @@ def test_entries_lists_all():
     table.insert(FlowEntry(match=Match(), actions=(OutputAction(1),)),
                  now=0.0)
     assert len(table.entries()) == 2
+
+
+def test_wildcard_replacement_keeps_tiebreak_rank():
+    # Re-installing an identical wildcard match+priority replaces the
+    # entry in place; it must keep the original entry's rank so the
+    # winner of an equal-priority tie never changes as a side effect —
+    # not even after a later insert forces a re-sort.
+    table = FlowTable()
+    packet = _packet()
+    first = Match(ip_src=packet.ip.src_ip)
+    second = Match(in_port=1)
+    table.insert(FlowEntry(match=first, actions=(OutputAction(2),),
+                           priority=1), now=0.0)
+    table.insert(FlowEntry(match=second, actions=(OutputAction(2),),
+                           priority=1), now=0.0)
+    assert table.lookup(packet, in_port=1, now=0.0).match == first
+    # Replace the first entry, then insert an unrelated rule (re-sort).
+    table.insert(FlowEntry(match=first, actions=(OutputAction(3),),
+                           priority=1), now=1.0)
+    table.insert(FlowEntry(match=Match(tp_dst=9), actions=(OutputAction(2),),
+                           priority=1), now=1.0)
+    winner = table.lookup(packet, in_port=1, now=1.0)
+    assert winner.match == first
+    assert winner.actions == (OutputAction(3),)

@@ -393,22 +393,24 @@ _KERNEL_GOLDEN_ROWS = {
 #: Cache tokens for the same grid (one per rate, rates in sweep order).
 #: Pinned so a kernel change can never silently re-key — and therefore
 #: silently invalidate or, worse, cross-contaminate — the result cache.
+#: Regenerated for CACHE_SCHEMA v4 (the pool token joined the key); the
+#: golden ROW values above are unchanged from the pre-pool kernel.
 _KERNEL_GOLDEN_TASK_KEYS = {
     "single/none": (
-        "7dd9222694cfcaed8059643bf28687886111f6311c42e54668e8bdcdea45d987",
-        "af5b9874a682034b7c4748f0d060769d60f397319ebd1381bcda5ccf98e220f2",
+        "f2c472278eada2a39e370f0b6de26bc9e957b932bc83780514e8aba95a9ff4ef",
+        "4d1c3942be072c0e8b8390be046d4d0c6deb02aff03e854e2294bbb9fcc5fed1",
     ),
     "single/loss1pct": (
-        "3586bd76f603b17273bca95a965e8ee1d77931ba5855ea60b9f1c3306a422f6c",
-        "ee4a707f32fbbb76c19622de03eac9c49bd539dff0226a125516ac1aa5a9659f",
+        "1a1f13db4d929f1f6c822ae2edb770b89f4eef4930f6fe27b3b659a268c8b091",
+        "9b5b52f57d1bfb5bca354eaf661e0d839d30086fd961a5f95f042ab26085aa00",
     ),
     "line:2/none": (
-        "a116e9df6376ae73bc2647961320572251bab3334755f2886eff56962c1e9556",
-        "53a53660819f542ecd6a836d0b7b1e64292f83a9f694f4d5b02db03c4d4539d0",
+        "4283b7f1d2ec640b83f0a45d70ce67bd9bb02b399edfd7733ad33a4a6c922da7",
+        "58ce89bcd5b72df4023121716533508cc90704292d815849e534c7a78b7f3d45",
     ),
     "line:2/loss1pct": (
-        "269866b1aab7f5b00d0f95f0391b80fbe828ddebb8d4ec90ba1fa981ab71a224",
-        "ddebaa0e3a9d5635104ebcaeb149ac7aa6bc068878c2a83a639e4503a023f6a6",
+        "2843de9899ed71e3b3b1b83105172eaf9b1ec6adf21050f53e1100a3804ab685",
+        "2e89393ba6bc94c2a6724305f19de9a8557e7788a277ccf34e4c7f88d79d1cd6",
     ),
 }
 
