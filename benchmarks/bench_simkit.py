@@ -105,6 +105,48 @@ def _testbed_run():
     return run_once(buffer_256(), workload)
 
 
+def _event_loop_profiled_chain():
+    """The 20k-event timer chain with the component profiler attached.
+
+    Measures the *enabled* profiling path; the ratio against
+    ``_event_loop_chain`` is the profiler's own overhead (recorded in
+    ``BENCH_kernel.json`` and asserted by ``perf_gate.py``).
+    """
+    from repro.obs import ComponentProfiler
+    sim = Simulator()
+    sim.attach_profiler(ComponentProfiler())
+    counter = {"n": 0}
+
+    def tick():
+        counter["n"] += 1
+        if counter["n"] < 20_000:
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    return counter["n"]
+
+
+def _observed_testbed_run(trace=False, profile=False):
+    """One testbed repetition with a RunObserver attached."""
+    from repro.obs import ObsConfig, RunObserver
+    workload = single_packet_flows(mbps(60), n_flows=500,
+                                   rng=RandomStreams(0))
+    observer = RunObserver(ObsConfig(trace=trace, profile=profile),
+                           label="bench", rate_mbps=60.0)
+    run_once(buffer_256(), workload, obs=observer)
+    return observer.observation
+
+
+def _testbed_components():
+    """Component self-time shares from one profiled testbed run."""
+    report = _observed_testbed_run(profile=True).profile
+    total = sum(stat.sampled_seconds
+                for stat in report.components.values()) or 1.0
+    return {name: stat.sampled_seconds / total
+            for name, stat in sorted(report.components.items())}
+
+
 def test_pktbuf_private_throughput(benchmark):
     """Null-pool packet-buffer hot path: store/release cycles."""
     released = benchmark.pedantic(_pktbuf_private_run, rounds=3,
@@ -144,13 +186,27 @@ def main(argv=None):
         "full_testbed": kernelrecord.best_of(_testbed_run, rounds=5),
     }
     window = _testbed_run().window
-    record = kernelrecord.build_record(after, testbed_window_s=window)
+    # Observability overhead, self-relative on this machine: profiled /
+    # plain event loop and traced / plain testbed wall times, measured
+    # interleaved so both sides share CPU-frequency state.
+    obs_overhead = {
+        "event_loop_profiled_ratio": kernelrecord.paired_ratio(
+            _event_loop_chain, _event_loop_profiled_chain),
+        "testbed_traced_ratio": kernelrecord.paired_ratio(
+            _testbed_run, lambda: _observed_testbed_run(trace=True),
+            rounds=3),
+    }
+    record = kernelrecord.build_record(
+        after, testbed_window_s=window,
+        components=_testbed_components(), obs_overhead=obs_overhead)
     path = (kernelrecord.BASELINE_PATH if args.update_baseline
             else kernelrecord.OUTPUT_PATH)
     kernelrecord.write_record(record, path)
     for name, bench in record["benchmarks"].items():
         print(f"{name:22s} {bench['before']['seconds']:.6f}s -> "
               f"{bench['after']['seconds']:.6f}s  ({bench['speedup']:.2f}x)")
+    for name, ratio in record["obs_overhead"].items():
+        print(f"{name:28s} {ratio:.3f}x")
     print(f"wrote {path}")
 
 

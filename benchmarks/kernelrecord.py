@@ -64,6 +64,28 @@ def best_of(fn: Callable[[], object], rounds: int = 5) -> float:
     return best
 
 
+def paired_ratio(base_fn: Callable[[], object],
+                 probe_fn: Callable[[], object],
+                 rounds: int = 5) -> float:
+    """Best-of-N wall-time ratio ``probe/base``, measured interleaved.
+
+    Alternating the two workloads each round exposes them to the same
+    CPU-frequency/thermal state, which makes the ratio far more stable
+    on noisy machines than two independent :func:`best_of` calls — the
+    right tool for self-relative overhead probes (profiler on/off,
+    tracer on/off).
+    """
+    base = probe = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        base_fn()
+        base = min(base, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        probe_fn()
+        probe = min(probe, time.perf_counter() - t0)
+    return probe / base
+
+
 def _rates(name: str, seconds: float,
            window_s: Optional[float] = None) -> Dict[str, float]:
     entry: Dict[str, float] = {"seconds": round(seconds, 6)}
@@ -76,9 +98,29 @@ def _rates(name: str, seconds: float,
     return entry
 
 
+#: Record schemas this toolchain can read.  ``bench-kernel/1`` is the
+#: original before/after probe record; ``bench-kernel/2`` adds the
+#: per-component ``event_loop`` self-time breakdown and the measured
+#: observability-overhead ratios.  New records are written as v2; v1
+#: records stay readable (the extra sections are simply absent).
+SCHEMAS = ("bench-kernel/1", "bench-kernel/2")
+CURRENT_SCHEMA = "bench-kernel/2"
+
+
 def build_record(after_seconds: Dict[str, float],
-                 testbed_window_s: float) -> Dict[str, object]:
-    """Assemble the full before/after record from measured wall times."""
+                 testbed_window_s: float,
+                 components: Optional[Dict[str, float]] = None,
+                 obs_overhead: Optional[Dict[str, float]] = None
+                 ) -> Dict[str, object]:
+    """Assemble the full before/after record from measured wall times.
+
+    ``components`` maps component name -> fraction of sampled self-time
+    in a profiled full-testbed run; ``obs_overhead`` carries the
+    measured wall-time ratios of the observability layer (profiled /
+    plain event loop, traced / plain testbed).  Both are optional so v1
+    callers keep working, but the record schema is always written as
+    ``bench-kernel/2``.
+    """
     benchmarks: Dict[str, object] = {}
     for name, before_s in BEFORE_SECONDS.items():
         after_s = after_seconds[name]
@@ -89,14 +131,21 @@ def build_record(after_seconds: Dict[str, float],
             "after": _rates(name, after_s, window),
             "speedup": round(before_s / after_s, 2),
         }
-    return {
-        "schema": "bench-kernel/1",
+    record: Dict[str, object] = {
+        "schema": CURRENT_SCHEMA,
         "note": ("best-of-N perf_counter wall times; 'before' captured at "
                  "the pre-optimization commit on the same machine. "
                  "Regenerate: PYTHONPATH=src python benchmarks/"
                  "bench_simkit.py --update-baseline"),
         "benchmarks": benchmarks,
     }
+    if components is not None:
+        record["components"] = {name: round(share, 4)
+                                for name, share in components.items()}
+    if obs_overhead is not None:
+        record["obs_overhead"] = {name: round(ratio, 3)
+                                  for name, ratio in obs_overhead.items()}
+    return record
 
 
 def write_record(record: Dict[str, object], path: pathlib.Path) -> None:
@@ -106,8 +155,17 @@ def write_record(record: Dict[str, object], path: pathlib.Path) -> None:
 
 
 def load_baseline(path: pathlib.Path = BASELINE_PATH) -> Dict[str, object]:
-    """Load the committed record (raises if it has not been generated)."""
-    return json.loads(path.read_text())
+    """Load the committed record (raises if it has not been generated).
+
+    Accepts any schema in :data:`SCHEMAS` — v1 records predate the
+    component/overhead sections and are still valid baselines.
+    """
+    record = json.loads(path.read_text())
+    schema = record.get("schema")
+    if schema not in SCHEMAS:
+        raise ValueError(f"{path}: unsupported schema {schema!r} "
+                         f"(expected one of {SCHEMAS})")
+    return record
 
 
 def merge_probe(name: str, seconds: float,
@@ -122,7 +180,7 @@ def merge_probe(name: str, seconds: float,
     if path.exists():
         record = json.loads(path.read_text())
     else:
-        record = {"schema": "bench-kernel/1", "benchmarks": {}}
+        record = {"schema": CURRENT_SCHEMA, "benchmarks": {}}
     bench = record["benchmarks"].setdefault(name, {})
     before_s = BEFORE_SECONDS.get(name)
     if before_s is not None:

@@ -12,6 +12,19 @@ police single-digit drift.  Tighten locally by regenerating the record
 (``python benchmarks/bench_simkit.py --update-baseline``) on a quiet
 machine.
 
+The gate also runs an **observability-overhead probe** (skippable with
+``--no-obs-probe``): the disabled profiling path must stay within
+``--obs-disabled-tolerance`` (default 2 %) of the committed
+``event_loop`` baseline, and two *self-relative* paired measurements —
+profiler-enabled vs plain event loop, tracer-attached vs plain testbed
+run — must stay under ``--obs-enabled-tolerance`` (default 15 %) and
+``--obs-trace-tolerance`` (default 150 % — the tracer costs a real
+~35 %, shared runners can double that under load, and the budget only
+exists to catch pathological regressions).  The paired ratios are
+machine-independent; only the disabled-path check compares against the
+committed record, so CI passes a wider disabled tolerance for runner
+noise.
+
 Usage::
 
     python benchmarks/perf_gate.py out.json [--tolerance 0.30]
@@ -21,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import pathlib
 import sys
 
 import kernelrecord
@@ -33,12 +47,78 @@ GATED_PROBES = {
 }
 
 
+def obs_overhead_probe(report, baseline, disabled_tol: float,
+                       enabled_tol: float, trace_tol: float) -> bool:
+    """Gate the observability layer's cost; returns True when it passes.
+
+    Three checks: the disabled profiling path against the committed
+    ``event_loop`` baseline (the hooks must be free when detached), and
+    two in-process paired ratios (profiled/plain event loop,
+    traced/plain testbed) that need no committed baseline at all.
+    """
+    sys.path.insert(0, str(kernelrecord.REPO_ROOT / "src"))
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    import bench_simkit
+
+    ok = True
+    committed = baseline["benchmarks"]["event_loop"]["after"][
+        "events_per_sec"]
+    units = kernelrecord.PROBE_UNITS["event_loop"]
+    for bench in report["benchmarks"]:
+        if GATED_PROBES.get(bench["name"]) == "event_loop":
+            measured = units / bench["stats"]["min"]
+            floor = committed * (1.0 - disabled_tol)
+            passed = measured >= floor
+            ok = ok and passed
+            print(f"perf-gate: obs disabled path   "
+                  f"{measured:12,.0f} ev/s (floor {floor:12,.0f}, "
+                  f"-{disabled_tol:.0%} of baseline)  "
+                  f"{'ok' if passed else 'REGRESSED'}")
+
+    ratio = kernelrecord.paired_ratio(
+        bench_simkit._event_loop_chain,
+        bench_simkit._event_loop_profiled_chain)
+    passed = ratio <= 1.0 + enabled_tol
+    ok = ok and passed
+    print(f"perf-gate: obs profiler enabled  {ratio:6.3f}x plain "
+          f"(budget {1.0 + enabled_tol:.2f}x)  "
+          f"{'ok' if passed else 'REGRESSED'}")
+
+    ratio = kernelrecord.paired_ratio(
+        bench_simkit._testbed_run,
+        lambda: bench_simkit._observed_testbed_run(trace=True), rounds=3)
+    passed = ratio <= 1.0 + trace_tol
+    ok = ok and passed
+    print(f"perf-gate: obs tracer attached   {ratio:6.3f}x plain "
+          f"(budget {1.0 + trace_tol:.2f}x)  "
+          f"{'ok' if passed else 'REGRESSED'}")
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("report", help="pytest-benchmark JSON report")
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional drop in events/sec "
                              "(default 0.30)")
+    parser.add_argument("--obs-disabled-tolerance", type=float,
+                        default=0.02,
+                        help="allowed drop of the profiler-detached "
+                             "event_loop path below the committed "
+                             "baseline (default 0.02)")
+    parser.add_argument("--obs-enabled-tolerance", type=float,
+                        default=0.15,
+                        help="allowed profiler-enabled overhead over the "
+                             "plain event loop, paired in-process "
+                             "(default 0.15)")
+    parser.add_argument("--obs-trace-tolerance", type=float, default=1.5,
+                        help="allowed tracer-attached overhead over the "
+                             "plain testbed run, paired in-process "
+                             "(default 1.5; coarse — the tracer "
+                             "costs a real ~35%, and shared "
+                             "runners double that under load)")
+    parser.add_argument("--no-obs-probe", action="store_true",
+                        help="skip the observability-overhead probe")
     args = parser.parse_args(argv)
 
     baseline = kernelrecord.load_baseline()
@@ -69,6 +149,10 @@ def main(argv=None) -> int:
         print(f"perf-gate: {probe:22s} {measured:12,.0f} ev/s "
               f"(baseline {committed:12,.0f}, floor {floor:12,.0f})  "
               f"{verdict}")
+    if not args.no_obs_probe:
+        failed = (not obs_overhead_probe(
+            report, baseline, args.obs_disabled_tolerance,
+            args.obs_enabled_tolerance, args.obs_trace_tolerance)) or failed
     if failed:
         print(f"perf-gate: FAIL — events/sec dropped more than "
               f"{args.tolerance:.0%} below the committed BENCH_kernel.json; "

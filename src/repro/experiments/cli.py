@@ -6,6 +6,8 @@ Examples::
     repro-sdn-buffer fig2a fig3 --quick
     repro-sdn-buffer all --rates 5 25 50 75 95 --reps 5
     repro-sdn-buffer headline --full
+    repro-sdn-buffer profile --scenario fanin:2
+    repro-sdn-buffer bench diff BENCH_kernel.json new.json
 """
 
 from __future__ import annotations
@@ -104,6 +106,15 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI body; returns a process exit code."""
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    # Subcommands peel off before the figure-target parser: ``profile``
+    # runs an observed sweep, ``bench diff`` compares two perf records.
+    if argv and argv[0] == "profile":
+        from .profilecmd import profile_main
+        return profile_main(argv[1:])
+    if argv[:2] == ["bench", "diff"]:
+        from .profilecmd import bench_diff_main
+        return bench_diff_main(argv[2:])
     args = _parse_args(argv)
     targets = list(args.targets)
     unknown = [t for t in targets if t not in FIGURES and t not in _SPECIAL]

@@ -79,7 +79,7 @@ def run_once(buffer_config: BufferConfig, workload: Workload,
     install_faults(testbed, faults)
     sim = testbed.sim
     if obs is not None:
-        obs.attach(testbed)
+        obs.attach(testbed, calibration=calibration)
     testbed.controller.start_handshake()
     for pktgen in testbed.pktgens:
         pktgen.start(at=settle)

@@ -11,20 +11,36 @@ Public surface:
   switch/controller event emitters.
 * :class:`ObsConfig`, :class:`RunObserver`, :class:`RunObservation`,
   :class:`ObsCollector` — per-run capture and study-level reassembly.
-* Exporters — JSONL, Chrome ``trace_event`` (Perfetto-loadable) and
-  Prometheus text, with parsers for round-trip verification.
+* :class:`ComponentProfiler`, :class:`ProfileReport` — wall-clock
+  component profiling of the simulation kernel itself (stride-sampled,
+  attached via ``Simulator.attach_profiler``).
+* :class:`HealthMonitor`, :class:`MonitorViolation` and the pluggable
+  :class:`RunMonitor` checks — live heartbeats and invariant
+  verification while a run executes.
+* Exporters — JSONL, Chrome ``trace_event`` (Perfetto-loadable, with
+  wall-clock profile tracks) and Prometheus text, with parsers for
+  round-trip verification, all through the crash-safe
+  :func:`open_artifact` writer.
 
-This package imports nothing from the simulation layers (everything is
-duck-typed against the event emitters), so even :mod:`repro.simkit` can
-delegate to it without an import cycle.
+Everything here is duck-typed against the event emitters, so
+:mod:`repro.simkit` can delegate to it without an import cycle (the
+monitor imports only the simkit priority constants, which import
+nothing back).
 """
 
 from .capture import ObsCollector, ObsConfig, RunObservation, RunObserver
 from .exporters import (CHROME_REQUIRED_KEYS, chrome_trace_events,
-                        parse_prometheus, snapshot_to_prometheus,
+                        escape_label_value, open_artifact,
+                        parse_prometheus, profile_trace_events,
+                        snapshot_to_prometheus,
                         span_from_dict, span_to_dict, spans_from_jsonl,
                         spans_to_chrome, spans_to_jsonl,
                         validate_chrome_trace)
+from .monitor import (ConservationMonitor, HealthMonitor, HeartbeatRecord,
+                      MM1EnvelopeMonitor, MonitorViolation, RunMonitor,
+                      build_monitors)
+from .profile import (MODULE_COMPONENTS, ComponentProfiler, ComponentStat,
+                      ProfileReport, TimelinePoint, component_of)
 from .flowtrace import (CAT_CHANNEL, CAT_CONTROLLER, CAT_FAULT, CAT_FLOW,
                         CAT_POOL, CAT_SWITCH, EVENT_FAULT_INJECTED,
                         EVENT_POOL_PRESSURE, FlowSetupTracer,
@@ -37,10 +53,16 @@ from .spans import Span, SpanRecord, SpanRecorder, validate_nesting
 
 __all__ = [
     "ObsCollector", "ObsConfig", "RunObservation", "RunObserver",
-    "CHROME_REQUIRED_KEYS", "chrome_trace_events", "parse_prometheus",
+    "CHROME_REQUIRED_KEYS", "chrome_trace_events", "escape_label_value",
+    "open_artifact", "parse_prometheus", "profile_trace_events",
     "snapshot_to_prometheus", "span_from_dict", "span_to_dict",
     "spans_from_jsonl", "spans_to_chrome", "spans_to_jsonl",
     "validate_chrome_trace",
+    "ConservationMonitor", "HealthMonitor", "HeartbeatRecord",
+    "MM1EnvelopeMonitor", "MonitorViolation", "RunMonitor",
+    "build_monitors",
+    "MODULE_COMPONENTS", "ComponentProfiler", "ComponentStat",
+    "ProfileReport", "TimelinePoint", "component_of",
     "CAT_CHANNEL", "CAT_CONTROLLER", "CAT_FAULT", "CAT_FLOW", "CAT_POOL",
     "CAT_SWITCH",
     "EVENT_FAULT_INJECTED", "EVENT_POOL_PRESSURE",

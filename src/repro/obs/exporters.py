@@ -8,16 +8,28 @@ Three output formats:
   Perfetto / ``chrome://tracing``: complete (``ph: "X"``) events for
   spans, instant (``ph: "i"``) events for point records, plus process /
   thread name metadata so mechanisms and flows get readable lanes.
-  Timestamps are simulated microseconds.
+  Timestamps are simulated microseconds — except the wall-clock
+  profile tracks (:func:`profile_trace_events`), whose timestamps are
+  wall microseconds.
 * **Prometheus text** — counters, gauges and cumulative histogram
   buckets in the exposition format, from a :class:`MetricsSnapshot`.
+
+All artifact files go through :func:`open_artifact`, which writes to a
+temporary and atomically publishes on success — a run that raises
+mid-export never leaves a half-written file at the final path (JSONL
+streams publish what they have plus an explicit truncation trailer).
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
+import os
+import re
+from pathlib import Path
+from typing import (Dict, Iterable, Iterator, List, Optional, Sequence,
+                    TextIO, Tuple)
 
 from .registry import HistogramData, MetricsSnapshot
 from .spans import KIND_INSTANT, SpanRecord
@@ -27,6 +39,56 @@ CHROME_REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
 
 #: Seconds -> trace_event microseconds.
 _US = 1e6
+
+
+# ---------------------------------------------------------------------------
+# Crash-safe artifact emission
+# ---------------------------------------------------------------------------
+@contextlib.contextmanager
+def open_artifact(path, jsonl: bool = False) -> Iterator[TextIO]:
+    """Open ``path`` for writing with atomic, exception-safe publication.
+
+    Content is written to ``<path>.tmp`` and moved into place with
+    ``os.replace`` only when the ``with`` body completes.  If the body
+    raises, the behaviour depends on the format:
+
+    * ``jsonl=True`` (line-oriented streams — heartbeats, span JSONL):
+      every complete line already written is valid on its own, so the
+      partial file *is* published, terminated by one trailer line
+      ``{"truncated": true, "error": ...}`` that marks the cut.
+    * ``jsonl=False`` (single-document formats — Chrome trace JSON,
+      Prometheus text): a partial document is useless, so the temporary
+      is deleted and the final path is left untouched (whatever was
+      there before the export survives).
+
+    The exception always propagates either way.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    fh = open(tmp, "w")
+    try:
+        yield fh
+    except BaseException as exc:
+        with contextlib.suppress(OSError, ValueError):
+            if jsonl:
+                fh.write(json.dumps(
+                    {"truncated": True,
+                     "error": f"{type(exc).__name__}: {exc}"},
+                    sort_keys=True) + "\n")
+                fh.flush()
+                fh.close()
+                os.replace(tmp, path)
+            else:
+                fh.close()
+                os.unlink(tmp)
+        if not fh.closed:                        # the cleanup itself failed
+            with contextlib.suppress(OSError):
+                fh.close()
+        raise
+    else:
+        fh.close()
+        os.replace(tmp, path)
 
 
 # ---------------------------------------------------------------------------
@@ -140,6 +202,49 @@ def spans_to_chrome(groups: Sequence[Tuple[str, Sequence[SpanRecord]]],
     return len(events)
 
 
+def profile_trace_events(groups: Sequence[Tuple[str, "object"]],
+                         start_pid: int = 1) -> List[dict]:
+    """Wall-clock profile tracks (``repro.obs.profile``) as trace events.
+
+    Each ``(group_name, ProfileReport)`` becomes a ``wall-clock <group>``
+    trace process with two tracks: a ``components`` thread where every
+    component is one complete event laid end-to-end by estimated
+    self-time (heaviest first — read it like a flame-graph row), and a
+    ``sim_rate`` counter track sampled from the profiler's timeline
+    (simulated seconds advanced per wall second).  Unlike the span
+    tracks, timestamps here are **wall** microseconds from the start of
+    profiling.
+    """
+    events: List[dict] = []
+    for offset, (group_name, report) in enumerate(groups):
+        pid = start_pid + offset
+        events.append(_metadata("process_name", pid,
+                                f"wall-clock {group_name}"))
+        events.append(_metadata("thread_name", pid, "components", tid=1))
+        cursor = 0.0
+        for name, stat in report.top_components():
+            duration = stat.est_seconds(report.stride) * _US
+            events.append({
+                "name": name, "cat": "wallclock", "ph": "X",
+                "ts": cursor, "dur": duration, "pid": pid, "tid": 1,
+                "args": {"sampled_calls": stat.sampled_calls,
+                         "est_calls": stat.est_calls(report.stride)},
+            })
+            cursor += duration
+        last_sim = last_wall = 0.0
+        for point in report.timeline:
+            wall_delta = point.wall_time - last_wall
+            rate = ((point.sim_time - last_sim) / wall_delta
+                    if wall_delta > 0 else 0.0)
+            events.append({
+                "name": "sim_rate", "cat": "wallclock", "ph": "C",
+                "ts": point.wall_time * _US, "pid": pid, "tid": 2,
+                "args": {"sim_s_per_wall_s": rate},
+            })
+            last_sim, last_wall = point.sim_time, point.wall_time
+    return events
+
+
 def validate_chrome_trace(payload: dict) -> List[str]:
     """Check a parsed trace against the format's required keys."""
     problems = []
@@ -160,11 +265,19 @@ def validate_chrome_trace(payload: dict) -> List[str]:
 # ---------------------------------------------------------------------------
 # Prometheus text exposition
 # ---------------------------------------------------------------------------
+def escape_label_value(value: object) -> str:
+    """Escape a label value per the exposition format: ``\\``, ``"``,
+    and newline must be backslash-escaped inside the quotes."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _format_labels(labels, extra: Sequence[Tuple[str, str]] = ()) -> str:
     pairs = list(labels) + list(extra)
     if not pairs:
         return ""
-    inner = ",".join(f'{key}="{value}"' for key, value in pairs)
+    inner = ",".join(f'{key}="{escape_label_value(value)}"'
+                     for key, value in pairs)
     return "{" + inner + "}"
 
 
@@ -178,27 +291,49 @@ def _prom_name(name: str) -> str:
     return name.replace(".", "_").replace("-", "_")
 
 
+#: HELP text for well-known metric families; anything else gets a
+#: generic line naming the registry metric it came from.
+METRIC_HELP = {
+    "flow_setup_delay_seconds": "End-to-end flow setup delay.",
+    "controller_delay_seconds": "Controller share of the setup delay.",
+    "switch_delay_seconds": "Switch share of the setup delay.",
+    "run_incomplete_extends_exhausted":
+        "Runs whose deadline-extend budget ran out with flows incomplete.",
+}
+
+
 def snapshot_to_prometheus(snapshot: MetricsSnapshot) -> str:
-    """Render a snapshot in the Prometheus text exposition format."""
+    """Render a snapshot in the Prometheus text exposition format.
+
+    ``# HELP`` and ``# TYPE`` are emitted exactly once per metric
+    family, before its first sample, even when the family appears with
+    many label sets (the format forbids repeating them); label values
+    are escaped per the spec.
+    """
     lines: List[str] = []
     seen_types: Dict[str, str] = {}
 
-    def type_line(name: str, kind: str) -> None:
+    def type_line(name: str, kind: str, raw_name: str) -> None:
         if seen_types.get(name) is None:
+            help_text = METRIC_HELP.get(
+                name, f"Registry metric {raw_name} from a repro run.")
+            help_text = (help_text.replace("\\", "\\\\")
+                         .replace("\n", "\\n"))
+            lines.append(f"# HELP {name} {help_text}")
             lines.append(f"# TYPE {name} {kind}")
             seen_types[name] = kind
 
     for (raw_name, labels), value in sorted(snapshot.counters.items()):
         name = _prom_name(raw_name)
-        type_line(name, "counter")
+        type_line(name, "counter", raw_name)
         lines.append(f"{name}{_format_labels(labels)} {value:g}")
     for (raw_name, labels), value in sorted(snapshot.gauges.items()):
         name = _prom_name(raw_name)
-        type_line(name, "gauge")
+        type_line(name, "gauge", raw_name)
         lines.append(f"{name}{_format_labels(labels)} {value:g}")
     for (raw_name, labels), data in sorted(snapshot.histograms.items()):
         name = _prom_name(raw_name)
-        type_line(name, "histogram")
+        type_line(name, "histogram", raw_name)
         cumulative = 0
         for bound, count in zip(data.buckets, data.counts):
             cumulative += count
@@ -214,31 +349,46 @@ def snapshot_to_prometheus(snapshot: MetricsSnapshot) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+#: One exposition sample line: name, optional {label block}, value.
+#: The label block regex keeps escaped quotes inside quoted values.
+_SAMPLE_RE = re.compile(
+    r'^([A-Za-z_:][A-Za-z0-9_:]*)'
+    r'(\{(?:[^{}"]|"(?:[^"\\]|\\.)*")*\})?'
+    r'\s+(\S+)$')
+_LABEL_RE = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label_value(raw: str) -> str:
+    # \x00 cannot appear in exposition text, so it is a safe scratch
+    # marker to keep \\n from turning into a newline in two steps.
+    return (raw.replace("\\\\", "\x00").replace('\\"', '"')
+            .replace("\\n", "\n").replace("\x00", "\\"))
+
+
 def parse_prometheus(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...],
                                                   float]]:
     """Parse exposition text into ``{metric: {labelset: value}}``.
 
-    Intentionally minimal — enough for round-trip tests and CI artifact
-    checks, not a general scraper.
+    Round-trips :func:`snapshot_to_prometheus` output, including label
+    values containing spaces, commas, quotes, backslashes and newlines.
+    Still intentionally minimal — enough for round-trip tests and CI
+    artifact checks, not a general scraper.
     """
     samples: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
     for line in text.splitlines():
         line = line.strip()
         if not line or line.startswith("#"):
             continue
-        name_part, _, value_part = line.rpartition(" ")
-        if "{" in name_part:
-            name, _, label_part = name_part.partition("{")
-            label_part = label_part.rstrip("}")
-            labels = []
-            for pair in label_part.split(","):
-                if not pair:
-                    continue
-                key, _, raw = pair.partition("=")
-                labels.append((key, raw.strip('"')))
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"malformed exposition line: {line!r}")
+        name, label_part, value_part = match.groups()
+        if label_part:
+            labels = [(key, _unescape_label_value(raw))
+                      for key, raw in _LABEL_RE.findall(label_part)]
             key = tuple(sorted(labels))
         else:
-            name, key = name_part, ()
+            key = ()
         value = float(value_part)
         if not math.isfinite(value):            # +Inf buckets stay textual
             value = math.inf

@@ -179,7 +179,9 @@ def run_sweep_jobs(jobs: Sequence[SweepJob], workers: Optional[int] = None,
             cache.put(task_key(jobs_by_id[task.job_id], task), metrics)
         if obs is not None:
             obs.add(observation)
-        tracker.task_done(worker=worker)
+        tracker.task_done(worker=worker,
+                          violations=(len(observation.violations)
+                                      if observation is not None else 0))
 
     def on_failure(task: SweepTask, attempts: int, error: Exception,
                    worker: str) -> None:

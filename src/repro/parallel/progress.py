@@ -37,15 +37,21 @@ class ProgressTracker:
         self.cached = 0
         self.failed = 0
         self.retries = 0
+        #: Monitor violations reported by observed runs (repro.obs.monitor):
+        #: a live health signal during long sweeps, surfaced in render().
+        self.violations = 0
         self._per_worker: Dict[str, int] = {}
         self._retries_by_worker: Dict[str, int] = {}
 
     # -- event feed ------------------------------------------------------
-    def task_done(self, worker: str = "main", cached: bool = False) -> None:
-        """Record one successful repetition (``cached`` for cache hits)."""
+    def task_done(self, worker: str = "main", cached: bool = False,
+                  violations: int = 0) -> None:
+        """Record one successful repetition (``cached`` for cache hits;
+        ``violations`` for monitor violations its observation carried)."""
         self.done += 1
         if cached:
             self.cached += 1
+        self.violations += violations
         self._per_worker[worker] = self._per_worker.get(worker, 0) + 1
         self._tick()
 
@@ -106,9 +112,12 @@ class ProgressTracker:
         percent = (100.0 * self.processed / self.total) if self.total else 100.0
         eta = self.eta_seconds()
         eta_text = f"{eta:.1f}s" if eta is not None else "?"
-        return (f"[{self.processed}/{self.total}] {percent:3.0f}% | "
+        line = (f"[{self.processed}/{self.total}] {percent:3.0f}% | "
                 f"{self.throughput():.1f} tasks/s | eta {eta_text} | "
                 f"cached {self.cached} | failed {self.failed}")
+        if self.violations:
+            line += f" | VIOLATIONS {self.violations}"
+        return line
 
     def summary(self) -> str:
         """Final line: totals, cache hit/miss, per-worker retries and
@@ -126,6 +135,8 @@ class ProgressTracker:
                 f"{self.elapsed():.1f}s | {self.throughput():.1f} tasks/s | "
                 f"cache {self.cached} hit / {self.cache_misses} miss | "
                 f"failed {self.failed} | {retry_text}")
+        if self.violations:
+            base += f" | MONITOR VIOLATIONS {self.violations}"
         return f"{base} | workers: {per_worker}" if per_worker else base
 
     def _tick(self) -> None:

@@ -39,6 +39,7 @@ from __future__ import annotations
 import heapq
 import math
 import sys
+import time
 from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -61,6 +62,7 @@ _Process: Any = None
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
+_perf_counter = time.perf_counter
 _isfinite = math.isfinite
 _getrefcount = sys.getrefcount
 _inf = math.inf
@@ -132,6 +134,10 @@ class Simulator:
         self._stopped = False
         #: Count of events executed; useful for tests and budget guards.
         self.events_executed = 0
+        #: Wall-clock component profiler (``repro.obs.profile``), or
+        #: ``None``.  The disabled path costs one attribute check per
+        #: ``run()`` call — never per event (see DESIGN.md §15).
+        self._profiler = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -332,6 +338,8 @@ class Simulator:
         anywhere in this package); every other piece of simulator state is
         exact at each callback.
         """
+        if self._profiler is not None:
+            return self._run_profiled(until, max_events)
         self._running = True
         self._stopped = False
         executed = 0
@@ -426,9 +434,173 @@ class Simulator:
             self._now = until
         return self._now
 
+    def _run_profiled(self, until: Optional[float] = None,
+                      max_events: Optional[int] = None) -> float:
+        """:meth:`run` with stride-sampled wall-clock profiling.
+
+        Mirrors :meth:`run`'s two loops (fused drain-everything and
+        general) with one addition: every ``stride``-th executed event is
+        individually timed with a ``perf_counter`` pair and attributed
+        to its callback's component; every other event pays only an
+        integer countdown.  Sampling is keyed to the event index, so
+        identical event sequences sample identical events regardless of
+        wall-clock behaviour.  Run totals (events, wall and simulated
+        seconds) are booked on the profiler around the loop.
+        """
+        profiler = self._profiler
+        perf_counter = _perf_counter
+        stride = profiler.stride
+        record = profiler.record
+        countdown = stride
+        self._running = True
+        self._stopped = False
+        executed = 0
+        heap = self._heap
+        ready_urgent, ready_normal, ready_late = self._ready
+        free = self._free
+        profiler.begin_run(self._now)
+        try:
+            if until is None and max_events is None:
+                while True:
+                    if ready_urgent or ready_normal or ready_late:
+                        call = self._pop_next(None)
+                        if call is None:
+                            break
+                    else:
+                        if not heap:
+                            break
+                        call = _heappop(heap)[3]
+                        if call.cancelled:
+                            call.fn = call.args = None
+                            if (len(free) < _FREE_LIST_MAX
+                                    and _getrefcount(call) == 2):
+                                free.append(call)
+                            continue
+                    self._now = call.time
+                    executed += 1
+                    call.cancelled = True
+                    fn = call.fn
+                    args = call.args
+                    call.fn = call.args = None
+                    if (len(free) < _FREE_LIST_MAX
+                            and _getrefcount(call) == 2):
+                        free.append(call)
+                    call = None
+                    countdown -= 1
+                    if countdown:
+                        if args:
+                            fn(*args)
+                        else:
+                            fn()
+                    else:
+                        countdown = stride
+                        t0 = perf_counter()
+                        if args:
+                            fn(*args)
+                        else:
+                            fn()
+                        record(fn, perf_counter() - t0, executed, self._now)
+                    if self._stopped:
+                        break
+            else:
+                while not self._stopped:
+                    if ready_urgent or ready_normal or ready_late:
+                        call = self._pop_next(until)
+                        if call is None:
+                            break
+                    else:
+                        while True:
+                            if not heap:
+                                call = None
+                                break
+                            entry = _heappop(heap)
+                            call = entry[3]
+                            if call.cancelled:
+                                call.fn = call.args = None
+                                if (len(free) < _FREE_LIST_MAX
+                                        and _getrefcount(call) == 3):
+                                    free.append(call)
+                                continue
+                            break
+                        if call is None:
+                            break
+                        if until is not None and entry[0] > until:
+                            _heappush(heap, entry)
+                            break
+                        entry = None
+                    self._now = call.time
+                    executed += 1
+                    call.cancelled = True
+                    fn = call.fn
+                    args = call.args
+                    call.fn = call.args = None
+                    if (len(free) < _FREE_LIST_MAX
+                            and _getrefcount(call) == 2):
+                        free.append(call)
+                    call = None
+                    countdown -= 1
+                    if countdown:
+                        if args:
+                            fn(*args)
+                        else:
+                            fn()
+                    else:
+                        countdown = stride
+                        t0 = perf_counter()
+                        if args:
+                            fn(*args)
+                        else:
+                            fn()
+                        record(fn, perf_counter() - t0, executed, self._now)
+                    if max_events is not None and executed >= max_events:
+                        break
+        finally:
+            self._running = False
+            self.events_executed += executed
+            self._live -= executed
+            profiler.end_run(self._now, executed)
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+        return self._now
+
+    def attach_profiler(self, profiler) -> None:
+        """Route subsequent :meth:`run` calls through the profiled loop.
+
+        ``profiler`` is duck-typed (``stride``/``record``/``begin_run``/
+        ``end_run``) — in practice a
+        :class:`repro.obs.profile.ComponentProfiler`.  Event ordering and
+        results are bit-identical with or without one attached; only
+        wall-clock behaviour differs.
+        """
+        if profiler is None:
+            raise ValueError("profiler must not be None "
+                             "(use detach_profiler())")
+        self._profiler = profiler
+
+    def detach_profiler(self):
+        """Restore the unprofiled fast loop; returns the old profiler."""
+        profiler, self._profiler = self._profiler, None
+        return profiler
+
+    @property
+    def profiler(self):
+        """The attached wall-clock profiler, or ``None``."""
+        return self._profiler
+
     def stop(self) -> None:
         """Stop :meth:`run` after the currently executing event."""
         self._stopped = True
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled (the sequence counter).
+
+        Unlike ``events_executed`` — which is flushed in bulk when
+        :meth:`run` exits — this is exact *inside* event callbacks, so
+        live observers (``repro.obs.monitor`` heartbeats) use it as the
+        mid-run progress counter.
+        """
+        return self._seq
 
     def pending_count(self) -> int:
         """Number of not-yet-cancelled events still queued.

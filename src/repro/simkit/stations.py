@@ -68,6 +68,9 @@ class ServiceStation:
         # every contended device, so skip the method/property lookups.
         self._schedule = sim.schedule
         self._finish_cb = self._finish
+        #: Wall-clock profiler attribution label (repro.obs.profile):
+        #: stations are generic, so the instance name tells them apart.
+        self.profile_component = f"station:{name}"
         #: Total server-seconds spent serving jobs since creation/reset.
         self.busy_time = 0.0
         #: Jobs fully served since creation/reset.

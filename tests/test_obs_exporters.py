@@ -146,3 +146,138 @@ def test_prometheus_histogram_is_cumulative_with_inf_bucket():
 def test_prometheus_empty_snapshot_renders_empty_string():
     assert snapshot_to_prometheus(MetricsRegistry().snapshot()) == ""
     assert parse_prometheus("") == {}
+
+
+# ---------------------------------------------------------------------------
+# Prometheus conformance: label escaping, HELP/TYPE uniqueness
+# ---------------------------------------------------------------------------
+
+def test_label_values_escape_backslash_quote_and_newline():
+    from repro.obs import escape_label_value
+    assert escape_label_value('a\\b') == 'a\\\\b'
+    assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+    assert escape_label_value('line1\nline2') == 'line1\\nline2'
+
+
+def test_prometheus_round_trips_gnarly_label_values():
+    registry = MetricsRegistry()
+    gnarly = 'we"ird\\lab,el\nnl'
+    registry.counter("events_total", run=gnarly, plain="with spaces").inc(3)
+    text = snapshot_to_prometheus(registry.snapshot())
+    assert "\n\n" not in text.strip()  # escaping keeps one sample per line
+    samples = parse_prometheus(text)
+    key = (("plain", "with spaces"), ("run", gnarly))
+    assert samples["events_total"][key] == 3
+
+
+def test_help_and_type_emitted_exactly_once_per_family():
+    registry = MetricsRegistry()
+    registry.counter("packet_ins_total", run="a").inc(1)
+    registry.counter("packet_ins_total", run="b").inc(2)
+    histogram_a = registry.histogram("delay_seconds", run="a",
+                                     buckets=(0.01,))
+    histogram_b = registry.histogram("delay_seconds", run="b",
+                                     buckets=(0.01,))
+    histogram_a.observe(0.001)
+    histogram_b.observe(0.001)
+    text = snapshot_to_prometheus(registry.snapshot())
+    lines = text.splitlines()
+    assert sum(1 for l in lines
+               if l.startswith("# TYPE packet_ins_total ")) == 1
+    assert sum(1 for l in lines
+               if l.startswith("# HELP packet_ins_total ")) == 1
+    assert sum(1 for l in lines
+               if l.startswith("# TYPE delay_seconds ")) == 1
+    # HELP precedes TYPE, which precedes the samples (text-format order).
+    help_at = lines.index(next(l for l in lines
+                               if l.startswith("# HELP packet_ins_total")))
+    type_at = lines.index(next(l for l in lines
+                               if l.startswith("# TYPE packet_ins_total")))
+    assert help_at < type_at
+
+
+def test_parse_prometheus_rejects_malformed_lines():
+    with pytest.raises(ValueError):
+        parse_prometheus("not a metric line at all }{")
+
+
+# ---------------------------------------------------------------------------
+# Crash-safe artifact writing
+# ---------------------------------------------------------------------------
+
+def test_open_artifact_atomic_success(tmp_path):
+    from repro.obs import open_artifact
+    target = tmp_path / "out.json"
+    with open_artifact(target) as handle:
+        handle.write('{"ok": true}')
+    assert json.loads(target.read_text()) == {"ok": True}
+    assert not target.with_suffix(".json.tmp").exists()
+
+
+def test_open_artifact_jsonl_flushes_truncation_trailer(tmp_path):
+    from repro.obs import open_artifact
+    target = tmp_path / "beats.jsonl"
+    with pytest.raises(RuntimeError, match="mid-export"):
+        with open_artifact(target, jsonl=True) as handle:
+            handle.write('{"beat": 0}\n')
+            raise RuntimeError("mid-export")
+    lines = [json.loads(line) for line in
+             target.read_text().splitlines()]
+    assert lines[0] == {"beat": 0}
+    assert lines[-1]["truncated"] is True
+    assert "mid-export" in lines[-1]["error"]
+    assert list(tmp_path.iterdir()) == [target]
+
+
+def test_open_artifact_single_doc_failure_keeps_old_file(tmp_path):
+    from repro.obs import open_artifact
+    target = tmp_path / "trace.json"
+    target.write_text('{"old": 1}')
+    with pytest.raises(RuntimeError):
+        with open_artifact(target) as handle:
+            handle.write('{"new": ')
+            raise RuntimeError("half-written")
+    assert json.loads(target.read_text()) == {"old": 1}
+    assert list(tmp_path.iterdir()) == [target]
+
+
+# ---------------------------------------------------------------------------
+# Wall-clock profile tracks
+# ---------------------------------------------------------------------------
+
+def _profiled_report():
+    from repro.obs import ComponentProfiler
+    from repro.simkit import Simulator
+    sim = Simulator()
+    profiler = ComponentProfiler(stride=1)
+    sim.attach_profiler(profiler)
+    counter = {"n": 0}
+
+    def tick():
+        counter["n"] += 1
+        if counter["n"] < 600:
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    return profiler.report()
+
+
+def test_profile_trace_events_emit_wall_clock_process():
+    from repro.obs import profile_trace_events
+    events = profile_trace_events([("buffer-16 rate=20 rep=0",
+                                    _profiled_report())])
+    assert validate_chrome_trace({"traceEvents": events}) == []
+    process_names = [e["args"]["name"] for e in events
+                     if e.get("name") == "process_name"]
+    assert process_names == ["wall-clock buffer-16 rate=20 rep=0"]
+    slices = [e for e in events if e.get("ph") == "X"]
+    assert slices and all(e["dur"] >= 0 for e in slices)
+
+
+def test_profile_trace_events_carry_sim_rate_counter():
+    from repro.obs import profile_trace_events
+    events = profile_trace_events([("run", _profiled_report())])
+    counters = [e for e in events if e.get("ph") == "C"]
+    assert counters, "timeline with >=2 points must yield a counter track"
+    assert all(e["name"] == "sim_rate" for e in counters)

@@ -1,0 +1,193 @@
+"""Wall-clock component profiler: attribution, determinism, overhead."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import buffer_16
+from repro.experiments import sweep, workload_a_factory
+from repro.obs import (ComponentProfiler, ObsCollector, ObsConfig,
+                       ProfileReport, component_of)
+from repro.simkit import ServiceStation, Simulator
+
+_RATES = (20.0,)
+_REPS = 2
+_FLOWS = 20
+
+
+# ---------------------------------------------------------------------------
+# Attribution
+# ---------------------------------------------------------------------------
+
+def test_component_of_prefers_profile_component_override():
+    sim = Simulator()
+    station = ServiceStation(sim, "ovs-cpu", servers=1)
+    assert component_of(station._finish) == "station:ovs-cpu"
+
+
+def test_component_of_falls_back_to_module_for_free_functions():
+    def local():
+        pass
+    assert component_of(local) == "test_obs_profile"
+
+
+def test_component_of_uses_owner_class_module_for_bound_methods():
+    class Owner:
+        def cb(self):
+            pass
+    assert component_of(Owner().cb) == "test_obs_profile"
+
+
+# ---------------------------------------------------------------------------
+# Profiler mechanics
+# ---------------------------------------------------------------------------
+
+def _timer_chain(sim, n):
+    counter = {"n": 0}
+
+    def tick():
+        counter["n"] += 1
+        if counter["n"] < n:
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    return counter["n"]
+
+
+def test_profiler_samples_every_stride_th_event():
+    sim = Simulator()
+    profiler = ComponentProfiler(stride=4)
+    sim.attach_profiler(profiler)
+    assert _timer_chain(sim, 100) == 100
+    report = profiler.report()
+    assert report.events == 100
+    assert report.runs == 1
+    total_sampled = sum(stat.sampled_calls
+                        for stat in report.components.values())
+    assert total_sampled == 100 // 4
+    # Estimated totals scale the samples back up by the stride.
+    assert sum(stat.est_calls(report.stride)
+               for stat in report.components.values()) == 100
+
+
+def test_profiler_attach_detach_round_trip():
+    sim = Simulator()
+    profiler = ComponentProfiler()
+    sim.attach_profiler(profiler)
+    assert sim.profiler is profiler
+    assert sim.detach_profiler() is profiler
+    assert sim.profiler is None
+    with pytest.raises(ValueError):
+        sim.attach_profiler(None)
+
+
+def test_profiled_run_executes_identical_event_sequence():
+    """The regression pin: profiling must not reorder or drop events.
+
+    Two identical simulations — one profiled, one not — must expose the
+    same clock, event count and callback order (the kernel-equivalence
+    golden for the profiled loop).
+    """
+    def run(profiled):
+        sim = Simulator()
+        if profiled:
+            sim.attach_profiler(ComponentProfiler(stride=3))
+        order = []
+        for i in range(50):
+            delay = (i % 7) * 0.0005
+            sim.schedule(delay, order.append, (i, delay))
+        sim.run()
+        return sim.now, sim.events_executed, order
+
+    assert run(False) == run(True)
+
+
+def test_profiled_run_with_until_matches_plain_run():
+    def run(profiled):
+        sim = Simulator()
+        if profiled:
+            sim.attach_profiler(ComponentProfiler(stride=2))
+        seen = []
+        for i in range(20):
+            sim.schedule(i * 0.01, seen.append, i)
+        sim.run(until=0.095)
+        return sim.now, seen
+
+    assert run(False) == run(True)
+
+
+# ---------------------------------------------------------------------------
+# Report plumbing
+# ---------------------------------------------------------------------------
+
+def test_report_merge_requires_matching_stride():
+    a = ProfileReport(stride=16)
+    b = ProfileReport(stride=8)
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_report_round_trips_through_dict():
+    sim = Simulator()
+    profiler = ComponentProfiler(stride=2)
+    sim.attach_profiler(profiler)
+    _timer_chain(sim, 40)
+    report = profiler.report()
+    doc = report.to_dict()
+    assert doc["events"] == 40
+    assert doc["stride"] == 2
+    assert set(doc["components"]) == set(report.components)
+
+
+def test_format_table_lists_top_components():
+    sim = Simulator()
+    profiler = ComponentProfiler(stride=2)
+    sim.attach_profiler(profiler)
+    _timer_chain(sim, 40)
+    table = profiler.report().format_table()
+    assert "self-time" in table
+    assert "test_obs_profile" in table
+
+
+# ---------------------------------------------------------------------------
+# End to end: observed sweeps
+# ---------------------------------------------------------------------------
+
+def _profiled_sweep(workers=1):
+    obs = ObsCollector(ObsConfig(profile=True))
+    result = sweep(buffer_16(), workload_a_factory(n_flows=_FLOWS),
+                   _RATES, _REPS, base_seed=1, obs=obs,
+                   workers=(workers if workers > 1 else None))
+    return result, obs
+
+
+def test_profiled_sweep_attributes_testbed_components():
+    _, obs = _profiled_sweep()
+    profile = obs.merged_profile()
+    assert profile is not None
+    assert profile.runs == _REPS
+    names = set(profile.components)
+    assert any(name.startswith("station:") for name in names)
+    assert "controller" in names
+    assert "1 run(s) profiled" not in obs.summary()  # merged: 2 runs
+
+
+def test_profiling_does_not_perturb_results():
+    plain = sweep(buffer_16(), workload_a_factory(n_flows=_FLOWS),
+                  _RATES, _REPS, base_seed=1)
+    profiled, _ = _profiled_sweep()
+    assert len(plain.rows) == len(profiled.rows)
+    for row_a, row_b in zip(plain.rows, profiled.rows):
+        assert dataclasses.asdict(row_a) == dataclasses.asdict(row_b)
+
+
+def test_parallel_profile_summary_matches_serial():
+    """Stride sampling is keyed to event indices, so serial and 2-worker
+    sweeps must merge to field-identical deterministic summaries."""
+    _, serial_obs = _profiled_sweep(workers=1)
+    _, parallel_obs = _profiled_sweep(workers=2)
+    assert serial_obs.merged_profile().deterministic_summary() \
+        == parallel_obs.merged_profile().deterministic_summary()
