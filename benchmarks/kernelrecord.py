@@ -34,21 +34,29 @@ OUTPUT_PATH = pathlib.Path(__file__).resolve().parent / "_output" / "BENCH_kerne
 #: ``pktbuf_private`` joined with the shared-pool PR: its *before* is
 #: the pool-less PacketBuffer at the last pre-pool commit, so the gate
 #: keeps the null-pool store/release path from paying for pooling.
+#: ``hybrid_flows`` joined with the hybrid-engine PR and its *before*
+#: is different in kind: the **packet engine on the identical
+#: workload** (the figscale 10^5-flow point, same machine, workload
+#: construction excluded), so the recorded speedup IS the
+#: hybrid-vs-packet ratio the engine exists to deliver.
 BEFORE_SECONDS = {
     "event_loop": 0.025808,
     "zero_delay_dispatch": 0.038466,
     "station": 0.029756,
     "pktbuf_private": 0.013748,
     "full_testbed": 0.114428,
+    "hybrid_flows": 753.517388,
 }
 
 #: Work units executed per probe run (events for the chains, jobs for
-#: the station; the testbed probe is measured in simulated seconds).
+#: the station, flows for the hybrid scale probe; the testbed probe is
+#: measured in simulated seconds).
 PROBE_UNITS = {
     "event_loop": 20_000,
     "zero_delay_dispatch": 20_000,
     "station": 10_000,
     "pktbuf_private": 20_000,
+    "hybrid_flows": 100_000,
 }
 
 

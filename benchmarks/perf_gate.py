@@ -40,10 +40,13 @@ import sys
 import kernelrecord
 
 #: pytest-benchmark test name -> (BENCH_kernel.json probe, work units).
+#: ``hybrid_flows`` gates the hybrid engine's flows/sec at the figscale
+#: 10^5-flow point — the number the 10^6-flow sweep claim rests on.
 GATED_PROBES = {
     "test_event_loop_throughput": "event_loop",
     "test_zero_delay_dispatch": "zero_delay_dispatch",
     "test_pktbuf_private_throughput": "pktbuf_private",
+    "test_hybrid_flow_throughput": "hybrid_flows",
 }
 
 

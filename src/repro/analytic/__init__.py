@@ -1,17 +1,27 @@
 """Closed-form sanity models the simulator is checked against.
 
-Currently one family: M/M/1 packet_in sojourn estimates in the style of
-Mahmood et al. / Jarschel et al., used to bound the simulated flow
-setup delay at low load (see ``tests/test_bufferpool.py``).
+Two families:
+
+* :mod:`~repro.analytic.mm1` — M/M/1 packet_in sojourn estimates in the
+  style of Mahmood et al. / Jarschel et al., used to bound the simulated
+  flow setup delay at low load (see ``tests/test_bufferpool.py``).
+* :mod:`~repro.analytic.path` — table-hit data-path closed forms
+  (unloaded latency, finite-rate link occupancy, Lindley train
+  recurrence) that the hybrid execution engine
+  (:mod:`repro.engine.hybrid`) advances aggregated flows with.
 """
 
-from .mm1 import (CONTROL_OVERHEAD_BYTES, controller_service_time,
-                  mm1_sojourn, mm1_sojourn_quantile, mm1_utilization,
+from .mm1 import (CONTROL_OVERHEAD_BYTES, QueueUnstableError,
+                  controller_service_time, mm1_sojourn,
+                  mm1_sojourn_quantile, mm1_utilization,
                   packet_in_arrival_rate, packet_in_sojourn_estimate,
                   setup_delay_bound)
+from .path import (arithmetic_last_egress, hit_path_latency,
+                   hit_path_spacing, train_last_egress, transmission_time)
 
 __all__ = [
     "CONTROL_OVERHEAD_BYTES",
+    "QueueUnstableError",
     "controller_service_time",
     "mm1_sojourn",
     "mm1_sojourn_quantile",
@@ -19,4 +29,9 @@ __all__ = [
     "packet_in_arrival_rate",
     "packet_in_sojourn_estimate",
     "setup_delay_bound",
+    "transmission_time",
+    "hit_path_latency",
+    "hit_path_spacing",
+    "train_last_egress",
+    "arithmetic_last_egress",
 ]

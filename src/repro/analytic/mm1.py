@@ -29,6 +29,26 @@ import math
 CONTROL_OVERHEAD_BYTES = 128
 
 
+class QueueUnstableError(ValueError):
+    """The M/M/1 node is saturated: offered load ρ = λ/μ ≥ 1.
+
+    In the unstable region the queue has no stationary distribution, so
+    every sojourn statistic is unbounded.  The closed forms default to
+    returning ``math.inf`` (documented, plottable); callers that would
+    rather fail loudly pass ``strict=True`` and catch this instead of a
+    bare ``ZeroDivisionError`` at exactly ρ = 1.
+    """
+
+    def __init__(self, arrival_rate: float, service_rate: float):
+        self.arrival_rate = arrival_rate
+        self.service_rate = service_rate
+        self.utilization = arrival_rate / service_rate
+        super().__init__(
+            f"M/M/1 queue unstable: λ={arrival_rate:g} ≥ μ="
+            f"{service_rate:g} (ρ={self.utilization:.3f}); sojourn "
+            f"statistics are unbounded")
+
+
 def mm1_utilization(arrival_rate: float, service_rate: float) -> float:
     """Offered load ρ = λ/μ of an M/M/1 node."""
     if service_rate <= 0:
@@ -37,25 +57,40 @@ def mm1_utilization(arrival_rate: float, service_rate: float) -> float:
         raise ValueError(f"arrival_rate must be >= 0, got {arrival_rate!r}")
     return arrival_rate / service_rate
 
-def mm1_sojourn(arrival_rate: float, service_rate: float) -> float:
-    """Mean M/M/1 sojourn ``W = 1/(μ-λ)``; ``inf`` at/past saturation."""
+
+def mm1_sojourn(arrival_rate: float, service_rate: float,
+                strict: bool = False) -> float:
+    """Mean M/M/1 sojourn ``W = 1/(μ-λ)``.
+
+    At or past saturation (ρ ≥ 1) there is no stationary sojourn: the
+    default returns ``math.inf`` (so sweeps and figures degrade to an
+    unbounded point instead of crashing — notably at exactly ρ = 1,
+    where the naive formula divides by zero); ``strict=True`` raises
+    :class:`QueueUnstableError` instead.
+    """
     if mm1_utilization(arrival_rate, service_rate) >= 1.0:
+        if strict:
+            raise QueueUnstableError(arrival_rate, service_rate)
         return math.inf
     return 1.0 / (service_rate - arrival_rate)
 
+
 def mm1_sojourn_quantile(arrival_rate: float, service_rate: float,
-                         quantile: float) -> float:
+                         quantile: float, strict: bool = False) -> float:
     """The q-quantile of the (exponential) M/M/1 sojourn distribution.
 
     Sojourn time in M/M/1 is exponential with mean ``W``, so the
-    quantile is ``-W·ln(1-q)`` — e.g. p99 ≈ 4.6 × the mean.
+    quantile is ``-W·ln(1-q)`` — e.g. p99 ≈ 4.6 × the mean.  Unstable
+    region: ``inf`` by default, :class:`QueueUnstableError` when
+    ``strict``.
     """
     if not 0.0 <= quantile < 1.0:
         raise ValueError(f"quantile must be in [0, 1), got {quantile!r}")
-    sojourn = mm1_sojourn(arrival_rate, service_rate)
+    sojourn = mm1_sojourn(arrival_rate, service_rate, strict=strict)
     if math.isinf(sojourn):
         return math.inf
     return -sojourn * math.log(1.0 - quantile)
+
 
 def packet_in_arrival_rate(rate_bps: float, frame_len: int) -> float:
     """Miss arrivals per second for a single-packet-flow workload.
@@ -67,29 +102,35 @@ def packet_in_arrival_rate(rate_bps: float, frame_len: int) -> float:
         raise ValueError(f"frame_len must be > 0, got {frame_len!r}")
     return rate_bps / (8.0 * frame_len)
 
+
 def controller_service_time(controller, enclosed_bytes: int) -> float:
     """One packet_in's controller CPU time (base + per-byte parse)."""
     return (controller.service_base
             + controller.service_per_byte * enclosed_bytes)
 
+
 def packet_in_sojourn_estimate(rate_mbps: float, calibration,
                                frame_len: int = 1000,
                                enclosed_bytes: int = 128,
-                               quantile: float = 0.0) -> float:
+                               quantile: float = 0.0,
+                               strict: bool = False) -> float:
     """M/M/1 sojourn of one packet_in at the calibrated controller.
 
     The controller's cores are folded into one fast server
     (μ = cores / service-time) — optimistic about parallelism, which
     keeps this a *component* estimate; use :func:`setup_delay_bound`
-    for a whole-path bound.  ``quantile=0`` returns the mean.
+    for a whole-path bound.  ``quantile=0`` returns the mean.  Past the
+    controller's saturation rate: ``inf``, or
+    :class:`QueueUnstableError` when ``strict``.
     """
     lam = packet_in_arrival_rate(rate_mbps * 1e6, frame_len)
     service = controller_service_time(calibration.controller,
                                       enclosed_bytes)
     mu = calibration.controller.cpu_cores / service
     if quantile:
-        return mm1_sojourn_quantile(lam, mu, quantile)
-    return mm1_sojourn(lam, mu)
+        return mm1_sojourn_quantile(lam, mu, quantile, strict=strict)
+    return mm1_sojourn(lam, mu, strict=strict)
+
 
 def setup_delay_bound(rate_mbps: float, calibration,
                       frame_len: int = 1000, enclosed_bytes: int = 128,

@@ -77,6 +77,13 @@ class BufferMechanism(abc.ABC):
     #: Short machine-readable name used by configs, reports and figures.
     name: str = "abstract"
 
+    #: Flows given up on after exhausting re-requests (Algorithm 1 line
+    #: 13).  Only the flow-granularity mechanism ever abandons flows,
+    #: but the attribute lives on the base so metrics code — including
+    #: the hybrid engine's conservation accounting — can read it off any
+    #: mechanism without ``getattr`` guards.
+    flows_abandoned: int = 0
+
     @abc.abstractmethod
     def on_miss(self, packet: Packet, in_port: int,
                 now: float) -> MissDecision:

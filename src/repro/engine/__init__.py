@@ -1,0 +1,25 @@
+"""Execution engines: how a scenario's traffic advances.
+
+:class:`EngineSpec` is the seam — a frozen value object riding
+:class:`~repro.scenarios.ScenarioSpec` that names the execution model:
+
+* ``packet`` (:data:`PACKET`) — every packet is a discrete event, the
+  historical behaviour and still the default.
+* ``hybrid`` (:data:`HYBRID`) — table-hit traffic advances as analytic
+  per-flow aggregates (:class:`~repro.engine.hybrid.HybridFlowDriver`)
+  while every miss-path packet — flow firsts, re-requests, faults,
+  buffer events — stays discrete, unlocking 10^6-flow sweeps.
+
+See DESIGN.md §16 for the aggregate event model and the validation
+tolerances tying the two engines together.
+"""
+
+from .hybrid import (HYBRID_DELAY_TOLERANCE, HybridFlowDriver,
+                     install_hybrid_drivers)
+from .spec import (ENGINE_MODES, HYBRID, PACKET, EngineSpec, parse_engine)
+
+__all__ = [
+    "EngineSpec", "PACKET", "HYBRID", "ENGINE_MODES", "parse_engine",
+    "HybridFlowDriver", "install_hybrid_drivers",
+    "HYBRID_DELAY_TOLERANCE",
+]

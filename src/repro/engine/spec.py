@@ -1,0 +1,104 @@
+"""The execution-engine seam: *how* a scenario's traffic is advanced.
+
+Historically the stack baked in one execution model — every packet is a
+discrete event.  :class:`EngineSpec` lifts that assumption into an
+explicit, frozen value object that rides
+:class:`~repro.scenarios.ScenarioSpec`, crosses the fork boundary inside
+:class:`~repro.parallel.tasks.SweepJob`, and feeds the result cache's
+content hash (CACHE_SCHEMA v5), so packet-mode and hybrid-mode runs of
+the same grid point can never poison each other's cache entries.
+
+Two engines ship:
+
+* ``packet`` — the historical engine: every packet of every flow is a
+  discrete event through ``trafficgen`` → ``switchsim`` → hosts.
+* ``hybrid`` — table-hit traffic advances as per-flow analytic
+  aggregates (:mod:`repro.engine.hybrid`); the first packet of each
+  flow — and every re-request, fault and buffer event — stays a real
+  discrete packet through the existing miss path, so Algorithm 1,
+  :mod:`repro.faults` and :mod:`repro.bufferpool` behave identically.
+
+This module is dependency-light on purpose: ``scenarios.spec`` imports
+it, so it must not import simulation machinery.  The hybrid driver
+itself lives in :mod:`repro.engine.hybrid`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+#: The engine modes a spec may name.
+ENGINE_MODES = ("packet", "hybrid")
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """How to advance a scenario's traffic, hashable and picklable."""
+
+    #: ``packet`` (every packet a discrete event) or ``hybrid``
+    #: (table-hit traffic as analytic flow aggregates).
+    mode: str = "packet"
+    #: Hybrid only: an aggregate segment is split at inter-packet gaps
+    #: of at least this many seconds, so the post-gap packet re-enters
+    #: the discrete path (and re-misses if the flow rule idled out in
+    #: between).  ``None`` resolves at driver construction to the
+    #: controller's ``flow_idle_timeout`` — the smallest gap at which a
+    #: rule *can* disappear.
+    burst_gap: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ENGINE_MODES:
+            raise ValueError(f"unknown engine mode {self.mode!r}; "
+                             f"expected one of {ENGINE_MODES}")
+        if self.burst_gap is not None and self.burst_gap <= 0:
+            raise ValueError(
+                f"burst_gap must be positive, got {self.burst_gap!r}")
+
+    @property
+    def is_hybrid(self) -> bool:
+        """True when table-hit traffic advances analytically."""
+        return self.mode == "hybrid"
+
+    @property
+    def name(self) -> str:
+        """CLI-style name: ``packet``, ``hybrid``, ``hybrid:0.2``."""
+        if self.burst_gap is not None:
+            return f"{self.mode}:{self.burst_gap:g}"
+        return self.mode
+
+    def with_burst_gap(self, burst_gap: Optional[float]) -> "EngineSpec":
+        """This engine with a different aggregate-splitting gap."""
+        return replace(self, burst_gap=burst_gap)
+
+    def cache_token(self) -> str:
+        """Canonical text for the result cache's content hash."""
+        return f"mode={self.mode}|burst_gap={self.burst_gap!r}"
+
+
+#: The historical engine: every packet is a discrete event.
+PACKET = EngineSpec()
+#: Table-hit traffic as analytic aggregates, miss path discrete.
+HYBRID = EngineSpec(mode="hybrid")
+
+
+def parse_engine(text: str) -> EngineSpec:
+    """Parse a CLI engine string: ``packet``, ``hybrid``, ``hybrid:0.2``.
+
+    The optional suffix is the hybrid ``burst_gap`` in seconds.
+    """
+    mode, _, arg = text.strip().lower().partition(":")
+    mode = mode.strip()
+    if mode not in ENGINE_MODES:
+        raise ValueError(f"unknown engine {text!r}; expected "
+                         f"'packet' or 'hybrid[:burst_gap_seconds]'")
+    if not arg:
+        return EngineSpec(mode=mode)
+    if mode == "packet":
+        raise ValueError(f"'packet' takes no burst gap, got {text!r}")
+    try:
+        burst_gap = float(arg)
+    except ValueError:
+        raise ValueError(f"engine burst gap must be a number, "
+                         f"got {text!r}") from None
+    return EngineSpec(mode=mode, burst_gap=burst_gap)

@@ -22,14 +22,18 @@ from typing import Optional, Sequence
 from .. import __version__
 from .calibration import format_table_1
 from .figures import (FIGURES, run_benefits_experiment,
-                      run_figsharing_experiment, run_mechanism_experiment,
-                      run_path_experiment, run_resilience_experiment)
+                      run_figscale_experiment, run_figsharing_experiment,
+                      run_mechanism_experiment, run_path_experiment,
+                      run_resilience_experiment)
 from .report import (format_figure, format_headlines,
                      format_path_experiment, format_resilience_experiment,
-                     format_sharing_experiment, headline_claims)
+                     format_scale_experiment, format_sharing_experiment,
+                     headline_claims)
 
+#: ``figscale`` is deliberately not part of ``all``: its top flow count
+#: is a wall-clock study (minutes at 10^6 flows), not a paper figure.
 _SPECIAL = ("table1", "headline", "quoted", "figpath", "figresilience",
-            "figsharing", "all")
+            "figsharing", "figscale", "all")
 
 
 def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
@@ -55,6 +59,21 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
                              "line:N, or fanin:K (default: single)")
     parser.add_argument("--switches", type=int, default=None, metavar="N",
                         help="shorthand for --scenario line:N")
+    parser.add_argument("--engine", metavar="MODE", default=None,
+                        help="execution engine for the experiments: "
+                             "'packet' (default; every packet is a "
+                             "discrete event) or 'hybrid' (table-hit "
+                             "traffic advances analytically; optional "
+                             "burst gap as 'hybrid:SECONDS').  figscale "
+                             "always runs both engines and ignores this")
+    parser.add_argument("--scale-flows", type=int, nargs="+", default=None,
+                        metavar="N",
+                        help="figscale flow counts (default: 1e3 1e4 1e5 "
+                             "1e6)")
+    parser.add_argument("--scale-packet-cap", type=int, default=None,
+                        metavar="N",
+                        help="largest figscale count also run on the "
+                             "packet engine (default 10000)")
     parser.add_argument("--pool", metavar="SPEC", default=None,
                         help="share the switches' buffer units through one "
                              "pool; SPEC is policy[:key=value,...], e.g. "
@@ -158,6 +177,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         scenario = (scenario if scenario is not None
                     else single_scenario()).with_pool(pool_spec)
 
+    if args.engine is not None:
+        from ..scenarios import parse_engine, single_scenario
+        try:
+            engine = parse_engine(args.engine)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        scenario = (scenario if scenario is not None
+                    else single_scenario()).with_engine(engine)
+
     if args.loss is not None and args.fault is not None:
         print("--loss and --fault are mutually exclusive", file=sys.stderr)
         return 2
@@ -186,6 +215,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     need_path = "figpath" in targets
     need_resilience = "figresilience" in targets
     need_sharing = "figsharing" in targets
+    need_scale = "figscale" in targets
 
     from ..parallel import ResultCache
     workers = (args.workers if args.workers is not None
@@ -203,6 +233,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                      trace_sample=args.trace_sample))
 
     benefits = mechanism = path_data = resilience = sharing = None
+    scale = None
     any_experiment = (need_benefits or need_mechanism or need_path
                       or need_resilience or need_sharing)
     kwargs = dict(rates_mbps=args.rates, repetitions=args.reps,
@@ -281,6 +312,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"# sharing experiment failed: {exc}", file=sys.stderr)
             return 1
         print(f"# done in {time.time() - start:.1f}s", file=sys.stderr)
+    if need_scale:
+        # figscale times serial hybrid-vs-packet runs on its own
+        # workload grid; --rates/--scenario/--engine/--workers/--cache
+        # do not apply (wall time is the measured quantity).
+        print("# running scale experiment (hybrid vs packet engine)...",
+              file=sys.stderr)
+        start = time.time()
+        sc_kwargs: dict = {}
+        if args.scale_flows is not None:
+            sc_kwargs["flow_counts"] = tuple(args.scale_flows)
+        if args.scale_packet_cap is not None:
+            sc_kwargs["packet_cap"] = args.scale_packet_cap
+        try:
+            scale = run_figscale_experiment(
+                progress=lambda line: print(f"# {line}", file=sys.stderr),
+                **sc_kwargs)
+        except Exception as exc:
+            print(f"# scale experiment failed: {exc}", file=sys.stderr)
+            return 1
+        print(f"# done in {time.time() - start:.1f}s", file=sys.stderr)
     if cache is not None and any_experiment:
         print(f"# cache: {cache.stats()}", file=sys.stderr)
     if obs is not None and any_experiment:
@@ -317,7 +368,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.json:
         print(json.dumps(_json_payload(targets, benefits, mechanism,
-                                       path_data, resilience, sharing),
+                                       path_data, resilience, sharing,
+                                       scale),
                          indent=2))
         return exit_code
 
@@ -344,6 +396,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         elif target == "figsharing":
             assert sharing is not None
             blocks.append(format_sharing_experiment(sharing))
+        elif target == "figscale":
+            assert scale is not None
+            blocks.append(format_scale_experiment(scale))
         else:
             spec = FIGURES[target]
             data = benefits if spec.experiment == "benefits" else mechanism
@@ -361,7 +416,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 def _json_payload(targets, benefits, mechanism, path=None,
-                  resilience=None, sharing=None) -> dict:
+                  resilience=None, sharing=None, scale=None) -> dict:
     """Machine-readable rendering of the requested targets."""
     from .figures import figure_series
     payload: dict = {}
@@ -396,6 +451,32 @@ def _json_payload(targets, benefits, mechanism, path=None,
                                 for pool in sharing.pool_names}
                         for label in sharing.labels}
                     for name, _, getter in SHARING_METRICS},
+            }
+        elif target == "figscale":
+            from .figures import SCALE_DEVIATION_TOLERANCE
+            assert scale is not None
+            payload["figscale"] = {
+                "title": "Hybrid execution engine vs packet engine",
+                "deviation_tolerance": SCALE_DEVIATION_TOLERANCE,
+                "flow_counts": list(scale.flow_counts),
+                "packet_cap": scale.packet_cap,
+                "points": [
+                    {"n_flows": p.n_flows, "engine": p.engine,
+                     "seconds": p.seconds,
+                     "flows_per_sec": p.flows_per_sec,
+                     "completed": p.completed, "total": p.total,
+                     "setup_delay_mean": p.setup_delay_mean,
+                     "forwarding_delay_mean": p.forwarding_delay_mean,
+                     "logical_packets": p.logical_packets}
+                    for p in scale.points.values()],
+                "speedup": {
+                    str(n): scale.speedup_at(n)
+                    for n in scale.flow_counts
+                    if scale.has_packet_point(n)},
+                "deviation": {
+                    str(n): scale.deviation_at(n)
+                    for n in scale.flow_counts
+                    if scale.has_packet_point(n)},
             }
         elif target == "figpath":
             from .report import PATH_METRICS

@@ -24,7 +24,7 @@ from ..core import (MECHANISM_FLOW, MECHANISM_PACKET, BufferConfig,
 from ..scenarios import fanin_scenario, line_scenario
 from ..simkit import RandomStreams
 from ..trafficgen import (Workload, batched_multi_packet_flows,
-                          single_packet_flows)
+                          flow_train_flows, single_packet_flows)
 from .calibration import (FULL_RATE_SWEEP_MBPS, FULL_REPETITIONS,
                           MECHANISM_RATE_SWEEP_MBPS, QUICK_RATE_SWEEP_MBPS,
                           QUICK_REPETITIONS, TestbedCalibration,
@@ -510,6 +510,169 @@ def run_figsharing_experiment(
     for job in jobs:
         data.sweeps[job.label] = sweeps[job.label]
     data.report = report
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Scale experiment (hybrid execution engine vs packet engine)
+# ---------------------------------------------------------------------------
+
+#: Flow counts swept by figscale.  The top of the ladder is the ISSUE's
+#: 10^6-flow target; only counts up to :data:`SCALE_PACKET_CAP` are also
+#: run on the packet engine (beyond that the packet engine is exactly
+#: what the hybrid engine exists to avoid).
+SCALE_FLOW_COUNTS = (1_000, 10_000, 100_000, 1_000_000)
+SCALE_PACKET_CAP = 10_000
+#: The scale workload (:func:`~repro.trafficgen.flow_train_flows`):
+#: paced UDP trains whose aggregate offered load —
+#: ``flow_rate × packets_per_flow`` ≈ 8 000 pps of 1000-byte frames, ρ
+#: ≈ 0.64 on the 100 Mbps data link — stays inside the fluid model's
+#: validity region (no cross-flow queueing at the shared source NIC,
+#: which the per-flow analytic advance deliberately does not model;
+#: DESIGN.md §16).  Within that budget, long trains at a low flow
+#: arrival rate maximise the packets the hybrid engine advances
+#: analytically per discrete flow setup, which is what the speedup
+#: over the packet engine scales with.
+SCALE_PACKETS_PER_FLOW = 64
+SCALE_FLOW_RATE = 125.0
+SCALE_PACING_MBPS = 4.0
+#: Pinned cross-engine tolerance on the figscale deviation columns
+#: (relative |hybrid − packet| / packet on mean setup and forwarding
+#: delay).  Re-exported from the engine package so the experiment, the
+#: unit tests and the CI scale-smoke assert the same number.
+SCALE_DEVIATION_TOLERANCE = 0.15
+
+
+@dataclass
+class ScalePoint:
+    """One (flow count, engine) cell of the figscale grid."""
+
+    n_flows: int
+    engine: str
+    #: Wall-clock seconds of the run_once call (workload build excluded).
+    seconds: float
+    completed: int
+    total: int
+    setup_delay_mean: float
+    forwarding_delay_mean: float
+    #: Logical packets the run stands for (heads + tails).
+    logical_packets: int
+
+    @property
+    def flows_per_sec(self) -> float:
+        """Simulated flows per wall-clock second — the scaling headline."""
+        return self.n_flows / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclass
+class ScaleExperimentData:
+    """All cells of the figscale grid, keyed by (flow count, engine)."""
+
+    name: str
+    flow_counts: tuple
+    packet_cap: int
+    points: Dict[tuple, ScalePoint] = field(default_factory=dict)
+
+    def point(self, n_flows: int, engine: str) -> ScalePoint:
+        """The cell for one (flow count, engine) combination."""
+        return self.points[(n_flows, engine)]
+
+    def has_packet_point(self, n_flows: int) -> bool:
+        """True when the packet engine also ran this count."""
+        return (n_flows, "packet") in self.points
+
+    def speedup_at(self, n_flows: int) -> float:
+        """Packet-engine wall time over hybrid wall time at one count."""
+        hybrid = self.point(n_flows, "hybrid")
+        packet = self.point(n_flows, "packet")
+        return packet.seconds / hybrid.seconds if hybrid.seconds else 0.0
+
+    def deviation_at(self, n_flows: int) -> Dict[str, float]:
+        """Relative hybrid-vs-packet deviation of the delay means."""
+        hybrid = self.point(n_flows, "hybrid")
+        packet = self.point(n_flows, "packet")
+        out = {}
+        for attr in ("setup_delay_mean", "forwarding_delay_mean"):
+            reference = getattr(packet, attr)
+            measured = getattr(hybrid, attr)
+            out[attr] = (abs(measured - reference) / reference
+                         if reference else 0.0)
+        return out
+
+
+def scale_workload(n_flows: int,
+                   packets_per_flow: int = SCALE_PACKETS_PER_FLOW,
+                   flow_rate: float = SCALE_FLOW_RATE,
+                   pacing_mbps: float = SCALE_PACING_MBPS):
+    """The canonical figscale workload at one flow count (lazy tails)."""
+    from ..simkit import mbps
+    return flow_train_flows(mbps(pacing_mbps), n_flows=n_flows,
+                            packets_per_flow=packets_per_flow,
+                            flow_rate=flow_rate)
+
+
+def run_figscale_experiment(
+        flow_counts: Sequence[int] = SCALE_FLOW_COUNTS,
+        packet_cap: int = SCALE_PACKET_CAP,
+        packets_per_flow: int = SCALE_PACKETS_PER_FLOW,
+        flow_rate: float = SCALE_FLOW_RATE,
+        pacing_mbps: float = SCALE_PACING_MBPS,
+        calibration: Optional[TestbedCalibration] = None,
+        seed: int = 7, config: Optional[BufferConfig] = None,
+        progress: Optional[Callable[[str], None]] = None
+        ) -> ScaleExperimentData:
+    """Hybrid-vs-packet scaling study: wall time, deviation, speedup.
+
+    For every count in ``flow_counts`` the hybrid engine runs the scale
+    workload once under a wall-clock timer; counts up to ``packet_cap``
+    are additionally run on the packet engine (same logical traffic via
+    :meth:`~repro.trafficgen.AggregateWorkload.materialize`), giving the
+    figure's deviation and speedup columns.  Runs are deliberately
+    serial and uncached — wall time *is* the measured quantity here, so
+    neither the result cache nor worker parallelism may touch it.
+    """
+    import time as _time
+    from ..engine import HYBRID
+    from ..scenarios import SINGLE
+    from .runner import run_once
+    if not flow_counts:
+        raise ValueError("flow_counts must name at least one count")
+    if config is None:
+        config = flow_buffer_256()
+    data = ScaleExperimentData(name="scale",
+                               flow_counts=tuple(flow_counts),
+                               packet_cap=packet_cap)
+
+    def _run(n_flows: int, engine_name: str, workload) -> ScalePoint:
+        scenario = (SINGLE.with_engine(HYBRID)
+                    if engine_name == "hybrid" else SINGLE)
+        logical = workload.n_packets
+        started = _time.perf_counter()
+        metrics = run_once(config, workload, calibration=calibration,
+                           seed=seed, scenario=scenario)
+        seconds = _time.perf_counter() - started
+        setup = metrics.setup_delays
+        fwd = metrics.forwarding_delays
+        point = ScalePoint(
+            n_flows=n_flows, engine=engine_name, seconds=seconds,
+            completed=metrics.completed_flows, total=metrics.total_flows,
+            setup_delay_mean=sum(setup) / len(setup) if setup else 0.0,
+            forwarding_delay_mean=sum(fwd) / len(fwd) if fwd else 0.0,
+            logical_packets=logical)
+        data.points[(n_flows, engine_name)] = point
+        if progress is not None:
+            progress(f"figscale {engine_name}@{n_flows}: "
+                     f"{seconds:.2f}s wall, "
+                     f"{point.flows_per_sec:,.0f} flows/s")
+        return point
+
+    for n_flows in data.flow_counts:
+        workload = scale_workload(n_flows, packets_per_flow=packets_per_flow,
+                                  flow_rate=flow_rate,
+                                  pacing_mbps=pacing_mbps)
+        _run(n_flows, "hybrid", workload)
+        if n_flows <= packet_cap:
+            _run(n_flows, "packet", workload.materialize())
     return data
 
 

@@ -5,8 +5,9 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from ..core import HeadlineClaim, build_headline_claims
-from .figures import (FIGURES, ExperimentData, FigureSpec,
-                      PathExperimentData, ResilienceExperimentData,
+from .figures import (FIGURES, SCALE_DEVIATION_TOLERANCE, ExperimentData,
+                      FigureSpec, PathExperimentData,
+                      ResilienceExperimentData, ScaleExperimentData,
                       SharingExperimentData, figure_series)
 
 
@@ -157,6 +158,42 @@ def format_sharing_experiment(data: SharingExperimentData) -> str:
                 series = data.series_vs_loss(label, pool_name, getter)
                 cells = "  ".join(f"{value:>12.3f}" for value in series)
                 lines.append(f"{pool_name.rjust(pool_width)}  {cells}")
+    return "\n".join(lines)
+
+
+def format_scale_experiment(data: ScaleExperimentData) -> str:
+    """The figscale grid as a text table.
+
+    Flow counts down; wall time, throughput and — where the packet
+    engine also ran — speedup and delay deviations across.
+    """
+    lines = [
+        "figscale: hybrid execution engine vs packet engine",
+        "  expected shape: hybrid wall time grows ~linearly in flow "
+        "count while packet-engine wall time grows in *packet* count; "
+        "delay deviations stay within the pinned tolerance "
+        f"({SCALE_DEVIATION_TOLERANCE:g})",
+        f"{'flows':>9}  {'engine':>7}  {'wall(s)':>9}  {'flows/s':>10}  "
+        f"{'completed':>9}  {'setup(ms)':>10}  {'fwd(ms)':>9}",
+    ]
+    for n_flows in data.flow_counts:
+        for engine in ("hybrid", "packet"):
+            if (n_flows, engine) not in data.points:
+                continue
+            p = data.point(n_flows, engine)
+            lines.append(
+                f"{p.n_flows:>9}  {engine:>7}  {p.seconds:>9.2f}  "
+                f"{p.flows_per_sec:>10.0f}  "
+                f"{p.completed:>4}/{p.total:<4}  "
+                f"{p.setup_delay_mean * 1000.0:>10.3f}  "
+                f"{p.forwarding_delay_mean * 1000.0:>9.3f}")
+        if data.has_packet_point(n_flows):
+            deviation = data.deviation_at(n_flows)
+            lines.append(
+                f"{'':>9}  speedup {data.speedup_at(n_flows):.1f}x, "
+                f"deviation setup "
+                f"{deviation['setup_delay_mean'] * 100.0:.2f}% / "
+                f"fwd {deviation['forwarding_delay_mean'] * 100.0:.2f}%")
     return "\n".join(lines)
 
 

@@ -81,8 +81,18 @@ def run_once(buffer_config: BufferConfig, workload: Workload,
     if obs is not None:
         obs.attach(testbed, calibration=calibration)
     testbed.controller.start_handshake()
-    for pktgen in testbed.pktgens:
-        pktgen.start(at=settle)
+    engine = (scenario if scenario is not None else SINGLE).engine
+    if engine.is_hybrid:
+        # The engine seam: hybrid scenarios hand traffic to per-pktgen
+        # drivers that keep miss-path packets discrete and advance
+        # table-hit tails analytically (DESIGN.md §16).
+        from ..engine import install_hybrid_drivers
+        drivers = install_hybrid_drivers(testbed, calibration=calibration)
+        for driver in drivers:
+            driver.start(at=settle)
+    else:
+        for pktgen in testbed.pktgens:
+            pktgen.start(at=settle)
 
     deadline = settle + workload.duration + drain
     sim.run(until=deadline)

@@ -24,9 +24,14 @@ from ..simkit import EventEmitter
 from ..trafficgen import FlowSpec
 
 
-@dataclass
+@dataclass(slots=True)
 class FlowDelayRecord:
-    """Everything measured about one flow."""
+    """Everything measured about one flow.
+
+    ``slots=True`` matters at hybrid-engine scale: a million-flow sweep
+    holds a record per flow, and the slot layout roughly halves each
+    one's footprint.
+    """
 
     flow_id: int
     expected_packets: int
@@ -160,6 +165,32 @@ class DelayTracker:
         record = self.records.get(flow_id)
         if record is not None and record.first_reply_arrived is None:
             record.first_reply_arrived = time
+
+    # ------------------------------------------------------------------
+    # Bulk updates (hybrid engine)
+    # ------------------------------------------------------------------
+    def record_aggregate(self, flow_id: int, count: int,
+                         egress_time: float) -> None:
+        """Credit ``count`` analytically-advanced packets of one flow.
+
+        The hybrid engine's bulk counterpart of ``count`` ingress +
+        egress event pairs, applied when an aggregate segment completes:
+        the packets entered and left the path without individual events,
+        and the segment's last egress time advances ``last_egress`` (the
+        forwarding-delay endpoint).  First-packet quantities — setup and
+        controller delay — are untouched: the flow's first packet is
+        always discrete, so those fields were filled by the ordinary
+        event handlers.
+        """
+        if count <= 0:
+            return
+        record = self.records.get(flow_id)
+        if record is None:
+            return
+        record.ingress_count += count
+        record.egress_count += count
+        if record.last_egress is None or egress_time > record.last_egress:
+            record.last_egress = egress_time
 
     # ------------------------------------------------------------------
     # Aggregates

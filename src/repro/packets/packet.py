@@ -9,6 +9,7 @@ material for the paper's flow-setup-delay and forwarding-delay definitions.
 
 from __future__ import annotations
 
+import copy
 import itertools
 from dataclasses import dataclass, field
 from typing import Optional, Union
@@ -116,6 +117,21 @@ class Packet:
         if key is _UNSET:
             key = self._five_tuple = FiveTuple.from_packet(self)
         return key
+
+    def fresh_copy(self) -> "Packet":
+        """A header-sharing copy with its own identity and clean stamps.
+
+        ``copy.copy`` alone duplicates ``uid``, which would confuse any
+        uid-keyed observer (the delay tracker identifies a flow's first
+        packet by uid).  Workloads that mint *new* logical packets from a
+        template — the hybrid engine's lazy tails — use this instead.
+        """
+        clone = copy.copy(self)
+        clone.uid = next(_packet_ids)
+        clone.created_at = None
+        clone.switch_in_at = None
+        clone.switch_out_at = None
+        return clone
 
     def exact_key(self, in_port: int) -> tuple:
         """The key a fully-exact flow entry for this packet would have.

@@ -33,7 +33,10 @@ from .tasks import SweepJob, SweepTask, factory_fingerprint
 #: v4: the shared-pool spec joined the key (through the scenario token:
 #: ``pool=private`` when absent) — pooled and private runs of the same
 #: grid point must never share an entry.
-CACHE_SCHEMA = 4
+#: v5: the execution engine joined the key (through the scenario token:
+#: ``engine=mode=packet|...`` for historical runs) — hybrid-engine and
+#: packet-engine runs of the same grid point must never share an entry.
+CACHE_SCHEMA = 5
 
 
 def default_cache_dir() -> Path:
@@ -70,7 +73,10 @@ def task_key(job: SweepJob, task: SweepTask) -> str:
     the same logical run hits the same entry across processes, worker
     counts and sessions.  The scenario participates through its
     canonical :meth:`~repro.scenarios.ScenarioSpec.cache_token`: two
-    specs differing only in topology never share an entry.  Likewise the
+    specs differing only in topology never share an entry, and since
+    the execution engine (:class:`~repro.engine.EngineSpec`) rides the
+    scenario token, neither do hybrid- and packet-engine runs of the
+    same grid point (schema v5).  Likewise the
     fault spec (:meth:`~repro.faults.FaultSpec.cache_token`): a lossy
     run can never satisfy a faultless lookup, and ``faults=None`` keys
     identically to the explicit null spec.

@@ -67,6 +67,9 @@ class SweepJob:
     #: run metrics.  Frozen/picklable, so it crosses the fork boundary.
     obs_config: Optional[ObsConfig] = None
     #: Topology every repetition runs on (None = single-switch default).
+    #: Also carries the execution engine (``scenario.engine``), so the
+    #: parallel workers and the result cache distinguish hybrid- from
+    #: packet-engine runs for free.
     #: Frozen/hashable; participates in the result-cache content hash.
     scenario: Optional[ScenarioSpec] = None
     #: Control-plane fault injection every repetition runs under

@@ -16,6 +16,7 @@ to one :class:`~repro.bufferpool.SharedBufferPool` and the testbed
 exposes it as ``testbed.pool``.
 """
 
+from ..engine.spec import HYBRID, PACKET, EngineSpec, parse_engine
 from .builders import (PORT_HOST1, PORT_HOST2, PORT_TOWARD_HOST1,
                        PORT_TOWARD_HOST2, available_shapes, build_scenario,
                        build_testbed, register_builder, shard_workload)
@@ -26,6 +27,7 @@ from .testbed import Testbed
 __all__ = [
     "ScenarioSpec", "SINGLE", "single_scenario", "line_scenario",
     "fanin_scenario", "parse_scenario",
+    "EngineSpec", "PACKET", "HYBRID", "parse_engine",
     "Testbed",
     "build_scenario", "build_testbed", "register_builder",
     "available_shapes", "shard_workload",

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
 from ..bufferpool.spec import PoolSpec, pool_cache_token
+from ..engine.spec import PACKET, EngineSpec
 
 #: Override payload: ((datapath_id, ((field, value), ...)), ...).
 SwitchOverrides = Tuple[Tuple[int, Tuple[Tuple[str, object], ...]], ...]
@@ -55,6 +56,10 @@ class ScenarioSpec:
     #: Shared buffer-pool plan (``None`` = private per-switch buffers,
     #: the historical behaviour).  See :mod:`repro.bufferpool`.
     pool: Optional[PoolSpec] = None
+    #: Execution engine: how traffic advances (``packet`` = every packet
+    #: a discrete event, the historical behaviour; ``hybrid`` = table-hit
+    #: traffic as analytic flow aggregates).  See :mod:`repro.engine`.
+    engine: EngineSpec = PACKET
 
     def __post_init__(self) -> None:
         if not self.shape or not isinstance(self.shape, str):
@@ -84,11 +89,17 @@ class ScenarioSpec:
             base = self.shape
         if self.pool is not None:
             base += f"+pool={self.pool.name}"
+        if self.engine.mode != "packet":
+            base += f"+engine={self.engine.name}"
         return base
 
     def with_pool(self, pool: Optional[PoolSpec]) -> "ScenarioSpec":
         """This scenario with a different buffer-pool plan."""
         return replace(self, pool=pool)
+
+    def with_engine(self, engine: EngineSpec) -> "ScenarioSpec":
+        """This scenario advanced by a different execution engine."""
+        return replace(self, engine=engine)
 
     def override_for(self, datapath_id: int) -> Dict[str, object]:
         """SwitchConfig field replacements for one datapath (may be {})."""
@@ -109,7 +120,8 @@ class ScenarioSpec:
         return (f"shape={self.shape}|switches={self.n_switches}"
                 f"|sources={self.n_sources}|calibration={self.calibration}"
                 f"|overrides={self.switch_overrides!r}"
-                f"|pool={pool_cache_token(self.pool)}")
+                f"|pool={pool_cache_token(self.pool)}"
+                f"|engine={self.engine.cache_token()}")
 
 
 #: The default spec: the paper's single-switch Fig. 1 testbed.

@@ -166,6 +166,7 @@ class Testbed:
             "packet_in_sent", "reply_arrived", "flow_installed",
             "flow_evicted", "flow_expired", "buffer_released",
             "packet_egress", "packet_drop", "buffer_aged_out",
+            "aggregate_forward",
             "controller_disconnected", "controller_reconnected")
         single = len(self.switches) == 1
         for switch in self.switches:

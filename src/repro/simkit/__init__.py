@@ -15,6 +15,7 @@ Public surface:
 * :mod:`units <repro.simkit.units>` helpers (``mbps``, ``msec``, ...).
 """
 
+from .aggregates import AggregateEvent, ArithmeticTimes
 from .callbacks import EventEmitter
 from .errors import (DeadlockError, ProcessError, ResourceError,
                      SchedulingError, SimkitError, SimulationFinished)
@@ -31,6 +32,7 @@ from .units import (BITS_PER_BYTE, GBPS, KBPS, KBYTE, MBPS, MBYTE, MSEC,
                     transmission_delay, usec)
 
 __all__ = [
+    "AggregateEvent", "ArithmeticTimes",
     "EventEmitter",
     "AllOf", "AnyOf", "ConditionValue", "Event", "Timeout",
     "Interrupt", "Process",

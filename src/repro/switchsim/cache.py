@@ -77,6 +77,17 @@ class MicroflowCache:
         key = packet.exact_key(in_port)
         self._entries[key] = (generation, entry)
 
+    def credit_aggregate(self, count: int) -> None:
+        """Credit ``count`` analytically-advanced hits in one call.
+
+        The hybrid engine's bulk path: aggregated table-hit packets
+        would each have probed (and hit) the cache had they been
+        discrete, so the hit accounting — and therefore
+        :attr:`hit_rate` — stays comparable across engines.
+        """
+        if self.enabled and count > 0:
+            self.hits += count
+
     def clear(self) -> None:
         """Drop every cached decision."""
         self._entries.clear()

@@ -176,6 +176,24 @@ class Datapath:
         self._emit("packet_egress", now, packet, out_port)
         port.transmit(packet)
 
+    def forward_aggregate(self, count: int, wire_bytes: int = 0) -> None:
+        """Credit ``count`` analytically-advanced table-hit packets.
+
+        The hybrid engine's bulk counterpart of ``count`` individual
+        ingress → lookup → egress traversals: the forwarded counter and
+        the microflow cache's hit accounting advance in one call, and a
+        single ``aggregate_forward`` event carries the packet and byte
+        totals for observers.  No CPU time is charged — by construction
+        these packets took the hit path, whose cost the aggregate's
+        analytic latency/spacing model already folded in.
+        """
+        if count <= 0:
+            return
+        self._forwarded.inc(count)
+        if self.cache.enabled:
+            self.cache.credit_aggregate(count)
+        self._emit("aggregate_forward", self.sim._now, count, wire_bytes)
+
     def flood(self, packet: Packet, in_port: int) -> None:
         """Transmit out every port except ``in_port``."""
         for port_no in self.ports:

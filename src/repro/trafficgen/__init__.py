@@ -3,16 +3,16 @@
 from .pktgen import PacketGenerator
 from .schedules import constant_gap_times, cross_sequence, poisson_times
 from .workloads import (FORGED_NET, HOST1_IP, HOST1_MAC, HOST2_IP,
-                        HOST2_MAC, FlowSpec, Workload,
-                        batched_multi_packet_flows, mixed_tcp_udp,
-                        recurring_flows, single_packet_flows,
-                        tcp_eviction_scenario)
+                        HOST2_MAC, AggregateWorkload, FlowSpec, Workload,
+                        batched_multi_packet_flows, flow_train_flows,
+                        mixed_tcp_udp, recurring_flows,
+                        single_packet_flows, tcp_eviction_scenario)
 
 __all__ = [
     "PacketGenerator",
     "constant_gap_times", "poisson_times", "cross_sequence",
-    "Workload", "FlowSpec", "single_packet_flows",
+    "Workload", "AggregateWorkload", "FlowSpec", "single_packet_flows",
     "batched_multi_packet_flows", "tcp_eviction_scenario",
-    "recurring_flows", "mixed_tcp_udp",
+    "recurring_flows", "mixed_tcp_udp", "flow_train_flows",
     "HOST1_MAC", "HOST2_MAC", "HOST1_IP", "HOST2_IP", "FORGED_NET",
 ]

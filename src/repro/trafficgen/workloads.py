@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..packets import (FLAG_ACK, FLAG_SYN, FiveTuple, Packet,
                        tcp_control_packet, tcp_packet, udp_packet)
-from ..simkit import RandomStreams, transmission_delay
+from ..simkit import ArithmeticTimes, RandomStreams, transmission_delay
 from .schedules import constant_gap_times, cross_sequence
 
 #: Default addressing of the Fig. 1 testbed.
@@ -75,6 +75,122 @@ class Workload:
         """Schedule every send on ``host`` relative to ``start``."""
         for offset, packet in self.entries:
             sim.schedule_at(start + offset, host.send, packet)
+
+
+@dataclass
+class AggregateWorkload(Workload):
+    """A workload whose per-flow packet tails stay lazy.
+
+    Built for the hybrid execution engine's million-flow sweeps:
+    ``entries`` holds only each flow's *first* packet (the guaranteed
+    table miss that must stay a discrete event), while every flow's
+    remaining sends live in ``tails`` as ``(template packet,
+    ArithmeticTimes)`` — three floats instead of thousands of packet
+    objects.  The hybrid driver materializes tail packets one at a time
+    only while the flow's rules are still being installed; once the flow
+    opens, the rest advance analytically and are never materialized at
+    all.  :meth:`materialize` expands to an equivalent plain
+    :class:`Workload` for packet-engine comparison runs.
+    """
+
+    #: flow_id -> (template packet, remaining send times).  The template
+    #: is the flow's first packet; materialized copies get fresh stamps
+    #: and their ``seq_in_flow``.
+    tails: Dict[int, Tuple[Packet, ArithmeticTimes]] = field(
+        default_factory=dict)
+    #: Logical totals over head entries *and* lazy tails.
+    logical_packets: int = 0
+    logical_duration: float = 0.0
+
+    @property
+    def n_packets(self) -> int:
+        """Total packets in the train, counting unmaterialized tails."""
+        return self.logical_packets
+
+    @property
+    def duration(self) -> float:
+        """Time of the last (possibly lazy) send."""
+        return self.logical_duration
+
+    @property
+    def total_bytes(self) -> int:
+        """Total on-wire bytes, counting unmaterialized tails."""
+        head = sum(p.wire_len for _, p in self.entries)
+        return head + sum(template.wire_len * len(times)
+                          for template, times in self.tails.values())
+
+    def materialize_tail_packet(self, flow_id: int, index: int) -> Packet:
+        """A fresh, sendable copy of tail packet ``index`` of a flow.
+
+        ``index`` counts within the tail (0 = the flow's second packet).
+        """
+        template, _times = self.tails[flow_id]
+        packet = template.fresh_copy()
+        packet.seq_in_flow = index + 1
+        return packet
+
+    def materialize(self) -> Workload:
+        """Expand into an equivalent fully-materialized :class:`Workload`.
+
+        Used by packet-engine comparison runs, so both engines replay
+        the *same* logical traffic.  Cost is proportional to the logical
+        packet count — only call at sizes the packet engine can carry.
+        """
+        workload = Workload(name=self.name, flows=dict(self.flows))
+        workload.entries = list(self.entries)
+        for flow_id, (_template, times) in self.tails.items():
+            for index, t in enumerate(times):
+                workload.entries.append(
+                    (t, self.materialize_tail_packet(flow_id, index)))
+        workload.entries.sort(key=lambda entry: entry[0])
+        return workload
+
+
+def flow_train_flows(rate_bps: float, n_flows: int = 1000,
+                     packets_per_flow: int = 32,
+                     flow_rate: float = 2000.0, frame_len: int = 1000,
+                     dst_port: int = 9,
+                     rng: Optional[RandomStreams] = None
+                     ) -> AggregateWorkload:
+    """Scale workload: many UDP flows, each a paced packet train.
+
+    Flows arrive at ``flow_rate`` per second (constant spacing); each
+    flow sends ``packets_per_flow`` frames paced at ``rate_bps``.  The
+    first packet of each flow is a guaranteed table miss (forged source
+    IPs, as in :func:`single_packet_flows`); the tail is pure hit-path
+    traffic, kept lazy so flow counts up to 10^6 stay in memory.  The
+    schedule is deterministic (``rng`` is accepted for factory-signature
+    compatibility and unused), so hybrid- and packet-engine runs replay
+    identical traffic.
+    """
+    if n_flows < 1:
+        raise ValueError(f"n_flows must be >= 1, got {n_flows}")
+    if packets_per_flow < 1:
+        raise ValueError(
+            f"packets_per_flow must be >= 1, got {packets_per_flow}")
+    if flow_rate <= 0:
+        raise ValueError(f"flow_rate must be > 0, got {flow_rate}")
+    gap = transmission_delay(frame_len, rate_bps)
+    flow_spacing = 1.0 / flow_rate
+    workload = AggregateWorkload(
+        name=f"flow-train-{n_flows}x{packets_per_flow}")
+    for i in range(n_flows):
+        start = i * flow_spacing
+        packet = udp_packet(src_mac=HOST1_MAC, dst_mac=HOST2_MAC,
+                            src_ip=_forged_source_ip(i), dst_ip=HOST2_IP,
+                            src_port=1024 + (i % 50000), dst_port=dst_port,
+                            frame_len=frame_len, flow_id=i, seq_in_flow=0)
+        workload.entries.append((start, packet))
+        if packets_per_flow > 1:
+            workload.tails[i] = (packet, ArithmeticTimes(
+                start + gap, gap, packets_per_flow - 1))
+        workload.flows[i] = FlowSpec(flow_id=i,
+                                     five_tuple=packet.five_tuple,
+                                     n_packets=packets_per_flow)
+    workload.logical_packets = n_flows * packets_per_flow
+    workload.logical_duration = ((n_flows - 1) * flow_spacing
+                                 + (packets_per_flow - 1) * gap)
+    return workload
 
 
 def _forged_source_ip(index: int) -> str:

@@ -393,24 +393,26 @@ _KERNEL_GOLDEN_ROWS = {
 #: Cache tokens for the same grid (one per rate, rates in sweep order).
 #: Pinned so a kernel change can never silently re-key — and therefore
 #: silently invalidate or, worse, cross-contaminate — the result cache.
-#: Regenerated for CACHE_SCHEMA v4 (the pool token joined the key); the
-#: golden ROW values above are unchanged from the pre-pool kernel.
+#: Regenerated for CACHE_SCHEMA v4 (the pool token joined the key) and
+#: again for v5 (the execution engine joined through the scenario
+#: token); the golden ROW values above are unchanged from the pre-pool
+#: kernel — schema bumps re-key the cache, never the physics.
 _KERNEL_GOLDEN_TASK_KEYS = {
     "single/none": (
-        "f2c472278eada2a39e370f0b6de26bc9e957b932bc83780514e8aba95a9ff4ef",
-        "4d1c3942be072c0e8b8390be046d4d0c6deb02aff03e854e2294bbb9fcc5fed1",
+        "ab042b3730418a6d61af29736f98d777f7465a2d049609169e76345a806fe1ef",
+        "2eabf823f828d572ecc27995d3ad2454783f216a7d2879502a660122c9c7664e",
     ),
     "single/loss1pct": (
-        "1a1f13db4d929f1f6c822ae2edb770b89f4eef4930f6fe27b3b659a268c8b091",
-        "9b5b52f57d1bfb5bca354eaf661e0d839d30086fd961a5f95f042ab26085aa00",
+        "7b89fd0edef5e1deb7eb32622ce9e018f98e920236f242119c84487056f76515",
+        "3d4dafc95fc9f8c7d6fc7eb94346f44ee8e0d50603e24ba38be50dc61e636952",
     ),
     "line:2/none": (
-        "4283b7f1d2ec640b83f0a45d70ce67bd9bb02b399edfd7733ad33a4a6c922da7",
-        "58ce89bcd5b72df4023121716533508cc90704292d815849e534c7a78b7f3d45",
+        "5153b7cdc829d1965ffc1628b3b88496beeede3b1ba70084830589f94726b2e2",
+        "22b6a4a4adc52d4872a17b4b1c3a44ef2c932eae453c55df755a4d0d486b15d9",
     ),
     "line:2/loss1pct": (
-        "2843de9899ed71e3b3b1b83105172eaf9b1ec6adf21050f53e1100a3804ab685",
-        "2e89393ba6bc94c2a6724305f19de9a8557e7788a277ccf34e4c7f88d79d1cd6",
+        "1904e813d05c32daea0bb54ec3da4da678dfa4dace80fef354da01e94ecb2cbd",
+        "a1e3fe169a0a4bc838a37b377300dc335a17b4d072e5c15f0946f7ded0cbafa0",
     ),
 }
 
