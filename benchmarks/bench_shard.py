@@ -1,0 +1,203 @@
+"""Shard scaling probe: serial vs 1/2/4-worker sharded on line:4.
+
+Measures the wall time of one fixed line:4 repetition — serial, then
+sharded over the fork transport at 1, 2 and 4 workers — and records the
+scaling curve as the ``shard_scaling`` section of ``BENCH_kernel.json``.
+Events/sec uses one instrumented serial run's ``events_executed`` as the
+numerator for every configuration: the workload is identical (the verify
+mode asserts bit-identity), so the rate ratio IS the wall-time ratio.
+
+The probe uses a *shard-friendly calibration*: ``link_propagation_delay``
+raised to 5 ms (WAN-ish inter-site cables) instead of the default LAN
+5 µs.  Propagation delay is the conservative lookahead, and lookahead is
+what sharding scales with — at 5 µs the coordinator synchronizes every
+few microseconds of simulated time and null-message overhead swamps any
+parallelism (DESIGN.md §17 quantifies when sharding loses).  The serial
+baseline runs the *identical* calibration, so the comparison is honest.
+
+Speedup is only physical on a multi-core machine: the committed floor
+(≥1.4x events/sec at 2 workers) is enforced by ``perf_gate.py`` and the
+``--check`` mode below when ``os.cpu_count() >= 2``, and reported as
+skipped otherwise — a single-core container time-shares the workers and
+measures transport overhead, not scaling.  The record always stores the
+measuring machine's core count alongside the numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_shard.py                    # measure
+    PYTHONPATH=src python benchmarks/bench_shard.py --update-baseline  # commit
+    PYTHONPATH=src python benchmarks/bench_shard.py --check --floor 1.4
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import kernelrecord
+
+SCENARIO = "line:4"
+N_FLOWS = 1600
+RATE_MBPS = 40.0
+SEED = 5
+#: Shard-friendly propagation delay (the lookahead): 5 ms WAN-ish cables.
+PROPAGATION_DELAY = 5e-3
+WORKER_POINTS = (1, 2, 4)
+DEFAULT_FLOOR = 1.4
+
+
+def _calibration():
+    from repro.experiments.calibration import default_calibration
+    return dataclasses.replace(default_calibration(),
+                               link_propagation_delay=PROPAGATION_DELAY)
+
+
+def _workload():
+    from repro.simkit import RandomStreams, mbps
+    from repro.trafficgen import single_packet_flows
+    return single_packet_flows(mbps(RATE_MBPS), n_flows=N_FLOWS,
+                               rng=RandomStreams(SEED))
+
+
+def _scenario():
+    from repro.scenarios import parse_scenario
+    return parse_scenario(SCENARIO)
+
+
+def count_serial_events() -> int:
+    """One instrumented serial run's executed-event count."""
+    from repro.core import BufferConfig
+    from repro.faults import install_faults
+    from repro.scenarios import build_scenario
+    workload = _workload()
+    testbed = build_scenario(_scenario(), BufferConfig(), workload,
+                             calibration=_calibration(), seed=SEED)
+    install_faults(testbed, None)
+    testbed.controller.start_handshake()
+    for pktgen in testbed.pktgens:
+        pktgen.start(at=0.020)
+    testbed.sim.run(until=0.020 + workload.duration + 0.250)
+    events = testbed.sim.events_executed
+    testbed.shutdown()
+    return events
+
+
+def time_serial(rounds: int) -> float:
+    from repro.core import BufferConfig
+    from repro.experiments import run_once
+
+    def once():
+        run_once(BufferConfig(), _workload(), seed=SEED,
+                 calibration=_calibration(), scenario=_scenario())
+    return kernelrecord.best_of(once, rounds=rounds)
+
+
+def time_sharded(workers: int, rounds: int) -> float:
+    from repro.core import BufferConfig
+    from repro.shard import ShardSpec, run_once_sharded
+    spec = _scenario().with_shard(ShardSpec(mode="per-switch",
+                                            workers=workers))
+
+    def once():
+        run_once_sharded(BufferConfig(), _workload(), seed=SEED,
+                         calibration=_calibration(), scenario=spec,
+                         transport="fork")
+    return kernelrecord.best_of(once, rounds=rounds)
+
+
+def measure(worker_points=WORKER_POINTS, rounds: int = 3) -> dict:
+    events = count_serial_events()
+    serial_s = time_serial(rounds)
+    section = {
+        "scenario": SCENARIO,
+        "flows": N_FLOWS,
+        "rate_mbps": RATE_MBPS,
+        "link_propagation_delay": PROPAGATION_DELAY,
+        "cpu_count": os.cpu_count() or 1,
+        "events": events,
+        "floor_workers_2": DEFAULT_FLOOR,
+        "serial": {"seconds": round(serial_s, 6),
+                   "events_per_sec": round(events / serial_s, 1)},
+        "workers": {},
+    }
+    for workers in worker_points:
+        sharded_s = time_sharded(workers, rounds)
+        section["workers"][str(workers)] = {
+            "seconds": round(sharded_s, 6),
+            "events_per_sec": round(events / sharded_s, 1),
+            "speedup_vs_serial": round(serial_s / sharded_s, 3),
+        }
+        print(f"bench-shard: workers={workers}  {sharded_s:8.3f}s  "
+              f"x{serial_s / sharded_s:.2f} vs serial "
+              f"({events / sharded_s:,.0f} ev/s)")
+    print(f"bench-shard: serial            {serial_s:8.3f}s  "
+          f"({events / serial_s:,.0f} ev/s, {events:,} events, "
+          f"{section['cpu_count']} cores)")
+    return section
+
+
+def merge_into(path: pathlib.Path, section: dict) -> None:
+    if path.exists():
+        record = json.loads(path.read_text())
+    else:
+        record = {"schema": kernelrecord.CURRENT_SCHEMA, "benchmarks": {}}
+    record["shard_scaling"] = section
+    kernelrecord.write_record(record, path)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="best-of rounds per point (default 3)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write the committed BENCH_kernel.json "
+                             "(default: the _output copy only)")
+    parser.add_argument("--check", action="store_true",
+                        help="measure only serial and 2 workers and "
+                             "enforce the scaling floor (CI mode)")
+    parser.add_argument("--floor", type=float, default=DEFAULT_FLOOR,
+                        help="minimum 2-worker speedup for --check "
+                             f"(default {DEFAULT_FLOOR})")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        cores = os.cpu_count() or 1
+        if cores < 2:
+            print(f"bench-shard: check SKIPPED — {cores} CPU core(s); "
+                  f"2-worker scaling needs a multi-core machine (the "
+                  f"workers time-share and measure only transport "
+                  f"overhead)")
+            return 0
+        events = count_serial_events()
+        serial_s = time_serial(args.rounds)
+        sharded_s = time_sharded(2, args.rounds)
+        speedup = serial_s / sharded_s
+        print(f"bench-shard: serial {serial_s:.3f}s "
+              f"({events / serial_s:,.0f} ev/s), 2 workers "
+              f"{sharded_s:.3f}s ({events / sharded_s:,.0f} ev/s) — "
+              f"x{speedup:.2f} (floor x{args.floor})")
+        if speedup < args.floor:
+            print("bench-shard: FAIL — 2-worker scaling below floor")
+            return 1
+        print("bench-shard: PASS")
+        return 0
+
+    section = measure(rounds=args.rounds)
+    merge_into(kernelrecord.OUTPUT_PATH, section)
+    print(f"bench-shard: wrote {kernelrecord.OUTPUT_PATH}")
+    if args.update_baseline:
+        merge_into(kernelrecord.BASELINE_PATH, section)
+        print(f"bench-shard: wrote {kernelrecord.BASELINE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

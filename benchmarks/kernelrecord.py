@@ -131,6 +131,12 @@ def build_record(after_seconds: Dict[str, float],
     """
     benchmarks: Dict[str, object] = {}
     for name, before_s in BEFORE_SECONDS.items():
+        # A probe can legitimately be absent from one measuring run
+        # (e.g. a quick pass that skips the slow scale probes); keep the
+        # record buildable instead of KeyError-ing, and let merge_probe
+        # fold the missing number in later.
+        if name not in after_seconds:
+            continue
         after_s = after_seconds[name]
         window = testbed_window_s if name == "full_testbed" else None
         benchmarks[name] = {
@@ -138,6 +144,17 @@ def build_record(after_seconds: Dict[str, float],
             "before": _rates(name, before_s, window),
             "after": _rates(name, after_s, window),
             "speedup": round(before_s / after_s, 2),
+        }
+    # After-only probes (no committed *before*) are new measurements
+    # that predate their baseline capture — record them rather than
+    # silently dropping them.
+    for name, after_s in after_seconds.items():
+        if name in BEFORE_SECONDS:
+            continue
+        window = testbed_window_s if name == "full_testbed" else None
+        benchmarks[name] = {
+            "units": PROBE_UNITS.get(name, None),
+            "after": _rates(name, after_s, window),
         }
     record: Dict[str, object] = {
         "schema": CURRENT_SCHEMA,

@@ -66,6 +66,12 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
                              "traffic advances analytically; optional "
                              "burst gap as 'hybrid:SECONDS').  figscale "
                              "always runs both engines and ignores this")
+    parser.add_argument("--shard", metavar="MODE", default=None,
+                        help="sharded execution: 'per-switch' runs each "
+                             "switch partition in its own event loop "
+                             "(worker processes under the fork transport), "
+                             "'per-switch:N' caps the worker count, 'off' "
+                             "keeps the single serial loop (default)")
     parser.add_argument("--scale-flows", type=int, nargs="+", default=None,
                         metavar="N",
                         help="figscale flow counts (default: 1e3 1e4 1e5 "
@@ -134,6 +140,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if argv[:2] == ["bench", "diff"]:
         from .profilecmd import bench_diff_main
         return bench_diff_main(argv[2:])
+    if argv and argv[0] == "shard-verify":
+        from .shardcmd import shard_verify_main
+        return shard_verify_main(argv[1:])
     args = _parse_args(argv)
     targets = list(args.targets)
     unknown = [t for t in targets if t not in FIGURES and t not in _SPECIAL]
@@ -186,6 +195,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         scenario = (scenario if scenario is not None
                     else single_scenario()).with_engine(engine)
+
+    if args.shard is not None:
+        from ..scenarios import single_scenario
+        from ..shard import parse_shard
+        try:
+            shard = parse_shard(args.shard)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        scenario = (scenario if scenario is not None
+                    else single_scenario()).with_shard(shard)
 
     if args.loss is not None and args.fault is not None:
         print("--loss and --fault are mutually exclusive", file=sys.stderr)

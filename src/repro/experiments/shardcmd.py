@@ -1,0 +1,72 @@
+"""The ``shard-verify`` subcommand: sharded-vs-serial bit-identity.
+
+Peeled off before the figure-target parser (like ``profile`` and
+``bench diff``): ``repro-experiments shard-verify --scenario line:2``
+runs the same repetition serial and sharded, and exits non-zero on any
+divergence in event ordering, metrics, or cache keying.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+
+def shard_verify_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro-experiments shard-verify`` body; returns an exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments shard-verify",
+        description="Assert sharded execution is bit-identical to serial.")
+    parser.add_argument("--scenario", metavar="SHAPE[:N]", default="line:2",
+                        help="scenario to verify (default line:2)")
+    parser.add_argument("--shard", metavar="MODE", default="per-switch",
+                        help="shard spec to verify, e.g. per-switch or "
+                             "per-switch:2 (default per-switch)")
+    parser.add_argument("--flows", type=int, default=30,
+                        help="flows in the probe workload (default 30)")
+    parser.add_argument("--rate", type=float, default=4.0,
+                        help="probe workload rate in Mbps (default 4)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="workload / testbed seed (default 7)")
+    parser.add_argument("--transport", default="inline",
+                        choices=("inline", "fork", "auto"),
+                        help="shard transport to exercise (default inline: "
+                             "deterministic and debuggable; fork exercises "
+                             "the real worker plumbing)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON instead of text")
+    args = parser.parse_args(argv)
+
+    from ..scenarios import parse_scenario
+    from ..shard import parse_shard, verify_shard_equivalence
+    try:
+        scenario = parse_scenario(args.scenario)
+        shard = parse_shard(args.shard)
+        if not shard.is_active:
+            raise ValueError("shard-verify needs an active shard spec; "
+                             "got 'off'")
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    report = verify_shard_equivalence(
+        scenario, shard=shard, n_flows=args.flows, rate_mbps=args.rate,
+        seed=args.seed, transport=args.transport)
+    if args.json:
+        print(json.dumps({
+            "scenario": report.scenario,
+            "n_shards": report.n_shards,
+            "transport": report.transport,
+            "ok": report.ok,
+            "rounds": report.rounds,
+            "messages": report.messages,
+            "horizon_stalls": report.horizon_stalls,
+            "events_compared": sum(report.event_counts.values()),
+            "tokens_distinct": report.serial_token != report.shard_token,
+            "mismatches": report.mismatches,
+        }, indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1

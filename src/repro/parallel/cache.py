@@ -36,7 +36,12 @@ from .tasks import SweepJob, SweepTask, factory_fingerprint
 #: v5: the execution engine joined the key (through the scenario token:
 #: ``engine=mode=packet|...`` for historical runs) — hybrid-engine and
 #: packet-engine runs of the same grid point must never share an entry.
-CACHE_SCHEMA = 5
+#: v6: the shard spec joined the key (through the scenario token:
+#: ``shard=mode=off|workers=None`` for historical runs) — sharded and
+#: serial runs of the same grid point are asserted bit-identical by the
+#: shard verify mode, but share no entries: an equivalence bug must
+#: never let one mode's results satisfy the other's lookups.
+CACHE_SCHEMA = 6
 
 
 def default_cache_dir() -> Path:

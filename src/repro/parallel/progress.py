@@ -33,6 +33,10 @@ class ProgressTracker:
         self._min_interval = min_interval
         self._start = clock()
         self._last_emit: Optional[float] = None
+        #: Left edge of the fresh-throughput window.  Advanced past any
+        #: leading run of cache hits so instant hits never inflate the
+        #: fresh rate the ETA is derived from.
+        self._fresh_since = self._start
         self.done = 0
         self.cached = 0
         self.failed = 0
@@ -51,6 +55,8 @@ class ProgressTracker:
         self.done += 1
         if cached:
             self.cached += 1
+            if self.cache_misses == 0:
+                self._fresh_since = self._clock()
         self.violations += violations
         self._per_worker[worker] = self._per_worker.get(worker, 0) + 1
         self._tick()
@@ -99,9 +105,28 @@ class ProgressTracker:
         return {worker: count / elapsed
                 for worker, count in self._per_worker.items()}
 
+    def fresh_throughput(self) -> float:
+        """Computed (non-cached) tasks/second, measured from the end of
+        any leading cached prefix (0 before the first fresh outcome).
+
+        Cache hits return in microseconds; folding them into one rate
+        with real runs makes the projection useless, so the ETA below is
+        derived from this figure and cached tasks are only *counted*.
+        """
+        elapsed = self._clock() - self._fresh_since
+        return self.cache_misses / elapsed if elapsed > 0 else 0.0
+
     def eta_seconds(self) -> Optional[float]:
-        """Projected seconds to finish, or None before any throughput."""
-        rate = self.throughput()
+        """Projected seconds to finish, derived from fresh-task
+        throughput; None until at least one fresh task has completed.
+
+        Bugfix regression target: the old estimate used overall
+        throughput, so a cached prefix collapsed the ETA to ~0 and the
+        projection then lied once fresh work started.  Remaining tasks
+        are assumed fresh (the conservative direction — any of them that
+        turn out to be cache hits finish early, never late).
+        """
+        rate = self.fresh_throughput()
         if rate <= 0:
             return None
         return (self.total - self.processed) / rate

@@ -1,0 +1,440 @@
+"""The conservative-lookahead shard coordinator.
+
+Synchronization is barrier-synchronous null-messaging in the
+Chandy–Misra–Bryant tradition, run through a parent coordinator instead
+of peer-to-peer channels (one process per shard is expensive enough;
+O(shards²) pipes would be worse).  Each round:
+
+1. The parent computes every shard's *effective next event time* — its
+   reported next local event, lowered by any in-flight cross-shard
+   message addressed to it — then closes those bounds transitively::
+
+       bound(j) = min(next_eff(j),
+                      min over k != j of (bound(k) + L(k, j)))
+
+   a Bellman–Ford fixpoint over the lookahead graph, where ``L(k, j)``
+   is the minimum propagation delay over cut links from ``k`` to ``j``
+   (the conservative lookahead).  The closure matters: shard ``j``'s
+   next event may itself be *caused* by a message nobody has sent yet
+   (controller wakes a quiet switch, which replies long before its own
+   next local timer).  Each shard's **horizon** is then::
+
+       t_end(i) = min over j != i of (bound(j) + L(j, i))
+
+   Any message shard ``j`` can still produce is emitted no earlier than
+   ``bound(j)`` and arrives no earlier than ``L`` later, so executing
+   events *strictly before* ``t_end(i)`` can never be invalidated.
+
+2. Shards with work advance in parallel: pending messages are injected
+   (ordered by ``(delivery time, cut-link index, per-link sequence)`` —
+   the deterministic cross-shard tie rule), the local loop runs up to
+   the exclusive horizon, and freshly emitted messages come back.
+
+3. Once no shard can deliver at or before the deadline, each shard gets
+   one *inclusive* advance to the deadline — mirroring what serial
+   ``sim.run(until=deadline)`` executes — and the deadline segment is
+   done.
+
+Progress is guaranteed because every cut link has strictly positive
+propagation delay (enforced at plan time): the globally earliest shard
+always clears its own next event.  A shard advanced over a window
+holding no local events and no injections counts a *horizon stall* —
+the null-message overhead figure exported on the parent registry.
+
+Results merge by grafting (:mod:`repro.shard.state`) onto a never-run
+parent replica, then running the standard ``metrics.snapshot`` — the
+whole ``run_once`` tail (deadline extension, active window, load
+window, incomplete accounting) is mirrored 1:1 so sharded and serial
+runs return bit-identical :class:`~repro.metrics.RunMetrics`.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..obs.spans import SpanRecorder
+from .partition import PartitionPlan, build_partition_plan
+from .seam import ShardContext, ShardMessage
+from .state import extract_state, graft_states, merged_events
+
+
+def _fork_available() -> bool:
+    """Whether the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# ---------------------------------------------------------------------------
+# Shard handles: one local, one forked — same advance/collect protocol
+# ---------------------------------------------------------------------------
+
+class _InlineShard:
+    """A shard's event loop living in the coordinator's own process."""
+
+    def __init__(self, build_args: dict, shard_index: int):
+        self._ctx, self.next_time = _build_shard_context(
+            build_args, shard_index)
+
+    def advance(self, t_end: float, messages: List[ShardMessage],
+                inclusive: bool) -> None:
+        self._reply = self._ctx.advance(t_end, messages, inclusive)
+
+    def result(self) -> Tuple[List[ShardMessage], float, Optional[int]]:
+        return self._reply
+
+    def collect(self) -> Dict[str, Any]:
+        state = extract_state(self._ctx)
+        self._ctx.testbed.shutdown()
+        return state
+
+    def close(self) -> None:
+        pass
+
+
+class _ForkShard:
+    """A shard's event loop in a forked worker, spoken to over a pipe."""
+
+    def __init__(self, ctx: multiprocessing.context.BaseContext,
+                 build_args: dict, shard_index: int):
+        self._conn, child = ctx.Pipe(duplex=True)
+        self._process = ctx.Process(
+            target=_shard_worker, args=(child, build_args, shard_index),
+            daemon=True)
+        self._process.start()
+        child.close()
+        self.next_time = self._recv("ready")
+
+    def _recv(self, expected: str):
+        tag, payload = self._conn.recv()
+        if tag == "error":
+            raise RuntimeError(f"shard worker failed:\n{payload}")
+        if tag != expected:
+            raise RuntimeError(
+                f"shard worker protocol error: got {tag!r}, "
+                f"expected {expected!r}")
+        return payload
+
+    def advance(self, t_end: float, messages: List[ShardMessage],
+                inclusive: bool) -> None:
+        self._conn.send(("advance", t_end, messages, inclusive))
+
+    def result(self) -> Tuple[List[ShardMessage], float, Optional[int]]:
+        return self._recv("advanced")
+
+    def collect(self) -> Dict[str, Any]:
+        self._conn.send(("collect",))
+        return self._recv("state")
+
+    def close(self) -> None:
+        try:
+            self._conn.send(("stop",))
+            self._conn.close()
+        except (BrokenPipeError, OSError):  # pragma: no cover - cleanup
+            pass
+        self._process.join(timeout=5.0)
+        if self._process.is_alive():  # pragma: no cover - cleanup
+            self._process.terminate()
+
+
+def _build_shard_context(build_args: dict,
+                         shard_index: int) -> Tuple[ShardContext, float]:
+    """Replicated build + adoption; returns (context, first event time)."""
+    from ..faults import install_faults
+    from ..scenarios import build_scenario
+
+    testbed = build_scenario(build_args["scenario"],
+                             build_args["buffer_config"],
+                             build_args["workload"],
+                             calibration=build_args["calibration"],
+                             seed=build_args["seed"])
+    install_faults(testbed, build_args["faults"])
+    plan = build_partition_plan(testbed, build_args["scenario"].shard)
+    context = ShardContext(testbed, plan, shard_index,
+                           build_args["workload"], build_args["settle"],
+                           record_events=build_args["record_events"])
+    return context, testbed.sim.peek()
+
+
+def _shard_worker(conn, build_args: dict, shard_index: int) -> None:
+    """Worker process main loop: build once, then serve advance rounds."""
+    try:
+        context, first = _build_shard_context(build_args, shard_index)
+        conn.send(("ready", first))
+        while True:
+            command = conn.recv()
+            if command[0] == "advance":
+                _tag, t_end, messages, inclusive = command
+                conn.send(("advanced",
+                           context.advance(t_end, messages, inclusive)))
+            elif command[0] == "collect":
+                conn.send(("state", extract_state(context)))
+                context.testbed.shutdown()
+            elif command[0] == "stop":
+                return
+    except BaseException:  # pragma: no cover - surfaced parent-side
+        import traceback
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# The coordinator
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ShardRunReport:
+    """What one sharded run did, beyond its metrics."""
+
+    n_shards: int
+    transport: str
+    rounds: int = 0
+    messages: int = 0
+    #: Advances over windows with no local events and no injections.
+    horizon_stalls: int = 0
+    #: Per-component event streams (verify mode only).
+    events: Optional[Dict[str, List[tuple]]] = None
+    #: One span per shard per deadline segment (sim-clock intervals).
+    spans: SpanRecorder = field(
+        default_factory=lambda: SpanRecorder(enabled=True))
+
+
+class ShardCoordinator:
+    """Drives one run's shard set through conservative rounds."""
+
+    def __init__(self, handles, plan: PartitionPlan, report: ShardRunReport):
+        self.handles = handles
+        self.plan = plan
+        self.report = report
+        self.n = plan.n_shards
+        self.lookahead = plan.lookahead
+        self.cut_dst = [cut.dst for cut in plan.cut_links]
+        #: Per-destination in-flight messages, not yet injected.
+        self.pending: List[List[ShardMessage]] = [[] for _ in range(self.n)]
+        self.next_time = [handle.next_time for handle in handles]
+        self.horizon = [0.0] * self.n
+        self.completed: Optional[int] = None
+
+    def _next_effective(self) -> List[float]:
+        effective = []
+        for i in range(self.n):
+            t = self.next_time[i]
+            for message in self.pending[i]:
+                if message[0] < t:
+                    t = message[0]
+            effective.append(t)
+        return effective
+
+    def _closed_bounds(self, next_eff: List[float]) -> List[float]:
+        """Transitive emission lower bounds (Bellman–Ford over L).
+
+        ``next_eff`` alone is not a safe emission bound: a shard's next
+        *caused* event can precede its next local one by an arbitrary
+        margin once an inbound message wakes it.  Relaxing through the
+        lookahead graph closes that chain; with every ``L > 0`` the
+        fixpoint is reached in at most ``n - 1`` passes.
+        """
+        bound = list(next_eff)
+        for _pass in range(self.n - 1):
+            changed = False
+            for j in range(self.n):
+                for k in range(self.n):
+                    if k == j:
+                        continue
+                    ahead = self.lookahead[k][j]
+                    if ahead < math.inf and bound[k] + ahead < bound[j]:
+                        bound[j] = bound[k] + ahead
+                        changed = True
+            if not changed:
+                break
+        return bound
+
+    def run_until(self, deadline: float) -> int:
+        """Advance every shard through ``deadline`` (inclusive).
+
+        Returns the egress shard's completed-flow count at the deadline.
+        """
+        segment_start = [dict(rounds=0, start=self.horizon[i])
+                         for i in range(self.n)]
+        final_done = [False] * self.n
+        while True:
+            bound = self._closed_bounds(self._next_effective())
+            batch: List[Tuple[int, float, List[ShardMessage], bool]] = []
+            for i in range(self.n):
+                promise = math.inf
+                row_to_i = self.lookahead
+                for j in range(self.n):
+                    ahead = row_to_i[j][i]
+                    if j != i and ahead < math.inf:
+                        candidate = bound[j] + ahead
+                        if candidate < promise:
+                            promise = candidate
+                if promise > deadline:
+                    t_end, inclusive = deadline, True
+                    if final_done[i]:
+                        continue
+                else:
+                    t_end, inclusive = promise, False
+                messages = [m for m in self.pending[i] if m[0] <= deadline]
+                if not inclusive and not messages \
+                        and t_end <= self.horizon[i]:
+                    continue
+                if messages:
+                    kept = [m for m in self.pending[i] if m[0] > deadline]
+                    self.pending[i] = kept
+                batch.append((i, t_end, messages, inclusive))
+            if not batch:
+                break
+            self.report.rounds += 1
+            for i, t_end, messages, inclusive in batch:
+                segment_start[i]["rounds"] += 1
+                self.handles[i].advance(t_end, messages, inclusive)
+            for i, t_end, messages, inclusive in batch:
+                outbound, next_time, completed = self.handles[i].result()
+                self.next_time[i] = next_time
+                self.horizon[i] = max(self.horizon[i], t_end)
+                final_done[i] = final_done[i] or inclusive
+                if completed is not None and i == self.plan.egress_shard:
+                    self.completed = completed
+                for message in outbound:
+                    self.pending[self.cut_dst[message[1]]].append(message)
+                self.report.messages += len(outbound)
+        for i in range(self.n):
+            self.report.spans.add_span(
+                f"shard-{i}", segment_start[i]["start"], deadline,
+                category="shard", track=f"shard-{i}",
+                rounds=segment_start[i]["rounds"])
+        if self.completed is None:
+            raise RuntimeError("egress shard reported no completion count")
+        return self.completed
+
+
+# ---------------------------------------------------------------------------
+# run_once, sharded
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ShardRunResult:
+    """A sharded run's snapshot plus its coordination report."""
+
+    metrics: Any
+    report: ShardRunReport
+
+
+def execute_sharded(buffer_config, workload, calibration=None, seed=0,
+                    settle=0.020, drain=0.250, max_extends=20,
+                    scenario=None, faults=None, *,
+                    transport: str = "auto",
+                    record_events: bool = False) -> ShardRunResult:
+    """One sharded repetition, mirroring ``run_once`` step for step."""
+    from ..experiments.runner import _INCOMPLETE_WARNING
+    from ..faults import install_faults
+    from ..scenarios import build_scenario
+
+    if scenario is None or not scenario.shard.is_active:
+        raise ValueError("execute_sharded needs a scenario with an "
+                         "active ShardSpec (shard.mode != 'off')")
+    if scenario.engine.is_hybrid:
+        raise ValueError(
+            "sharded execution does not compose with the hybrid engine: "
+            "its per-pktgen drivers reach across switch boundaries; run "
+            "with engine=packet or shard=off")
+    if scenario.pool is not None:
+        raise ValueError(
+            "sharded execution does not compose with a shared buffer "
+            "pool: pool admission is cross-switch-synchronous; run with "
+            "pool=None or shard=off")
+    if transport == "auto":
+        transport = "fork" if _fork_available() else "inline"
+    if transport not in ("fork", "inline"):
+        raise ValueError(f"unknown shard transport {transport!r}; "
+                         f"expected 'fork', 'inline' or 'auto'")
+    if transport == "fork" and not _fork_available():  # pragma: no cover
+        warnings.warn("fork start method unavailable; running shards "
+                      "inline in this process", RuntimeWarning,
+                      stacklevel=2)
+        transport = "inline"
+
+    # The parent's own replica: plan source and graft/snapshot target.
+    parent = build_scenario(scenario, buffer_config, workload,
+                            calibration=calibration, seed=seed)
+    install_faults(parent, faults)
+    plan = build_partition_plan(parent, scenario.shard)
+
+    build_args = dict(scenario=scenario, buffer_config=buffer_config,
+                      workload=workload, calibration=calibration,
+                      seed=seed, faults=faults, settle=settle,
+                      record_events=record_events)
+    report = ShardRunReport(n_shards=plan.n_shards, transport=transport)
+    handles: List[Any] = []
+    try:
+        if transport == "fork":
+            ctx = multiprocessing.get_context("fork")
+            handles = [_ForkShard(ctx, build_args, i)
+                       for i in range(plan.n_shards)]
+        else:
+            handles = [_InlineShard(build_args, i)
+                       for i in range(plan.n_shards)]
+        coordinator = ShardCoordinator(handles, plan, report)
+
+        deadline = settle + workload.duration + drain
+        completed = coordinator.run_until(deadline)
+
+        total = parent.metrics.delay_tracker.total_flows
+        extends = 0
+        previous_completed = -1
+        while (completed < total and extends < max_extends
+               and completed != previous_completed):
+            previous_completed = completed
+            deadline += 0.100
+            completed = coordinator.run_until(deadline)
+            extends += 1
+
+        states = [handle.collect() for handle in handles]
+    finally:
+        for handle in handles:
+            handle.close()
+
+    graft_states(parent, plan, states)
+    report.horizon_stalls = sum(s["stalled_rounds"] for s in states)
+    if record_events:
+        report.events = merged_events(states)
+    registry = parent.registry
+    if registry is not None:
+        registry.counter("shard.rounds_total").inc(report.rounds)
+        registry.counter("shard.messages_total").inc(report.messages)
+        registry.counter("shard.horizon_stalls_total").inc(
+            report.horizon_stalls)
+
+    active_end = max(
+        settle + workload.duration,
+        parent.metrics.capture_up.last_time() or 0.0,
+        parent.metrics.capture_down.last_time() or 0.0,
+    ) + 0.005
+    load_end = settle + workload.duration + 0.050
+    snapshot = parent.metrics.snapshot(settle, min(active_end, deadline),
+                                       load_end=load_end)
+    if (snapshot.incomplete and extends >= max_extends
+            and registry is not None):
+        registry.counter("run.incomplete_extends_exhausted").inc()
+    parent.shutdown()
+    if snapshot.incomplete:
+        warnings.warn(_INCOMPLETE_WARNING, RuntimeWarning, stacklevel=2)
+    return ShardRunResult(metrics=snapshot, report=report)
+
+
+def run_once_sharded(buffer_config, workload, calibration=None, seed=0,
+                     settle=0.020, drain=0.250, max_extends=20,
+                     scenario=None, faults=None,
+                     transport: str = "auto"):
+    """Drop-in sharded counterpart of ``run_once`` (metrics only)."""
+    return execute_sharded(
+        buffer_config, workload, calibration=calibration, seed=seed,
+        settle=settle, drain=drain, max_extends=max_extends,
+        scenario=scenario, faults=faults, transport=transport).metrics

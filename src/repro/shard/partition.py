@@ -1,0 +1,172 @@
+"""Partitioning a built testbed into shard-owned component groups.
+
+The plan is a pure, deterministic function of the testbed's topology and
+the :class:`~repro.shard.spec.ShardSpec`, so the coordinator process and
+every worker (each of which builds its own *replica* of the full
+testbed) derive byte-identical plans independently.
+
+Partition rule for ``per-switch`` mode:
+
+* every switch is one partition, in data-path order;
+* each host joins the partition of the switch it is cabled to
+  (``host1`` rides the first switch, ``host2`` the last, fan-in sources
+  their ingress switch);
+* the controller is always its own partition.
+
+``workers`` then groups the switch partitions onto ``workers``
+contiguous event loops, with the controller riding the *last* group —
+every worker owns data-plane work, which is what makes an explicit
+worker count scale (a worker serving only the controller would idle
+between control bursts while the data plane queues elsewhere).  When
+``workers`` is unset, every partition gets its own loop and the
+controller keeps one of its own too — maximum decomposition.  With one
+worker everything collapses into a single loop and no links are cut —
+the degenerate case the verify mode uses as a sanity anchor.
+
+A *cut link* is a unidirectional :class:`~repro.netsim.Link` whose
+sender and receiver live in different shards.  Its propagation delay is
+the conservative lookahead the coordinator's null-message horizons are
+built from, which is why a zero-delay cut cable is refused outright: it
+would collapse the lookahead window to nothing and the simulation could
+deadlock-spin instead of advancing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .spec import ShardSpec
+
+
+@dataclass(frozen=True)
+class CutLink:
+    """One unidirectional link crossing a shard boundary."""
+
+    #: Global index: position in the deterministic cut-link enumeration.
+    #: Doubles as the cross-shard message tie-breaker, so it must be
+    #: derived identically in every process (it is: cable insertion
+    #: order, forward before reverse).
+    index: int
+    #: Topology cable endpoints, as registered (order-sensitive).
+    cable: Tuple[str, str]
+    #: ``forward`` or ``reverse`` — which direction of the duplex cable.
+    direction: str
+    #: Sending / receiving shard indices.
+    src: int
+    dst: int
+    #: Propagation delay of the link: the lookahead it contributes.
+    lookahead: float
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Where every component runs and which links are cut."""
+
+    n_shards: int
+    #: Topology node name -> owning shard index.
+    shard_of_node: Dict[str, int]
+    cut_links: Tuple[CutLink, ...]
+    #: ``lookahead[src][dst]``: min propagation delay over cut links
+    #: src -> dst (``inf`` when src never sends directly to dst).
+    lookahead: Tuple[Tuple[float, ...], ...]
+    #: Shard owning the controller.
+    controller_shard: int
+    #: Shard owning the last data-path switch — the flow-completion
+    #: oracle the run-extension loop polls.
+    egress_shard: int
+    #: Shard owning the first data-path switch (ingress bookkeeping).
+    ingress_shard: int
+
+    def owns(self, shard: int, node_name: str) -> bool:
+        """Whether ``shard`` owns the named topology node."""
+        return self.shard_of_node[node_name] == shard
+
+
+def _contiguous_groups(count: int, groups: int) -> List[int]:
+    """Group index for each of ``count`` items split into ``groups``
+    contiguous, balanced chunks (sizes differ by at most one)."""
+    groups = max(1, min(groups, count))
+    base, extra = divmod(count, groups)
+    assignment: List[int] = []
+    for group in range(groups):
+        size = base + (1 if group < extra else 0)
+        assignment.extend([group] * size)
+    return assignment
+
+
+def build_partition_plan(testbed, shard: ShardSpec) -> PartitionPlan:
+    """Derive the deterministic partition plan for one built testbed."""
+    if not shard.is_active:
+        raise ValueError("cannot build a partition plan for shard=off")
+
+    switch_names = [s.name for s in testbed.switches]
+    switch_set = set(switch_names)
+    host_names = [h.name for h in testbed.hosts]
+
+    # Each host joins the partition of the switch it is cabled to.
+    host_partition: Dict[str, int] = {}
+    for (a, b), _cable in testbed.topology.cables():
+        if a in switch_set and b not in switch_set and b != "controller":
+            host_partition.setdefault(b, switch_names.index(a))
+        elif b in switch_set and a not in switch_set and a != "controller":
+            host_partition.setdefault(a, switch_names.index(b))
+    missing = [h for h in host_names if h not in host_partition]
+    if missing:
+        raise ValueError(f"hosts not cabled to any switch: {missing}")
+
+    n_partitions = len(switch_names)
+    if shard.workers is None:
+        # Maximum decomposition: one loop per switch partition plus a
+        # dedicated controller loop.
+        groups = list(range(n_partitions))
+        n_shards = n_partitions + 1
+        controller_shard = n_partitions
+    elif shard.workers <= 1:
+        # Degenerate: one loop runs everything (sanity anchor).
+        groups = [0] * n_partitions
+        controller_shard = 0
+        n_shards = 1
+    else:
+        groups = _contiguous_groups(n_partitions, shard.workers)
+        n_shards = max(groups) + 1
+        controller_shard = n_shards - 1
+
+    shard_of_node: Dict[str, int] = {"controller": controller_shard}
+    for name, group in zip(switch_names, groups):
+        shard_of_node[name] = group
+    for host, partition in host_partition.items():
+        shard_of_node[host] = groups[partition]
+
+    cuts: List[CutLink] = []
+    index = 0
+    for (a, b), cable in testbed.topology.cables():
+        sa, sb = shard_of_node[a], shard_of_node[b]
+        for direction, src, dst in (("forward", sa, sb),
+                                    ("reverse", sb, sa)):
+            if src != dst:
+                link = getattr(cable, direction)
+                if link.propagation_delay <= 0:
+                    raise ValueError(
+                        f"cut link {link.name!r} has zero propagation "
+                        f"delay: no conservative lookahead is possible")
+                cuts.append(CutLink(index=index, cable=(a, b),
+                                    direction=direction, src=src, dst=dst,
+                                    lookahead=link.propagation_delay))
+                index += 1
+
+    lookahead = [[math.inf] * n_shards for _ in range(n_shards)]
+    for cut in cuts:
+        lookahead[cut.src][cut.dst] = min(lookahead[cut.src][cut.dst],
+                                          cut.lookahead)
+
+    return PartitionPlan(
+        n_shards=n_shards,
+        shard_of_node=shard_of_node,
+        cut_links=tuple(cuts),
+        lookahead=tuple(tuple(row) for row in lookahead),
+        controller_shard=controller_shard,
+        egress_shard=shard_of_node[switch_names[-1]],
+        ingress_shard=shard_of_node[switch_names[0]],
+    )

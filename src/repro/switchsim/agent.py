@@ -379,6 +379,12 @@ class OpenFlowAgent:
 
     def _ageout_sweep(self) -> None:
         """Drop buffered packets whose packet_out never came."""
+        # The handle that fired this sweep is consumed; clear it so a
+        # force_buffer_ageout() called from a buffer_aged_out listener
+        # below owns the slot — re-arming unconditionally at the end
+        # would leave that forced handle live but untracked (two sweep
+        # chains, double expiry, and shutdown() cancelling only one).
+        self._ageout_handle = None
         buffer_obj = getattr(self.mechanism, "buffer", None)
         if buffer_obj is not None and hasattr(buffer_obj,
                                               "expire_older_than"):
@@ -387,8 +393,9 @@ class OpenFlowAgent:
             self._buffer_ageout_drops.inc(len(expired))
             for buffer_id in expired:
                 self.events.emit("buffer_aged_out", self.sim.now, buffer_id)
-        self._ageout_handle = self.sim.schedule(
-            self.config.buffer_ageout_interval, self._ageout_sweep)
+        if self._ageout_handle is None:
+            self._ageout_handle = self.sim.schedule(
+                self.config.buffer_ageout_interval, self._ageout_sweep)
 
     def force_buffer_ageout(self, ageout: float,
                             interval: Optional[float] = None) -> None:

@@ -70,11 +70,13 @@ class MicroflowCache:
         """Remember the table's decision for this exact flow."""
         if not self.enabled:
             return
-        if len(self._entries) >= self.capacity:
+        key = packet.exact_key(in_port)
+        if key not in self._entries and len(self._entries) >= self.capacity:
             # Simple clock-free eviction: drop an arbitrary old entry
             # (cache misses are cheap; precision is not worth the state).
+            # Overwrites of a resident key never evict — they only
+            # refresh that key's slot.
             self._entries.pop(next(iter(self._entries)))
-        key = packet.exact_key(in_port)
         self._entries[key] = (generation, entry)
 
     def credit_aggregate(self, count: int) -> None:

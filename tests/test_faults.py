@@ -318,6 +318,46 @@ def test_forced_ageout_expires_units_and_late_timer_is_clean():
     testbed.shutdown()
 
 
+def test_forced_rearm_from_ageout_listener_keeps_one_sweep_chain():
+    """Bugfix regression: force_buffer_ageout() invoked from inside a
+    buffer_aged_out listener must not leave two live sweep chains.  The
+    old sweep re-armed unconditionally after emitting, overwriting the
+    handle the forced re-arm had just installed — both chains stayed
+    live (double expiry) and shutdown() could cancel only one."""
+    config = BufferConfig(mechanism="flow-granularity", capacity=64,
+                          retry_timeout=10.0, max_retries=1)
+    testbed = build_testbed(config, _workload(n_flows=1), seed=16)
+    testbed.channel.bind_controller(lambda message: None)   # mute
+    agent = testbed.switch.agent
+    sweeps = []
+    inner = agent._ageout_sweep
+
+    def counting_sweep():
+        sweeps.append(testbed.sim.now)
+        inner()
+
+    agent._ageout_sweep = counting_sweep
+    forced = []
+
+    def rearm_under_pressure(time, buffer_id):
+        if not forced:
+            forced.append(time)
+            agent.force_buffer_ageout(0.05, interval=0.025)
+
+    testbed.switch.events.on("buffer_aged_out", rearm_under_pressure)
+    testbed.pktgen.start(at=0.01)
+    agent.force_buffer_ageout(0.04, interval=0.02)
+    testbed.sim.run(until=1.0)
+    assert forced, "the ageout listener never fired"
+    # Exactly one live chain: after the forced re-arm the sweep cadence
+    # is one call per 25ms — two interleaved chains would double it
+    # (coincident timestamps, zero deltas).
+    after = [time for time in sweeps if time > forced[0]]
+    deltas = [b - a for a, b in zip(after, after[1:])]
+    assert deltas and all(d == pytest.approx(0.025) for d in deltas), deltas
+    testbed.shutdown()
+
+
 def test_retry_exhaustion_counts_drops_not_releases():
     """Bugfix regression: abandoning a flow after max_retries must count
     its packets as abandoned drops, never as releases."""

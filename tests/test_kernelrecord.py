@@ -1,0 +1,46 @@
+"""Regression tests for the ``BENCH_kernel.json`` record builder."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "benchmarks"))
+
+import kernelrecord
+
+
+def test_build_record_skips_probes_missing_from_after():
+    # A partial measuring run (only one probe re-measured) must still
+    # produce a record instead of KeyError-ing on the absent probes.
+    record = kernelrecord.build_record({"event_loop": 0.01},
+                                       testbed_window_s=1.0)
+    assert set(record["benchmarks"]) == {"event_loop"}
+    bench = record["benchmarks"]["event_loop"]
+    assert bench["after"]["seconds"] == 0.01
+    assert bench["speedup"] > 0
+
+
+def test_build_record_carries_after_only_probes():
+    # A probe with no committed *before* still lands in the record,
+    # without a fabricated speedup.
+    record = kernelrecord.build_record(
+        {"event_loop": 0.01, "brand_new_probe": 0.5},
+        testbed_window_s=1.0)
+    bench = record["benchmarks"]["brand_new_probe"]
+    assert bench["after"]["seconds"] == 0.5
+    assert "before" not in bench
+    assert "speedup" not in bench
+
+
+def test_committed_record_has_shard_scaling_section():
+    record = kernelrecord.load_baseline()
+    section = record["shard_scaling"]
+    assert section["scenario"] == "line:4"
+    assert section["cpu_count"] >= 1
+    assert section["floor_workers_2"] == 1.4
+    assert {"1", "2", "4"} <= set(section["workers"])
+    for point in section["workers"].values():
+        assert point["seconds"] > 0
+        assert point["events_per_sec"] > 0

@@ -33,13 +33,48 @@ def test_throughput_and_eta(clock):
     tracker.task_done(worker="b", cached=True)
     assert tracker.cached == 1
     assert tracker.throughput() == pytest.approx(0.5)
-    assert tracker.eta_seconds() == pytest.approx(4.0)
+    # ETA projects from *fresh* throughput only: 1 fresh task in 4s.
+    assert tracker.fresh_throughput() == pytest.approx(0.25)
+    assert tracker.eta_seconds() == pytest.approx(8.0)
 
 
 def test_eta_unknown_before_any_progress(clock):
     tracker = ProgressTracker(total=4, clock=clock)
     assert tracker.eta_seconds() is None
     assert tracker.throughput() == 0.0
+
+
+def test_eta_ignores_instant_cached_prefix(clock):
+    """Bugfix regression: a prefix of instant cache hits must not
+    collapse the ETA to ~0 (old behaviour: overall throughput counted
+    the hits, so 5 hits in 10ms projected the rest at 500 tasks/s)."""
+    tracker = ProgressTracker(total=10, clock=clock)
+    clock.now = 0.01
+    for _ in range(5):
+        tracker.task_done(cached=True)
+    # No fresh signal yet: the honest answer is "unknown", not ~0.01s.
+    assert tracker.eta_seconds() is None
+    assert tracker.cached == 5
+
+
+def test_eta_recovers_after_cached_to_fresh_transition(clock):
+    tracker = ProgressTracker(total=10, clock=clock)
+    clock.now = 0.01
+    for _ in range(5):
+        tracker.task_done(cached=True)
+    clock.now = 2.01
+    tracker.task_done()            # first fresh task took ~2s
+    # Fresh window starts where the cached prefix ended: 1 task / 2s.
+    assert tracker.fresh_throughput() == pytest.approx(0.5)
+    assert tracker.eta_seconds() == pytest.approx(8.0)   # 4 left at 0.5/s
+    clock.now = 4.01
+    tracker.task_done()
+    assert tracker.fresh_throughput() == pytest.approx(0.5)
+    assert tracker.eta_seconds() == pytest.approx(6.0)   # 3 left at 0.5/s
+    # A cache hit mid-stream counts, but does not perturb the rate basis.
+    tracker.task_done(cached=True)
+    assert tracker.fresh_throughput() == pytest.approx(0.5)
+    assert tracker.eta_seconds() == pytest.approx(4.0)   # 2 left at 0.5/s
 
 
 def test_per_worker_throughput(clock):

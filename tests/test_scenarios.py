@@ -393,26 +393,27 @@ _KERNEL_GOLDEN_ROWS = {
 #: Cache tokens for the same grid (one per rate, rates in sweep order).
 #: Pinned so a kernel change can never silently re-key — and therefore
 #: silently invalidate or, worse, cross-contaminate — the result cache.
-#: Regenerated for CACHE_SCHEMA v4 (the pool token joined the key) and
+#: Regenerated for CACHE_SCHEMA v4 (the pool token joined the key),
 #: again for v5 (the execution engine joined through the scenario
-#: token); the golden ROW values above are unchanged from the pre-pool
-#: kernel — schema bumps re-key the cache, never the physics.
+#: token) and for v6 (the shard spec joined the same way); the golden
+#: ROW values above are unchanged from the pre-pool kernel — schema
+#: bumps re-key the cache, never the physics.
 _KERNEL_GOLDEN_TASK_KEYS = {
     "single/none": (
-        "ab042b3730418a6d61af29736f98d777f7465a2d049609169e76345a806fe1ef",
-        "2eabf823f828d572ecc27995d3ad2454783f216a7d2879502a660122c9c7664e",
+        "a3a42924b61109d408b8938a939ba476dc395ab16a6b8cb7e68bc840e2140132",
+        "1efcf24d3b4dec358e8244b67ed4dc0a7a8a38386ec314ef47e16674363d04cf",
     ),
     "single/loss1pct": (
-        "7b89fd0edef5e1deb7eb32622ce9e018f98e920236f242119c84487056f76515",
-        "3d4dafc95fc9f8c7d6fc7eb94346f44ee8e0d50603e24ba38be50dc61e636952",
+        "3c8c3f8b5e3aae130a09825224818444f6886a3744c11985ed55c218d9f20202",
+        "8ba0e686116a022ebc7f8440f449858d4e47a42a2d106f0f43301f48495c6975",
     ),
     "line:2/none": (
-        "5153b7cdc829d1965ffc1628b3b88496beeede3b1ba70084830589f94726b2e2",
-        "22b6a4a4adc52d4872a17b4b1c3a44ef2c932eae453c55df755a4d0d486b15d9",
+        "08e485486233bd8266cc2ce1ba89512ef688b9082cefd3f611133316110ca65a",
+        "92a9587c8a0f4c12a88fb20a3136d410201df5b496d7a2926d3844c4fb4b515f",
     ),
     "line:2/loss1pct": (
-        "1904e813d05c32daea0bb54ec3da4da678dfa4dace80fef354da01e94ecb2cbd",
-        "a1e3fe169a0a4bc838a37b377300dc335a17b4d072e5c15f0946f7ded0cbafa0",
+        "d5e56172d01fdf34b589dec515b73ae29067d08c074bff8c6f4f831a802f1aa1",
+        "7c38e8b37da945ba4e2329917a5ccb1a86da248786e73115d2e9ea8e7ed59930",
     ),
 }
 

@@ -72,6 +72,28 @@ def test_capacity_bound():
     assert len(cache) <= 4
 
 
+def test_restore_of_resident_key_evicts_nothing():
+    """Bugfix regression: re-storing a key that is already cached at full
+    capacity must refresh that key in place, not evict an unrelated
+    resident flow (the old code evicted whenever len >= capacity)."""
+    cache = MicroflowCache(3)
+    packets = [_packet(i) for i in range(3)]
+    for packet in packets:
+        cache.store(packet, 1, 0, _entry(packet))
+    assert len(cache) == 3
+    # Overwrite a resident key (e.g. after a generation bump re-lookup).
+    refreshed = _entry(packets[1])
+    cache.store(packets[1], 1, generation=1, entry=refreshed)
+    assert len(cache) == 3
+    # Every original key is still resident; nothing was evicted.
+    assert cache.lookup(packets[0], 1, 0, now=0.0) is not None
+    assert cache.lookup(packets[1], 1, 1, now=0.0) is refreshed
+    assert cache.lookup(packets[2], 1, 0, now=0.0) is not None
+    # A genuinely new key at capacity still evicts exactly one entry.
+    cache.store(_packet(7), 1, 0, _entry(_packet(7)))
+    assert len(cache) == 3
+
+
 def test_validation():
     with pytest.raises(ValueError):
         MicroflowCache(-1)
