@@ -69,6 +69,8 @@ MODULE_COMPONENTS = {
     "repro.metrics.samplers": "metrics",
     "repro.metrics.collector": "metrics",
     "repro.obs.monitor": "monitor",
+    "repro.shard.transport": "shard-transport",
+    "repro.shard.coordinator": "shard-transport",
 }
 
 

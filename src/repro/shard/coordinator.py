@@ -54,12 +54,17 @@ import math
 import multiprocessing
 import warnings
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..obs.spans import SpanRecorder
 from .partition import PartitionPlan, build_partition_plan
 from .seam import ShardContext, ShardMessage
+from .spec import DEFAULT_TRANSPORT, TransportSpec
 from .state import extract_state, graft_states, merged_events
+from .transport import (RelayHub, ShardChannel, ShmRing, StringTable,
+                        TransportStats, decode_frame, encode_advance,
+                        encode_reply, scan_frame)
 
 
 def _fork_available() -> bool:
@@ -72,15 +77,58 @@ def _fork_available() -> bool:
 # ---------------------------------------------------------------------------
 
 class _InlineShard:
-    """A shard's event loop living in the coordinator's own process."""
+    """A shard's event loop living in the coordinator's own process.
 
-    def __init__(self, build_args: dict, shard_index: int):
+    Under the ``framed``/``shm`` codecs, rounds still travel through the
+    real frame encoder and back — emit → decode down, encode → scan up,
+    with relay gossip through the shared hub — so inline verification
+    exercises exactly the bytes fork would ship (shm collapses to
+    framed in-process, there being no pipe to avoid).
+    """
+
+    def __init__(self, build_args: dict, shard_index: int,
+                 transport: TransportSpec = DEFAULT_TRANSPORT,
+                 hub: Optional[RelayHub] = None, n_shards: int = 1):
         self._ctx, self.next_time = _build_shard_context(
             build_args, shard_index)
+        self._codec = transport.codec
+        self._shard_index = shard_index
+        self.stats = TransportStats()
+        if self._codec != "pickle":
+            self._hub = hub if hub is not None else RelayHub()
+            self._gossip = self._hub.register()
+            self._worker_dec = StringTable()
+            self._worker_enc = StringTable(offset=shard_index,
+                                           stride=n_shards)
 
     def advance(self, t_end: float, messages: List[ShardMessage],
                 inclusive: bool) -> None:
-        self._reply = self._ctx.advance(t_end, messages, inclusive)
+        if self._codec == "pickle":
+            self._reply = self._ctx.advance(t_end, messages, inclusive)
+            return
+        stats = self.stats
+        start = perf_counter()
+        frame = encode_advance(t_end, messages, inclusive, self._gossip)
+        stats.encode_seconds += perf_counter() - start
+        stats.frames_out += 1
+        stats.bytes_out += len(frame)
+        start = perf_counter()
+        _tag, t_end, messages, inclusive = decode_frame(frame,
+                                                        self._worker_dec)
+        stats.decode_seconds += perf_counter() - start
+        outbound, next_time, completed = self._ctx.advance(
+            t_end, messages, inclusive)
+        start = perf_counter()
+        frame = encode_reply(outbound, next_time, completed,
+                             self._worker_enc)
+        stats.encode_seconds += perf_counter() - start
+        stats.frames_in += 1
+        stats.bytes_in += len(frame)
+        start = perf_counter()
+        _tag, self._reply, minted = scan_frame(frame)
+        if minted:
+            self._hub.publish(minted, self._shard_index)
+        stats.decode_seconds += perf_counter() - start
 
     def result(self) -> Tuple[List[ShardMessage], float, Optional[int]]:
         return self._reply
@@ -90,25 +138,65 @@ class _InlineShard:
         self._ctx.testbed.shutdown()
         return state
 
+    def kill(self) -> None:
+        pass
+
     def close(self) -> None:
         pass
 
 
 class _ForkShard:
-    """A shard's event loop in a forked worker, spoken to over a pipe."""
+    """A shard's event loop in a forked worker, spoken to over a pipe.
+
+    Under the ``shm`` codec the parent creates one ring per direction
+    *before* forking; the child inherits them through fork memory (no
+    re-attach, so the resource tracker registers each segment exactly
+    once) and only the parent ever unlinks — in :meth:`close` on the
+    graceful path, :meth:`kill` on the crash path.
+    """
 
     def __init__(self, ctx: multiprocessing.context.BaseContext,
-                 build_args: dict, shard_index: int):
+                 build_args: dict, shard_index: int,
+                 transport: TransportSpec = DEFAULT_TRANSPORT,
+                 hub: Optional[RelayHub] = None, n_shards: int = 1):
+        self._rings: List[ShmRing] = []
+        self._process = None
         self._conn, child = ctx.Pipe(duplex=True)
-        self._process = ctx.Process(
-            target=_shard_worker, args=(child, build_args, shard_index),
-            daemon=True)
-        self._process.start()
-        child.close()
-        self.next_time = self._recv("ready")
+        try:
+            down_ring = up_ring = None
+            if transport.codec == "shm":
+                down_ring = ShmRing(transport.ring_bytes)
+                up_ring = ShmRing(transport.ring_bytes)
+                self._rings = [down_ring, up_ring]
+            self._process = ctx.Process(
+                target=_shard_worker,
+                args=(child, build_args, shard_index, transport.codec,
+                      down_ring, up_ring, n_shards),
+                daemon=True)
+            self._process.start()
+            child.close()
+            self.channel = ShardChannel(self._conn, transport.codec,
+                                        send_ring=down_ring,
+                                        recv_ring=up_ring,
+                                        role="parent", hub=hub,
+                                        shard_index=shard_index)
+            self.next_time = self._recv("ready")
+        except BaseException:
+            self.kill()
+            raise
+
+    @property
+    def stats(self) -> TransportStats:
+        return self.channel.stats
 
     def _recv(self, expected: str):
-        tag, payload = self._conn.recv()
+        try:
+            message = self.channel.recv()
+        except (EOFError, ConnectionError, OSError) as exc:
+            raise RuntimeError(
+                f"shard worker died mid-round ({type(exc).__name__}); "
+                f"see worker stderr for the original failure") from exc
+        tag, payload = message[0], message[1]
         if tag == "error":
             raise RuntimeError(f"shard worker failed:\n{payload}")
         if tag != expected:
@@ -119,24 +207,53 @@ class _ForkShard:
 
     def advance(self, t_end: float, messages: List[ShardMessage],
                 inclusive: bool) -> None:
-        self._conn.send(("advance", t_end, messages, inclusive))
+        try:
+            self.channel.send_advance(t_end, messages, inclusive)
+        except (BrokenPipeError, ConnectionError, OSError) as exc:
+            raise RuntimeError(
+                f"shard worker died mid-round ({type(exc).__name__}); "
+                f"see worker stderr for the original failure") from exc
 
     def result(self) -> Tuple[List[ShardMessage], float, Optional[int]]:
         return self._recv("advanced")
 
     def collect(self) -> Dict[str, Any]:
-        self._conn.send(("collect",))
+        self.channel.send_control(("collect",))
         return self._recv("state")
+
+    def kill(self) -> None:
+        """Hard teardown: terminate the worker, free every OS resource.
+
+        Idempotent, and safe to call from any partially-constructed or
+        already-closed state — this is the crash path that keeps a dead
+        worker's siblings from blocking forever in ``recv`` and its
+        rings from leaking in ``/dev/shm``.
+        """
+        process = self._process
+        if process is not None and process.is_alive():
+            process.terminate()
+            process.join(timeout=5.0)
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - cleanup
+            pass
+        for ring in self._rings:
+            ring.close()
+            ring.unlink()
 
     def close(self) -> None:
         try:
-            self._conn.send(("stop",))
+            self.channel.send_control(("stop",))
             self._conn.close()
-        except (BrokenPipeError, OSError):  # pragma: no cover - cleanup
-            pass
-        self._process.join(timeout=5.0)
-        if self._process.is_alive():  # pragma: no cover - cleanup
-            self._process.terminate()
+        except (AttributeError, BrokenPipeError, OSError):
+            pass  # already torn down (or never fully built)
+        if self._process is not None:
+            self._process.join(timeout=5.0)
+            if self._process.is_alive():  # pragma: no cover - cleanup
+                self._process.terminate()
+        for ring in self._rings:
+            ring.close()
+            ring.unlink()
 
 
 def _build_shard_context(build_args: dict,
@@ -158,26 +275,40 @@ def _build_shard_context(build_args: dict,
     return context, testbed.sim.peek()
 
 
-def _shard_worker(conn, build_args: dict, shard_index: int) -> None:
-    """Worker process main loop: build once, then serve advance rounds."""
+def _shard_worker(conn, build_args: dict, shard_index: int,
+                  codec: str = "pickle", down_ring=None,
+                  up_ring=None, n_shards: int = 1) -> None:
+    """Worker process main loop: build once, then serve advance rounds.
+
+    ``down_ring``/``up_ring`` are the parent's ShmRing objects, valid
+    here because fork inherits their mappings; the worker reads advances
+    from ``down_ring`` and writes replies into ``up_ring``, and never
+    closes or unlinks either (the parent owns their lifecycle).
+    """
+    channel = ShardChannel(conn, codec, send_ring=up_ring,
+                           recv_ring=down_ring, role="worker",
+                           shard_index=shard_index, n_shards=n_shards)
     try:
         context, first = _build_shard_context(build_args, shard_index)
-        conn.send(("ready", first))
+        channel.send_control(("ready", first))
         while True:
-            command = conn.recv()
+            command = channel.recv()
             if command[0] == "advance":
                 _tag, t_end, messages, inclusive = command
-                conn.send(("advanced",
-                           context.advance(t_end, messages, inclusive)))
+                outbound, next_time, completed = context.advance(
+                    t_end, messages, inclusive)
+                channel.send_reply(outbound, next_time, completed)
             elif command[0] == "collect":
-                conn.send(("state", extract_state(context)))
+                state = extract_state(context)
+                state["transport"] = channel.stats.as_dict()
+                channel.send_control(("state", state))
                 context.testbed.shutdown()
             elif command[0] == "stop":
                 return
     except BaseException:  # pragma: no cover - surfaced parent-side
         import traceback
         try:
-            conn.send(("error", traceback.format_exc()))
+            channel.send_control(("error", traceback.format_exc()))
         except (BrokenPipeError, OSError):
             pass
     finally:
@@ -194,10 +325,24 @@ class ShardRunReport:
 
     n_shards: int
     transport: str
+    #: Wire codec the rounds travelled on (pickle/framed/shm).
+    codec: str = "pickle"
     rounds: int = 0
     messages: int = 0
     #: Advances over windows with no local events and no injections.
     horizon_stalls: int = 0
+    #: Per-shard advances skipped entirely: the horizon moved but the
+    #: window could not contain events or injections, so no IPC was paid.
+    rounds_coalesced: int = 0
+    #: Hot-path frame bytes, counted once per frame (parent side).
+    bytes_total: int = 0
+    #: Encode+decode wall time summed over both ends of every channel.
+    serialize_seconds: float = 0.0
+    #: Wall time spent inside ``run_until`` — the advance/reply rounds
+    #: themselves, excluding fork/build/collect/graft.  The transport
+    #: bench subtracts inline from fork on this figure to isolate
+    #: per-round coordination overhead.
+    rounds_wall_seconds: float = 0.0
     #: Per-component event streams (verify mode only).
     events: Optional[Dict[str, List[tuple]]] = None
     #: One span per shard per deadline segment (sim-clock intervals).
@@ -260,6 +405,7 @@ class ShardCoordinator:
 
         Returns the egress shard's completed-flow count at the deadline.
         """
+        wall_start = perf_counter()
         segment_start = [dict(rounds=0, start=self.horizon[i])
                          for i in range(self.n)]
         final_done = [False] * self.n
@@ -282,9 +428,22 @@ class ShardCoordinator:
                 else:
                     t_end, inclusive = promise, False
                 messages = [m for m in self.pending[i] if m[0] <= deadline]
-                if not inclusive and not messages \
-                        and t_end <= self.horizon[i]:
-                    continue
+                if not inclusive and not messages:
+                    if t_end <= self.horizon[i]:
+                        continue
+                    if self.next_time[i] >= t_end:
+                        # Coalesce: the window holds no local events and
+                        # no injections, so the worker would only move
+                        # its clock — which the next real advance does
+                        # anyway.  Record the horizon as granted and
+                        # skip the IPC round entirely.  Progress is
+                        # safe: the globally earliest shard always has
+                        # next_time < its promise (every L > 0), so it
+                        # is never coalesced and the batch stays
+                        # non-empty until the final inclusive advances.
+                        self.horizon[i] = t_end
+                        self.report.rounds_coalesced += 1
+                        continue
                 if messages:
                     kept = [m for m in self.pending[i] if m[0] > deadline]
                     self.pending[i] = kept
@@ -312,6 +471,7 @@ class ShardCoordinator:
                 rounds=segment_start[i]["rounds"])
         if self.completed is None:
             raise RuntimeError("egress shard reported no completion count")
+        self.report.rounds_wall_seconds += perf_counter() - wall_start
         return self.completed
 
 
@@ -371,16 +531,24 @@ def execute_sharded(buffer_config, workload, calibration=None, seed=0,
                       workload=workload, calibration=calibration,
                       seed=seed, faults=faults, settle=settle,
                       record_events=record_events)
-    report = ShardRunReport(n_shards=plan.n_shards, transport=transport)
+    tspec = scenario.shard.transport
+    report = ShardRunReport(n_shards=plan.n_shards, transport=transport,
+                            codec=tspec.codec)
     handles: List[Any] = []
+    shard_cls = _ForkShard if transport == "fork" else _InlineShard
+    ctx = (multiprocessing.get_context("fork") if transport == "fork"
+           else None)
+    hub = RelayHub() if tspec.codec != "pickle" else None
     try:
-        if transport == "fork":
-            ctx = multiprocessing.get_context("fork")
-            handles = [_ForkShard(ctx, build_args, i)
-                       for i in range(plan.n_shards)]
-        else:
-            handles = [_InlineShard(build_args, i)
-                       for i in range(plan.n_shards)]
+        # Handles append one by one so a constructor failure mid-fleet
+        # still leaves every already-started worker reachable for kill().
+        for i in range(plan.n_shards):
+            if ctx is not None:
+                handles.append(shard_cls(ctx, build_args, i, tspec,
+                                         hub, plan.n_shards))
+            else:
+                handles.append(shard_cls(build_args, i, tspec,
+                                         hub, plan.n_shards))
         coordinator = ShardCoordinator(handles, plan, report)
 
         deadline = settle + workload.duration + drain
@@ -397,12 +565,31 @@ def execute_sharded(buffer_config, workload, calibration=None, seed=0,
             extends += 1
 
         states = [handle.collect() for handle in handles]
+    except BaseException:
+        # A dead or wedged worker must not leave siblings blocked in
+        # recv or shm segments leaked: hard-stop the whole fleet first,
+        # then let the graceful close in ``finally`` no-op.
+        for handle in handles:
+            handle.kill()
+        raise
     finally:
         for handle in handles:
             handle.close()
 
+    wire = TransportStats()
+    for handle in handles:
+        wire.merge(handle.stats)
+    worker_serialize = 0.0
+    for state in states:
+        worker_side = state.pop("transport", None)
+        if worker_side is not None:
+            worker_serialize += (worker_side["encode_seconds"]
+                                 + worker_side["decode_seconds"])
     graft_states(parent, plan, states)
     report.horizon_stalls = sum(s["stalled_rounds"] for s in states)
+    report.bytes_total = wire.bytes_out + wire.bytes_in
+    report.serialize_seconds = (wire.encode_seconds + wire.decode_seconds
+                                + worker_serialize)
     if record_events:
         report.events = merged_events(states)
     registry = parent.registry
@@ -411,6 +598,11 @@ def execute_sharded(buffer_config, workload, calibration=None, seed=0,
         registry.counter("shard.messages_total").inc(report.messages)
         registry.counter("shard.horizon_stalls_total").inc(
             report.horizon_stalls)
+        registry.counter("shard.rounds_coalesced_total").inc(
+            report.rounds_coalesced)
+        registry.counter("shard.bytes_total").inc(report.bytes_total)
+        registry.gauge("shard.serialize_seconds").set(
+            report.serialize_seconds)
 
     active_end = max(
         settle + workload.duration,
